@@ -1,0 +1,43 @@
+"""True micro-benchmarks of the simulator itself (multi-round timings).
+
+Unlike the table/figure benches (one-shot experiment regeneration), these
+use pytest-benchmark's statistics to track the replay engine's and trace
+generator's throughput — the quantities that bound how large a
+configuration the reproduction can simulate.
+"""
+
+import pytest
+
+from repro.core.schemes import scheme_by_name
+from repro.cpu.timing import ReplayEngine
+from repro.sim.config import DEFAULT_CONFIG
+from repro.workloads.micro import MicroParams, generate_micro_trace
+
+PARAMS = MicroParams(benchmark="rbt", n_pools=32, initial_nodes=48,
+                     operations=300)
+
+
+@pytest.fixture(scope="module")
+def generated():
+    return generate_micro_trace(PARAMS)
+
+
+@pytest.mark.parametrize("scheme", ["baseline", "mpk_virt", "domain_virt",
+                                    "libmpk"])
+def test_replay_throughput(benchmark, generated, scheme):
+    trace, ws = generated
+    cls = scheme_by_name(scheme)
+
+    def replay():
+        return ReplayEngine(DEFAULT_CONFIG, ws.kernel, ws.process, cls) \
+            .run(trace)
+
+    stats = benchmark.pedantic(replay, rounds=3, iterations=1)
+    assert stats.instructions > 0
+    benchmark.extra_info["events"] = len(trace)
+
+
+def test_trace_generation_throughput(benchmark):
+    trace, _ws = benchmark.pedantic(
+        lambda: generate_micro_trace(PARAMS), rounds=3, iterations=1)
+    assert len(trace) > 0

@@ -1,0 +1,9 @@
+"""Benchmark regenerating Figure 6 (overhead vs number of PMOs)."""
+
+from repro.experiments.figure6 import report_figure6
+
+
+def test_figure6(benchmark, runner, save_report):
+    report = benchmark.pedantic(
+        lambda: report_figure6(runner), rounds=1, iterations=1)
+    save_report("figure6", report)

@@ -1,0 +1,9 @@
+"""Benchmark regenerating Figure 7 (average overheads + libmpk speedups)."""
+
+from repro.experiments.figure7 import report_figure7
+
+
+def test_figure7(benchmark, runner, save_report):
+    report = benchmark.pedantic(
+        lambda: report_figure7(runner), rounds=1, iterations=1)
+    save_report("figure7", report)

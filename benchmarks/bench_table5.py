@@ -1,0 +1,9 @@
+"""Benchmark regenerating Table V (single-PMO WHISPER overheads)."""
+
+from repro.experiments.table5 import report_table5
+
+
+def test_table5(benchmark, runner, save_report):
+    report = benchmark.pedantic(
+        lambda: report_table5(runner), rounds=1, iterations=1)
+    save_report("table5", report)

@@ -1,0 +1,9 @@
+"""Benchmark regenerating Table VI (multi-PMO lowerbound overheads)."""
+
+from repro.experiments.table6 import report_table6
+
+
+def test_table6(benchmark, runner, save_report):
+    report = benchmark.pedantic(
+        lambda: report_table6(runner), rounds=1, iterations=1)
+    save_report("table6", report)

@@ -1,0 +1,9 @@
+"""Benchmark regenerating Table VII (overhead breakdown at 1024 PMOs)."""
+
+from repro.experiments.table7 import report_table7
+
+
+def test_table7(benchmark, runner, save_report):
+    report = benchmark.pedantic(
+        lambda: report_table7(runner), rounds=1, iterations=1)
+    save_report("table7", report)

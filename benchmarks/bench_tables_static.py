@@ -1,0 +1,14 @@
+"""Benchmarks regenerating the static tables (II and VIII)."""
+
+from repro.experiments.table2 import report_table2
+from repro.experiments.table8 import report_table8
+
+
+def test_table2(benchmark, save_report):
+    report = benchmark.pedantic(report_table2, rounds=1, iterations=1)
+    save_report("table2", report)
+
+
+def test_table8(benchmark, save_report):
+    report = benchmark.pedantic(report_table8, rounds=1, iterations=1)
+    save_report("table8", report)

@@ -1,0 +1,35 @@
+"""Shared fixtures for the benchmark harness.
+
+Each ``bench_*`` module regenerates one of the paper's tables/figures,
+prints it, and writes it under ``benchmarks/out/`` so the results survive
+the run.  Operation counts follow the package defaults; set ``REPRO_OPS``
+(e.g. ``REPRO_OPS=5``) for higher-fidelity sweeps.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.experiments.runner import ExperimentRunner
+
+OUT_DIR = pathlib.Path(__file__).parent / "out"
+
+
+@pytest.fixture(scope="session")
+def runner():
+    return ExperimentRunner()
+
+
+@pytest.fixture(scope="session")
+def save_report():
+    OUT_DIR.mkdir(exist_ok=True)
+
+    def save(name: str, text: str) -> str:
+        path = OUT_DIR / f"{name}.txt"
+        path.write_text(text + "\n")
+        print(f"\n{text}\n[saved to {path}]")
+        return text
+
+    return save

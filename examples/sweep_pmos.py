@@ -1,0 +1,55 @@
+#!/usr/bin/env python
+"""Mini Figure 6: sweep the PMO count for one microbenchmark.
+
+Regenerates a scaled-down slice of the paper's headline figure — the
+overhead of libmpk vs the two hardware schemes as the number of attached
+PMOs grows — and renders it as a log2 ASCII chart, mirroring the paper's
+2^k y-axis.
+
+Run:  python examples/sweep_pmos.py [benchmark] [ops]
+      benchmark in {avl, rbt, bt, ll, ss} (default avl)
+"""
+
+import sys
+
+from repro.experiments.figure6 import FIGURE6_SCHEMES
+from repro.experiments.reporting import format_table, log2_chart
+from repro.sim.simulator import (MULTI_PMO_SCHEMES, overhead_over_lowerbound,
+                                 replay_trace)
+from repro.workloads.micro import MICRO_LABELS, MicroParams, \
+    generate_micro_trace
+
+POINTS = (16, 32, 64, 128, 256)
+
+
+def main() -> None:
+    benchmark = sys.argv[1] if len(sys.argv) > 1 else "avl"
+    operations = int(sys.argv[2]) if len(sys.argv) > 2 else 600
+
+    series = {scheme: {} for scheme in FIGURE6_SCHEMES}
+    for n_pools in POINTS:
+        params = MicroParams(benchmark=benchmark, n_pools=n_pools,
+                             operations=operations, initial_nodes=64)
+        trace, ws = generate_micro_trace(params)
+        results = replay_trace(trace, ws, MULTI_PMO_SCHEMES)
+        for scheme in FIGURE6_SCHEMES:
+            series[scheme][n_pools] = overhead_over_lowerbound(
+                results, scheme)
+        evictions = results["mpk_virt"].evictions
+        print(f"  swept {n_pools:4d} PMOs "
+              f"({len(trace)} events, {evictions} key evictions)")
+
+    headers = ["Scheme"] + [f"{x} PMOs" for x in POINTS]
+    rows = [[scheme] + [series[scheme][x] for x in POINTS]
+            for scheme in FIGURE6_SCHEMES]
+    print()
+    print(format_table(
+        f"Overhead% over lowerbound — {MICRO_LABELS[benchmark]}",
+        headers, rows))
+    print()
+    print(log2_chart(f"{MICRO_LABELS[benchmark]} (log2 view, like Fig. 6)",
+                     series))
+
+
+if __name__ == "__main__":
+    main()

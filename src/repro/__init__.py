@@ -1,0 +1,21 @@
+"""repro — reproduction of "Hardware-Based Domain Virtualization for
+Intra-Process Isolation of Persistent Memory Objects" (ISCA 2020).
+
+Public API layers:
+
+* :mod:`repro.pmo` — persistent memory objects (pools, OIDs, transactions)
+* :mod:`repro.os` — simulated OS (attach/detach, demand paging, pkeys)
+* :mod:`repro.mem` — TLBs, caches, page tables, DRAM/NVM
+* :mod:`repro.core` — the protection schemes (MPK, MPK virtualization,
+  domain virtualization, libmpk, lowerbound)
+* :mod:`repro.cpu` — traces and the cycle-approximate replay engine
+* :mod:`repro.workloads` — instrumented WHISPER / multi-PMO benchmarks
+* :mod:`repro.sim` — configuration (Table II), statistics, area model
+* :mod:`repro.experiments` — drivers regenerating each table and figure
+"""
+
+from .permissions import Perm, check_access, strictest
+
+__version__ = "1.0.0"
+
+__all__ = ["Perm", "__version__", "check_access", "strictest"]

@@ -1,0 +1,130 @@
+"""Hardware Domain Virtualization — the paper's second proposed design.
+
+Foregoes protection keys entirely.  TLB entries carry a domain ID filled
+from the DRT (walked in parallel with the page table — no extra TLB-miss
+cost); per-thread domain permissions live in the Permission Table, cached
+by a 16-entry PTLB.  SETPERM completes in the PTLB; key remapping and TLB
+shootdowns disappear.  The price: a PTLB lookup on *every* domain access,
+even when the data hits in L1 (Section IV-E, the "Access latency" row of
+Table VII).
+
+Charging map:
+
+* SETPERM instruction                 → ``perm_change``   (27 cycles)
+* PTLB add/modify, writebacks         → ``entry_changes`` (1 cycle each)
+* PTLB miss → Permission Table lookup → ``ptlb_misses``   (30 cycles)
+* PTLB lookup on a domain access      → ``access_latency`` (1 cycle)
+"""
+
+from __future__ import annotations
+
+from ..permissions import Perm, strictest
+from ..mem.tlb import TLBEntry
+from ..os.address_space import VMA
+from .drt import DomainRangeTable
+from .permission_table import PTLB, PermissionTable, PTLBEntry
+from .schemes import ProtectionScheme, register_scheme
+
+
+@register_scheme
+class DomainVirtScheme(ProtectionScheme):
+    """Hardware domain virtualization (DRT + PT + PTLB)."""
+
+    name = "domain_virt"
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        cfg = self.config.domain_virt
+        self.drt = DomainRangeTable()
+        self.pt = PermissionTable()
+        self.ptlb = PTLB(cfg.ptlb_entries)
+        self._current_tid: int = -1
+
+    # -- setup hooks --------------------------------------------------------------
+
+    def attach_domain(self, vma: VMA, intent: Perm) -> None:
+        self.drt.add(vma)
+        self.pt.register_domain(vma.pmo_id)
+
+    def detach_domain(self, domain: int) -> None:
+        self.ptlb.invalidate(domain)
+        self.pt.drop_domain(domain)
+        self.drt.remove(domain)
+
+    def set_initial_perm(self, domain: int, tid: int, perm: Perm) -> None:
+        self.pt.set(domain, tid, perm)
+
+    # -- PTLB plumbing ----------------------------------------------------------------
+
+    def _note_thread(self, tid: int) -> None:
+        # The PTLB caches permissions of the running thread only; the
+        # replay engine reports switches via context_switch, but guard
+        # against direct driving in unit tests.
+        if self._current_tid == -1:
+            self._current_tid = tid
+
+    def _ptlb_fetch(self, domain: int, tid: int) -> PTLBEntry:
+        """PTLB lookup; on miss, fetch from the PT (30 cycles)."""
+        cfg = self.config.domain_virt
+        cached = self.ptlb.lookup(domain)
+        if cached is not None:
+            return cached
+        self.stats.charge("ptlb_misses", cfg.ptlb_miss_cycles)
+        self.stats.ptlb_misses_count += 1
+        cached = PTLBEntry(domain=domain, perm=self.pt.get(domain, tid))
+        victim = self.ptlb.insert(cached)
+        if victim is not None and victim.dirty:
+            self.pt.set(victim.domain, tid, victim.perm)
+            self.stats.charge("entry_changes",
+                              cfg.ptlb_entry_change_cycles)
+        return cached
+
+    # -- measured hooks -------------------------------------------------------------------
+
+    def perm_switch(self, tid: int, domain: int, perm: Perm) -> None:
+        cfg = self.config.domain_virt
+        self._note_thread(tid)
+        self.stats.charge("perm_change", self.config.mpk.wrpkru_cycles)
+        cached = self._ptlb_fetch(domain, tid)
+        cached.perm = perm
+        cached.dirty = True
+        self.stats.charge("entry_changes", cfg.ptlb_entry_change_cycles)
+
+    def fill_tags(self, vma: VMA, tid: int) -> tuple:
+        # The DRT walk overlaps the page-table walk and the DRT is
+        # shallower, so no extra cycles are charged (Section V).
+        entry = self.drt.walk(vma.base)
+        domain = entry.domain if entry is not None else 0
+        return 0, domain
+
+    def check_access(self, tid: int, entry: TLBEntry,
+                     is_write: bool) -> bool:
+        if entry.domain == 0:
+            return entry.perm.allows(is_write=is_write)
+        cfg = self.config.domain_virt
+        self._note_thread(tid)
+        cached = self.ptlb.lookup(entry.domain)
+        if cached is not None:
+            self.stats.charge("access_latency", cfg.ptlb_access_cycles)
+        else:
+            self.stats.charge("ptlb_misses", cfg.ptlb_miss_cycles)
+            self.stats.ptlb_misses_count += 1
+            cached = PTLBEntry(domain=entry.domain,
+                               perm=self.pt.get(entry.domain, tid))
+            victim = self.ptlb.insert(cached)
+            if victim is not None and victim.dirty:
+                self.pt.set(victim.domain, tid, victim.perm)
+                self.stats.charge("entry_changes",
+                                  cfg.ptlb_entry_change_cycles)
+        return strictest(entry.perm, cached.perm).allows(is_write=is_write)
+
+    def context_switch(self, old_tid: int, new_tid: int) -> None:
+        """Write back dirty PTLB entries to the PT and flush; the TLB is
+        untouched — the design's headline advantage."""
+        cfg = self.config.domain_virt
+        dirty = self.ptlb.flush()
+        for entry in dirty:
+            self.pt.set(entry.domain, old_tid, entry.perm)
+            self.stats.charge("entry_changes",
+                              cfg.ptlb_entry_change_cycles)
+        self._current_tid = new_tid

@@ -1,0 +1,105 @@
+"""Domain Range Table (DRT) — VA → domain-ID radix tree of the DV design.
+
+Organized like the DTT but *without* permission information: a DRT walk,
+performed in parallel with the page-table walk on a TLB miss, yields only
+the 10-bit domain ID that is merged into the new TLB entry
+(Section IV-E).  Permissions live in the separate Permission Table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from ..errors import DomainError
+from ..os.address_space import GB1, MB2, VMA
+
+
+@dataclass
+class DRTEntry:
+    """A PMO-root entry: just the domain and its VA region."""
+
+    domain: int
+    base: int
+    reserved: int
+    granule: int
+    valid: bool = True
+
+
+def _level_indexes(vaddr: int) -> Tuple[int, int, int]:
+    return ((vaddr >> 30) & 0x3FFFF, (vaddr >> 21) & 0x1FF,
+            (vaddr >> 12) & 0x1FF)
+
+
+class DomainRangeTable:
+    """Radix VA → domain map; shallower than the page table by design."""
+
+    def __init__(self):
+        self._root: Dict[int, object] = {}
+        self._by_domain: Dict[int, DRTEntry] = {}
+        self.walk_count = 0
+
+    def add(self, vma: VMA) -> DRTEntry:
+        if vma.pmo_id in self._by_domain:
+            raise DomainError(f"domain {vma.pmo_id} already in DRT")
+        entry = DRTEntry(domain=vma.pmo_id, base=vma.base,
+                         reserved=vma.reserved, granule=vma.granule)
+        for chunk in range(vma.base, vma.base + vma.reserved, vma.granule):
+            i1, i2, i3 = _level_indexes(chunk)
+            if vma.granule == GB1:
+                self._root[i1] = entry
+            elif vma.granule == MB2:
+                node = self._root.setdefault(i1, {})
+                if not isinstance(node, dict):
+                    raise DomainError(f"VA {chunk:#x} overlaps a 1GB domain")
+                node[i2] = entry
+            else:
+                node = self._root.setdefault(i1, {})
+                if not isinstance(node, dict):
+                    raise DomainError(f"VA {chunk:#x} overlaps a 1GB domain")
+                leaf = node.setdefault(i2, {})
+                if not isinstance(leaf, dict):
+                    raise DomainError(f"VA {chunk:#x} overlaps a 2MB domain")
+                leaf[i3] = entry
+        self._by_domain[vma.pmo_id] = entry
+        return entry
+
+    def remove(self, domain: int) -> DRTEntry:
+        entry = self._by_domain.pop(domain, None)
+        if entry is None:
+            raise DomainError(f"domain {domain} not in DRT")
+        for chunk in range(entry.base, entry.base + entry.reserved,
+                           entry.granule):
+            i1, i2, i3 = _level_indexes(chunk)
+            if entry.granule == GB1:
+                self._root.pop(i1, None)
+            elif entry.granule == MB2:
+                node = self._root.get(i1)
+                if isinstance(node, dict):
+                    node.pop(i2, None)
+            else:
+                node = self._root.get(i1)
+                if isinstance(node, dict):
+                    leaf = node.get(i2)
+                    if isinstance(leaf, dict):
+                        leaf.pop(i3, None)
+        entry.valid = False
+        return entry
+
+    def walk(self, vaddr: int) -> Optional[DRTEntry]:
+        """VA → domain; ``None`` means the access is domainless (NULL)."""
+        self.walk_count += 1
+        i1, i2, i3 = _level_indexes(vaddr)
+        node = self._root.get(i1)
+        if node is None or isinstance(node, DRTEntry):
+            return node
+        node = node.get(i2)
+        if node is None or isinstance(node, DRTEntry):
+            return node
+        return node.get(i3)
+
+    def __contains__(self, domain: int) -> bool:
+        return domain in self._by_domain
+
+    def __len__(self) -> int:
+        return len(self._by_domain)

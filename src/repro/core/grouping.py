@@ -1,0 +1,147 @@
+"""Key-grouping analysis — quantifying Section IV-B's security argument.
+
+With only K protection keys and more than K domains, a programmer must
+group domains onto shared keys.  A key's permission must be the *least
+restrictive* of its domains' intended permissions (otherwise legitimate
+accesses break), so grouping can only **weaken** security: a thread may
+gain access it should not have.  The paper argues that *"despite the best
+clustering analysis ... we will still have cases where security is
+weakened"* — this module makes that argument executable:
+
+* :func:`weakening` counts the (thread, domain) permission escalations a
+  grouping causes;
+* :func:`greedy_grouping` builds a good grouping (merge the pair of
+  groups whose union costs least, repeatedly — agglomerative clustering
+  on permission vectors);
+* :func:`minimum_weakening` exhaustively verifies optimality on small
+  instances (used by tests to show even the *optimal* grouping weakens
+  security once domains outnumber keys and permissions conflict).
+
+Permissions are per (thread, domain): ``intents[domain][thread] → Perm``.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import Dict, List, Sequence, Tuple
+
+from ..permissions import Perm
+
+Intents = Dict[int, Dict[int, Perm]]
+Grouping = List[List[int]]
+
+
+def _group_perm(group: Sequence[int], intents: Intents,
+                threads: Sequence[int]) -> Dict[int, Perm]:
+    """The key's effective per-thread permission: the least restrictive
+    (maximum) intent over the group's domains."""
+    return {tid: max((intents[d].get(tid, Perm.NONE) for d in group),
+                     default=Perm.NONE)
+            for tid in threads}
+
+
+def _threads_of(intents: Intents) -> List[int]:
+    threads = set()
+    for per_thread in intents.values():
+        threads.update(per_thread)
+    return sorted(threads)
+
+
+def weakening(grouping: Grouping, intents: Intents) -> int:
+    """Count permission escalations the grouping causes.
+
+    One unit per (thread, domain) pair whose effective permission under
+    the shared key exceeds the intended permission; RW-instead-of-NONE
+    counts double (both read and write were granted unintentionally).
+    """
+    threads = _threads_of(intents)
+    cost = 0
+    for group in grouping:
+        effective = _group_perm(group, intents, threads)
+        for domain in group:
+            for tid in threads:
+                intended = intents[domain].get(tid, Perm.NONE)
+                cost += int(effective[tid]) - int(intended)
+    return cost
+
+
+def greedy_grouping(intents: Intents, n_keys: int) -> Grouping:
+    """Agglomerative grouping of domains onto ``n_keys`` keys.
+
+    Starts with one group per domain and repeatedly merges the pair whose
+    merged weakening increases least — the "best clustering analysis"
+    the paper grants the defender.
+    """
+    if n_keys < 1:
+        raise ValueError("need at least one key")
+    threads = _threads_of(intents)
+    groups: Grouping = [[domain] for domain in sorted(intents)]
+
+    def merge_cost(a: List[int], b: List[int]) -> int:
+        merged = a + b
+        effective = _group_perm(merged, intents, threads)
+        cost = 0
+        for domain in merged:
+            for tid in threads:
+                cost += int(effective[tid]) \
+                    - int(intents[domain].get(tid, Perm.NONE))
+        return cost - weakening([a], intents) - weakening([b], intents)
+
+    while len(groups) > n_keys:
+        best: Tuple[int, int, int] = None  # (cost, i, j)
+        for i, j in combinations(range(len(groups)), 2):
+            cost = merge_cost(groups[i], groups[j])
+            if best is None or cost < best[0]:
+                best = (cost, i, j)
+        _, i, j = best
+        groups[i] = groups[i] + groups[j]
+        del groups[j]
+    return groups
+
+
+def minimum_weakening(intents: Intents, n_keys: int) -> int:
+    """Exhaustive optimum (exponential — small instances only)."""
+    domains = sorted(intents)
+    if len(domains) > 10:
+        raise ValueError("exhaustive search is limited to 10 domains")
+
+    best = [None]
+
+    def assign(index: int, groups: Grouping) -> None:
+        if index == len(domains):
+            if len(groups) <= n_keys:
+                cost = weakening(groups, intents)
+                if best[0] is None or cost < best[0]:
+                    best[0] = cost
+            return
+        domain = domains[index]
+        for group in groups:
+            group.append(domain)
+            assign(index + 1, groups)
+            group.pop()
+        if len(groups) < n_keys:
+            groups.append([domain])
+            assign(index + 1, groups)
+            groups.pop()
+
+    assign(0, [])
+    return best[0] if best[0] is not None else 0
+
+
+def exposure_report(grouping: Grouping, intents: Intents) -> str:
+    """Human-readable list of the escalations a grouping causes."""
+    threads = _threads_of(intents)
+    lines = []
+    for key_index, group in enumerate(grouping):
+        effective = _group_perm(group, intents, threads)
+        for domain in sorted(group):
+            for tid in threads:
+                intended = intents[domain].get(tid, Perm.NONE)
+                if effective[tid] > intended:
+                    lines.append(
+                        f"key {key_index}: thread {tid} gains "
+                        f"{effective[tid].name} on domain {domain} "
+                        f"(intended {intended.name})")
+    if not lines:
+        return "no security weakening"
+    return "\n".join(lines)

@@ -1,0 +1,98 @@
+"""Default Intel MPK: 16 protection keys, per-thread PKRU, WRPKRU.
+
+This is the paper's "Default MPK" comparator (Table V).  Each attached PMO
+consumes a protection key via ``pkey_alloc``; the 17th concurrent domain
+fails, which is precisely the limitation both proposed designs remove.
+The PKRU is modelled per thread (it is saved/restored as thread state by
+the OS, as on real hardware).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..permissions import Perm, strictest
+from ..mem.page_table import vpn_of
+from ..mem.tlb import TLBEntry
+from ..os.address_space import VMA
+from ..os.process import NUM_PKEYS
+from .schemes import ProtectionScheme, register_scheme
+
+
+class PKRU:
+    """Per-thread register file of per-key permissions (16 x 2 bits)."""
+
+    def __init__(self):
+        self._by_tid: Dict[int, List[Perm]] = {}
+
+    def for_thread(self, tid: int) -> List[Perm]:
+        regs = self._by_tid.get(tid)
+        if regs is None:
+            # Key 0 (the NULL/default key) always allows access; all other
+            # keys start inaccessible, matching the evaluation setup where
+            # "the default permission for this key is inaccessible".  One
+            # extra slot accommodates virtualization schemes that use a
+            # full 16-key pool numbered 1..16.
+            regs = [Perm.NONE] * (NUM_PKEYS + 1)
+            regs[0] = Perm.RW
+            self._by_tid[tid] = regs
+        return regs
+
+    def set(self, tid: int, key: int, perm: Perm) -> None:
+        self.for_thread(tid)[key] = perm
+
+    def get(self, tid: int, key: int) -> Perm:
+        return self.for_thread(tid)[key]
+
+
+@register_scheme
+class MPKScheme(ProtectionScheme):
+    """Default MPK: one key per domain, hard 15-domain limit."""
+
+    name = "mpk"
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.pkru = PKRU()
+        self._key_of: Dict[int, int] = {}
+
+    # -- setup ---------------------------------------------------------------------
+
+    def attach_domain(self, vma: VMA, intent: Perm) -> None:
+        """pkey_alloc + pkey_mprotect over the PMO's region (setup cost).
+
+        Raises :class:`repro.errors.PkeyError` once the 15 allocatable
+        keys are gone — the scalability wall motivating the paper.
+        """
+        key = self.process.pkey_alloc()
+        self._key_of[vma.pmo_id] = key
+        vma.pkey = key
+        self.process.page_table.set_pkey_range(
+            vpn_of(vma.base), vma.reserved // 4096, key)
+
+    def detach_domain(self, domain: int) -> None:
+        key = self._key_of.pop(domain, None)
+        if key is not None:
+            self.process.pkey_free(key)
+
+    def set_initial_perm(self, domain: int, tid: int, perm: Perm) -> None:
+        self.pkru.set(tid, self._key_of[domain], perm)
+
+    # -- measured hooks ---------------------------------------------------------------
+
+    def perm_switch(self, tid: int, domain: int, perm: Perm) -> None:
+        self.stats.charge("perm_change", self.config.mpk.wrpkru_cycles)
+        self.pkru.set(tid, self._key_of[domain], perm)
+
+    def fill_tags(self, vma: VMA, tid: int) -> tuple:
+        return vma.pkey, vma.pmo_id
+
+    def check_access(self, tid: int, entry: TLBEntry,
+                     is_write: bool) -> bool:
+        if entry.pkey == 0:
+            return entry.perm.allows(is_write=is_write)
+        domain_perm = self.pkru.get(tid, entry.pkey)
+        return strictest(entry.perm, domain_perm).allows(is_write=is_write)
+
+    def context_switch(self, old_tid: int, new_tid: int) -> None:
+        """PKRU is saved/restored as part of thread state — free here."""

@@ -1,0 +1,23 @@
+"""Re-export of :mod:`repro.permissions` under its historical core path.
+
+The permission lattice is a leaf module used by every layer (PMO, OS,
+memory, schemes); it lives at the package root so substrate modules can
+import it without triggering this package's scheme imports.
+"""
+
+from ..permissions import (PKRU_AD, PKRU_WD, Perm, check_access, parse_perm,
+                           perm_to_pkru_bits, perm_to_ptlb_bits,
+                           pkru_bits_to_perm, ptlb_bits_to_perm, strictest)
+
+__all__ = [
+    "PKRU_AD",
+    "PKRU_WD",
+    "Perm",
+    "check_access",
+    "parse_perm",
+    "perm_to_pkru_bits",
+    "perm_to_ptlb_bits",
+    "pkru_bits_to_perm",
+    "ptlb_bits_to_perm",
+    "strictest",
+]

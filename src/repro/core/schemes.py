@@ -1,0 +1,124 @@
+"""Protection-scheme framework: the hooks the replay engine drives.
+
+A scheme models one of the paper's evaluated mechanisms.  The replay
+engine (``repro.cpu.timing``) calls:
+
+* :meth:`attach_domain` / :meth:`detach_domain` when the trace records an
+  attach/detach system call (setup, not charged);
+* :meth:`set_initial_perm` for attach-time default permissions (setup);
+* :meth:`perm_switch` for every SETPERM/WRPKRU permission switch;
+* :meth:`fill_tags` on a TLB miss, to produce the (pkey, domain) tags of
+  the new TLB entry — this is where MPK-virtualization consults the
+  DTTLB and may remap keys;
+* :meth:`check_access` on every load/store, with the TLB entry's tags —
+  this is where DV pays its PTLB lookup and every scheme enforces the
+  strictest of page and domain permission;
+* :meth:`context_switch` when the scheduler swaps threads.
+
+Schemes charge their extra cycles directly into the RunStats buckets, so
+the replay engine stays scheme-agnostic.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, List, Type
+
+from ..permissions import Perm
+from ..mem.tlb import TLBEntry, TwoLevelTLB
+from ..os.address_space import VMA
+from ..os.process import Process
+
+if TYPE_CHECKING:  # sim imports core.schemes; keep the reverse type-only
+    from ..sim.config import SimConfig
+    from ..sim.stats import RunStats
+
+
+class ProtectionScheme:
+    """Base class; the default implementation is the unprotected baseline."""
+
+    name = "baseline"
+
+    def __init__(self, config: SimConfig, process: Process,
+                 tlb: TwoLevelTLB, stats: RunStats):
+        self.config = config
+        self.process = process
+        self.tlb = tlb
+        self.stats = stats
+        stats.scheme = self.name
+
+    # -- setup hooks (attach/detach system calls; not part of measured cost) --
+
+    def attach_domain(self, vma: VMA, intent: Perm) -> None:
+        """A PMO was attached; its VMA carries the domain ID."""
+
+    def detach_domain(self, domain: int) -> None:
+        """A PMO was detached."""
+
+    def set_initial_perm(self, domain: int, tid: int, perm: Perm) -> None:
+        """Attach-time default permission for one thread (setup cost)."""
+
+    # -- measured hooks ----------------------------------------------------------
+
+    def perm_switch(self, tid: int, domain: int, perm: Perm) -> None:
+        """A SETPERM/WRPKRU-style user-level permission switch."""
+
+    def fill_tags(self, vma: VMA, tid: int) -> tuple:
+        """Tags for a new TLB entry: ``(pkey, domain)``."""
+        return 0, 0
+
+    def check_access(self, tid: int, entry: TLBEntry,
+                     is_write: bool) -> bool:
+        """Permission check for one load/store; True means legal."""
+        return True
+
+    def context_switch(self, old_tid: int, new_tid: int) -> None:
+        """The core switched threads; flush thread-specific state."""
+
+
+class NullProtection(ProtectionScheme):
+    """The unprotected baseline — all hooks free, all accesses legal."""
+
+    name = "baseline"
+
+    def fill_tags(self, vma: VMA, tid: int) -> tuple:
+        # Tag the domain (free) so PMO-access counts match other schemes.
+        return 0, vma.pmo_id
+
+
+class LowerboundScheme(NullProtection):
+    """Ideal MPK virtualization: only the WRPKRU instruction cost remains.
+
+    The paper's lowerbound executes the permission-granting/disabling
+    instructions but models no DTTLB/DTT penalty at all (Section V).
+    """
+
+    name = "lowerbound"
+
+    def perm_switch(self, tid: int, domain: int, perm: Perm) -> None:
+        self.stats.charge("perm_change", self.config.mpk.wrpkru_cycles)
+
+
+_REGISTRY: Dict[str, Type[ProtectionScheme]] = {}
+
+
+def register_scheme(cls: Type[ProtectionScheme]) -> Type[ProtectionScheme]:
+    """Class decorator adding a scheme to the global registry."""
+    _REGISTRY[cls.name] = cls
+    return cls
+
+
+def scheme_by_name(name: str) -> Type[ProtectionScheme]:
+    from . import libmpk, domain_virt, mpk, mpk_virt  # noqa: F401 (register)
+    if name not in _REGISTRY:
+        raise KeyError(
+            f"unknown scheme {name!r}; known: {sorted(_REGISTRY)}")
+    return _REGISTRY[name]
+
+
+def available_schemes() -> List[str]:
+    from . import libmpk, domain_virt, mpk, mpk_virt  # noqa: F401 (register)
+    return sorted(_REGISTRY)
+
+
+register_scheme(NullProtection)
+register_scheme(LowerboundScheme)

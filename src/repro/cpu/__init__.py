@@ -1,0 +1,21 @@
+"""CPU-side simulation: traces and the cycle-approximate replay engine."""
+
+from .timing import ReplayEngine
+from .tracefile import load_trace, save_trace
+from .trace import (ATTACH, CTXSW, DETACH, INIT_PERM, LOAD, PERM, STORE,
+                    Trace, TraceRecorder)
+
+__all__ = [
+    "ATTACH",
+    "CTXSW",
+    "DETACH",
+    "INIT_PERM",
+    "LOAD",
+    "PERM",
+    "STORE",
+    "ReplayEngine",
+    "load_trace",
+    "save_trace",
+    "Trace",
+    "TraceRecorder",
+]

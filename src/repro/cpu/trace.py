@@ -1,0 +1,141 @@
+"""Execution traces — the Pin-equivalent of the evaluation methodology.
+
+The paper obtains traces of the benchmarks with Intel Pin and replays them
+in Sniper with the protection schemes' extra events and latencies
+(Section V).  Here the instrumented workloads *generate* the trace
+directly: every load/store against pool or volatile memory is recorded
+with its virtual address, and the instrumentation inserts permission
+switches (WRPKRU/SETPERM) exactly where the methodology prescribes.
+
+Event encoding (plain tuples for replay speed):
+``(kind, tid, icount, a, b)`` where ``icount`` counts the instructions
+retired since the previous event (including this one) and ``a``/``b``
+are per-kind operands:
+
+===========  ==========================================
+LOAD/STORE   a = virtual address, b = access size
+PERM         a = domain ID,      b = Perm value
+INIT_PERM    a = domain ID,      b = Perm value (setup, uncharged)
+CTXSW        a = incoming tid    (tid field = outgoing)
+ATTACH       a = domain ID       (VMA looked up in side table)
+DETACH       a = domain ID
+===========  ==========================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from ..core.permissions import Perm
+from ..errors import TraceError
+from ..os.address_space import VMA
+
+LOAD = 0
+STORE = 1
+PERM = 2
+INIT_PERM = 3
+CTXSW = 4
+ATTACH = 5
+DETACH = 6
+FETCH = 7  #: instruction fetch (execute-only memory, Section II-B)
+
+KIND_NAMES = {LOAD: "load", STORE: "store", PERM: "perm",
+              INIT_PERM: "init_perm", CTXSW: "ctxsw", ATTACH: "attach",
+              DETACH: "detach", FETCH: "fetch"}
+
+#: Instructions modelled per memory access (the access itself plus the
+#: address arithmetic / loop control around it).
+ICOUNT_PER_ACCESS = 3
+#: Instructions modelled per permission switch (the SETPERM/WRPKRU).
+ICOUNT_PER_PERM = 1
+
+
+@dataclass
+class Trace:
+    """An immutable recorded execution."""
+
+    events: List[Tuple[int, int, int, int, int]]
+    #: domain -> (vma, intent) for replaying attach events.
+    attach_info: Dict[int, Tuple[VMA, Perm]]
+    total_instructions: int = 0
+    label: str = ""
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def counts(self) -> Dict[str, int]:
+        """Histogram of event kinds (debugging/report aid)."""
+        out: Dict[str, int] = {}
+        for event in self.events:
+            name = KIND_NAMES[event[0]]
+            out[name] = out.get(name, 0) + 1
+        return out
+
+
+class TraceRecorder:
+    """Builds a :class:`Trace`; the instrumented workloads drive this."""
+
+    def __init__(self, label: str = ""):
+        self._events: List[Tuple[int, int, int, int, int]] = []
+        self._attach_info: Dict[int, Tuple[VMA, Perm]] = {}
+        self._pending_icount = 0
+        self._total_instructions = 0
+        self._finished = False
+        self.label = label
+
+    # -- instruction accounting -----------------------------------------------
+
+    def compute(self, instructions: int) -> None:
+        """Model ``instructions`` of non-memory work before the next event."""
+        self._pending_icount += instructions
+
+    def _emit(self, kind: int, tid: int, icount: int, a: int, b: int) -> None:
+        if self._finished:
+            raise TraceError("recorder already finished")
+        icount += self._pending_icount
+        self._pending_icount = 0
+        self._total_instructions += icount
+        self._events.append((kind, tid, icount, a, b))
+
+    # -- events --------------------------------------------------------------------
+
+    def load(self, tid: int, vaddr: int, size: int = 8) -> None:
+        self._emit(LOAD, tid, ICOUNT_PER_ACCESS, vaddr, size)
+
+    def store(self, tid: int, vaddr: int, size: int = 8) -> None:
+        self._emit(STORE, tid, ICOUNT_PER_ACCESS, vaddr, size)
+
+    def fetch(self, tid: int, vaddr: int, size: int = 8) -> None:
+        """An instruction fetch: legal even from execute-only domains
+        (MPK's access-disable blocks data reads/writes, not execution —
+        Section II-B)."""
+        self._emit(FETCH, tid, ICOUNT_PER_ACCESS, vaddr, size)
+
+    def perm(self, tid: int, domain: int, perm: Perm) -> None:
+        """A measured SETPERM/WRPKRU permission switch."""
+        self._emit(PERM, tid, ICOUNT_PER_PERM, domain, int(perm))
+
+    def init_perm(self, tid: int, domain: int, perm: Perm) -> None:
+        """Attach-time default permission (setup; replayed uncharged)."""
+        self._emit(INIT_PERM, tid, 0, domain, int(perm))
+
+    def context_switch(self, old_tid: int, new_tid: int) -> None:
+        self._emit(CTXSW, old_tid, 0, new_tid, 0)
+
+    def attach(self, domain: int, vma: VMA, intent: Perm) -> None:
+        self._attach_info[domain] = (vma, intent)
+        self._emit(ATTACH, 0, 0, domain, 0)
+
+    def detach(self, domain: int) -> None:
+        self._emit(DETACH, 0, 0, domain, 0)
+
+    # -- completion --------------------------------------------------------------------
+
+    def finish(self) -> Trace:
+        if self._finished:
+            raise TraceError("recorder already finished")
+        self._finished = True
+        return Trace(events=self._events, attach_info=self._attach_info,
+                     total_instructions=self._total_instructions,
+                     label=self.label)

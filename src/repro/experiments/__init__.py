@@ -1,0 +1,34 @@
+"""Experiment drivers: one module per table/figure of the paper."""
+
+from .figure6 import report_figure6, run_figure6
+from .figure7 import report_figure7, run_figure7
+from .runner import ExperimentRunner
+from .table2 import report_table2, run_table2
+from .table5 import report_table5, run_table5
+from .table6 import report_table6, run_table6
+from .table7 import report_table7, run_table7
+from .table8 import report_table8, run_table8
+from .sensitivity import report_sweep, sweep_config
+from .validate import render_markdown, run_validation
+
+__all__ = [
+    "ExperimentRunner",
+    "report_figure6",
+    "report_figure7",
+    "report_table2",
+    "report_table5",
+    "report_table6",
+    "report_table7",
+    "report_table8",
+    "run_figure6",
+    "run_figure7",
+    "run_table2",
+    "run_table5",
+    "run_table6",
+    "run_table7",
+    "run_table8",
+    "run_validation",
+    "render_markdown",
+    "report_sweep",
+    "sweep_config",
+]

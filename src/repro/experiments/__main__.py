@@ -1,0 +1,38 @@
+"""CLI: regenerate any table/figure, e.g. ``python -m repro.experiments table5``."""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from . import (report_figure6, report_figure7, report_table2, report_table5,
+               report_table6, report_table7, report_table8)
+
+REPORTS = {
+    "table2": lambda: report_table2(),
+    "table5": lambda: report_table5(),
+    "table6": lambda: report_table6(),
+    "table7": lambda: report_table7(),
+    "table8": lambda: report_table8(),
+    "figure6": lambda: report_figure6(),
+    "figure7": lambda: report_figure7(),
+}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Regenerate the paper's tables and figures.")
+    parser.add_argument("targets", nargs="+",
+                        choices=sorted(REPORTS) + ["all"],
+                        help="which table/figure to regenerate")
+    args = parser.parse_args(argv)
+    targets = sorted(REPORTS) if "all" in args.targets else args.targets
+    for target in targets:
+        print(REPORTS[target]())
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,79 @@
+"""Figure 6 — overhead vs number of PMOs, per microbenchmark.
+
+For each benchmark and PMO count in the sweep, the execution-time
+overhead of libmpk, hardware MPK virtualization and hardware domain
+virtualization, expressed (like the paper's y-axis) as the percentage
+slowdown over the lowerbound.
+
+Expected shape: libmpk far above both hardware schemes; MPK
+virtualization near-zero at small PMO counts (working set TLB-resident,
+no key remaps) and rising as the TLB starts thrashing; domain
+virtualization flat and low; a crossover between the two hardware schemes
+whose position depends on the benchmark's locality (later for B+ tree).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from ..sim.simulator import MULTI_PMO_SCHEMES, overhead_over_lowerbound
+from ..workloads.micro import MICRO_BENCHMARKS, MICRO_LABELS
+from .reporting import format_table, log2_chart
+from .runner import ExperimentRunner, sweep_points
+
+FIGURE6_SCHEMES = ("libmpk", "mpk_virt", "domain_virt")
+
+
+def run_figure6(runner: Optional[ExperimentRunner] = None,
+                benchmarks: Sequence[str] = MICRO_BENCHMARKS,
+                points: Optional[Sequence[int]] = None,
+                ) -> Dict[str, Dict[str, Dict[int, float]]]:
+    """Sweep the PMO count; returns benchmark → scheme → {n: overhead%}.
+
+    The sweep is the most expensive experiment, so results are memoised
+    on the runner (Figure 7 and Table VII consumers reuse them).
+    """
+    runner = runner or ExperimentRunner()
+    points = tuple(points) if points is not None else sweep_points()
+    cache_key = (tuple(benchmarks), points)
+    cache = getattr(runner, "_figure6_cache", None)
+    if cache is None:
+        cache = runner._figure6_cache = {}
+    if cache_key in cache:
+        return cache[cache_key]
+    data: Dict[str, Dict[str, Dict[int, float]]] = {}
+    for benchmark in benchmarks:
+        series: Dict[str, Dict[int, float]] = {
+            scheme: {} for scheme in FIGURE6_SCHEMES}
+        for n_pools in points:
+            results = runner.replay_micro(benchmark, n_pools,
+                                          MULTI_PMO_SCHEMES)
+            for scheme in FIGURE6_SCHEMES:
+                series[scheme][n_pools] = overhead_over_lowerbound(
+                    results, scheme)
+            runner.drop_micro_trace(benchmark, n_pools)
+        data[benchmark] = series
+    cache[cache_key] = data
+    return data
+
+
+def report_figure6(runner: Optional[ExperimentRunner] = None,
+                   benchmarks: Sequence[str] = MICRO_BENCHMARKS,
+                   points: Optional[Sequence[int]] = None) -> str:
+    data = run_figure6(runner, benchmarks, points)
+    sections: List[str] = []
+    for benchmark, series in data.items():
+        xs = sorted(next(iter(series.values())))
+        headers = ["Scheme"] + [f"{x} PMOs" for x in xs]
+        rows = [[scheme] + [series[scheme][x] for x in xs]
+                for scheme in FIGURE6_SCHEMES]
+        sections.append(format_table(
+            f"Figure 6 [{MICRO_LABELS[benchmark]}]: overhead% over "
+            "lowerbound vs #PMOs", headers, rows))
+        sections.append(log2_chart(
+            f"{MICRO_LABELS[benchmark]} (log2 view)", series))
+    return "\n\n".join(sections)
+
+
+if __name__ == "__main__":  # pragma: no cover - CLI convenience
+    print(report_figure6())

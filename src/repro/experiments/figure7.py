@@ -1,0 +1,75 @@
+"""Figure 7 — average overhead across microbenchmarks + speedups vs libmpk.
+
+Averages Figure 6's series over the five microbenchmarks and reports, at
+each PMO count, how many times faster each hardware scheme's *overhead*
+is than libmpk's (the paper quotes 10.1x / 25.8x at 64 PMOs and
+10.6x / 52.5x at 1024 PMOs).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from ..workloads.micro import MICRO_BENCHMARKS
+from .figure6 import FIGURE6_SCHEMES, run_figure6
+from .reporting import format_table, log2_chart
+from .runner import ExperimentRunner
+
+
+def average_series(data: Dict[str, Dict[str, Dict[int, float]]]
+                   ) -> Dict[str, Dict[int, float]]:
+    """Average the per-benchmark Figure 6 series (arithmetic mean)."""
+    averaged: Dict[str, Dict[int, float]] = {}
+    benchmarks = list(data)
+    for scheme in FIGURE6_SCHEMES:
+        xs = sorted(data[benchmarks[0]][scheme])
+        averaged[scheme] = {
+            x: sum(data[b][scheme][x] for b in benchmarks) / len(benchmarks)
+            for x in xs}
+    return averaged
+
+
+def speedups_vs_libmpk(averaged: Dict[str, Dict[int, float]]
+                       ) -> Dict[str, Dict[int, float]]:
+    """Overhead ratio libmpk / scheme at each PMO count."""
+    out: Dict[str, Dict[int, float]] = {}
+    for scheme in ("mpk_virt", "domain_virt"):
+        out[scheme] = {}
+        for x, libmpk_overhead in averaged["libmpk"].items():
+            own = averaged[scheme][x]
+            out[scheme][x] = libmpk_overhead / own if own > 0 else float("inf")
+    return out
+
+
+def run_figure7(runner: Optional[ExperimentRunner] = None,
+                benchmarks: Sequence[str] = MICRO_BENCHMARKS,
+                points: Optional[Sequence[int]] = None):
+    data = run_figure6(runner, benchmarks, points)
+    averaged = average_series(data)
+    return averaged, speedups_vs_libmpk(averaged)
+
+
+def report_figure7(runner: Optional[ExperimentRunner] = None,
+                   benchmarks: Sequence[str] = MICRO_BENCHMARKS,
+                   points: Optional[Sequence[int]] = None) -> str:
+    averaged, speedups = run_figure7(runner, benchmarks, points)
+    xs = sorted(averaged["libmpk"])
+    headers = ["Scheme"] + [f"{x} PMOs" for x in xs]
+    rows: List[List[object]] = [
+        [scheme] + [averaged[scheme][x] for x in xs]
+        for scheme in FIGURE6_SCHEMES]
+    table = format_table(
+        "Figure 7: average overhead% over lowerbound (all benchmarks)",
+        headers, rows)
+    speedup_rows = [
+        [f"libmpk / {scheme}"] + [speedups[scheme][x] for x in xs]
+        for scheme in ("mpk_virt", "domain_virt")]
+    speedup_table = format_table(
+        "Figure 7: overhead reduction vs libmpk (x faster)",
+        headers, speedup_rows)
+    chart = log2_chart("Figure 7 averages (log2 view)", averaged)
+    return "\n\n".join([table, speedup_table, chart])
+
+
+if __name__ == "__main__":  # pragma: no cover - CLI convenience
+    print(report_figure7())

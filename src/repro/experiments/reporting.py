@@ -1,0 +1,62 @@
+"""Plain-text rendering of experiment results (tables and ASCII charts)."""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Sequence
+
+
+def format_table(title: str, headers: Sequence[str],
+                 rows: Sequence[Sequence[object]]) -> str:
+    """Render an aligned text table with a title rule."""
+    cells = [[str(h) for h in headers]]
+    for row in rows:
+        cells.append([_fmt(value) for value in row])
+    widths = [max(len(row[col]) for row in cells)
+              for col in range(len(headers))]
+    lines = [title, "=" * max(len(title), sum(widths) + 2 * len(widths))]
+    for i, row in enumerate(cells):
+        lines.append("  ".join(cell.ljust(width)
+                               for cell, width in zip(row, widths)).rstrip())
+        if i == 0:
+            lines.append("-" * len(lines[-1]))
+    return "\n".join(lines)
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        return f"{value:.2f}"
+    if isinstance(value, int) and abs(value) >= 10000:
+        return f"{value:,}"
+    return str(value)
+
+
+def log2_chart(title: str, series: Dict[str, Dict[int, float]],
+               *, width: int = 60, floor: float = 0.25) -> str:
+    """ASCII rendition of Figure 6's log2-percent axis.
+
+    ``series`` maps scheme name → {n_pmos: overhead_percent}.  One row per
+    (x, scheme); bar length is log2(percent) scaled, mirroring the paper's
+    2^k y-axis.
+    """
+    xs = sorted({x for points in series.values() for x in points})
+    peak = max((max(points.values()) for points in series.values()
+                if points), default=1.0)
+    peak_log = max(math.log2(max(peak, 2 * floor) / floor), 1.0)
+    lines = [title, "-" * len(title),
+             f"(bar length ~ log2 of %-overhead over lowerbound; "
+             f"floor {floor}%)"]
+    for x in xs:
+        lines.append(f"PMOs={x}:")
+        for name, points in series.items():
+            if x not in points:
+                continue
+            value = points[x]
+            magnitude = math.log2(max(value, floor) / floor)
+            bar = "#" * max(int(width * magnitude / peak_log), 0)
+            lines.append(f"  {name:12s} {value:10.2f}% |{bar}")
+    return "\n".join(lines)

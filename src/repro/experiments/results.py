@@ -1,0 +1,95 @@
+"""Results archive: persist experiment outcomes as JSON for later diffing.
+
+A sweep that takes minutes should not have to rerun to be re-analyzed.
+:class:`ResultsArchive` stores one JSON document per named run (replay
+stats via :meth:`RunStats.to_dict`, plus arbitrary metadata like the
+parameters used), and can diff two archives to show how a code or
+configuration change moved every number.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import time
+from typing import Dict, Iterable, List, Optional, Tuple, Union
+
+from ..sim.stats import RunStats
+
+PathLike = Union[str, pathlib.Path]
+
+
+class ResultsArchive:
+    """A directory of ``<name>.json`` experiment records."""
+
+    def __init__(self, root: PathLike):
+        self.root = pathlib.Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    def _path(self, name: str) -> pathlib.Path:
+        if "/" in name or name.startswith("."):
+            raise ValueError(f"invalid record name {name!r}")
+        return self.root / f"{name}.json"
+
+    # -- writing ------------------------------------------------------------------
+
+    def store(self, name: str, results: Dict[str, RunStats],
+              *, metadata: Optional[dict] = None,
+              timestamp: Optional[float] = None) -> pathlib.Path:
+        """Persist one experiment's per-scheme stats (plus metadata)."""
+        baseline = results.get("baseline")
+        base_cycles = baseline.cycles if baseline else 0.0
+        document = {
+            "name": name,
+            "saved_at": timestamp if timestamp is not None else time.time(),
+            "metadata": metadata or {},
+            "schemes": {scheme: stats.to_dict(baseline=base_cycles)
+                        for scheme, stats in results.items()},
+        }
+        path = self._path(name)
+        path.write_text(json.dumps(document, indent=2, sort_keys=True))
+        return path
+
+    # -- reading ----------------------------------------------------------------------
+
+    def load(self, name: str) -> dict:
+        path = self._path(name)
+        if not path.exists():
+            raise FileNotFoundError(f"no record named {name!r} in "
+                                    f"{self.root}")
+        return json.loads(path.read_text())
+
+    def names(self) -> List[str]:
+        return sorted(path.stem for path in self.root.glob("*.json"))
+
+    def __contains__(self, name: str) -> bool:
+        return self._path(name).exists()
+
+    # -- comparison -------------------------------------------------------------------
+
+    def diff(self, name: str, other: "ResultsArchive",
+             *, fields: Iterable[str] = ("cycles", "overhead_percent"),
+             ) -> List[Tuple[str, str, float, float, float]]:
+        """Compare one record across two archives.
+
+        Returns ``(scheme, field, here, there, ratio)`` rows for every
+        scheme/field present in both records.
+        """
+        here = self.load(name)["schemes"]
+        there = other.load(name)["schemes"]
+        rows = []
+        for scheme in sorted(set(here) & set(there)):
+            for field in fields:
+                a = here[scheme].get(field)
+                b = there[scheme].get(field)
+                if a is None or b is None:
+                    continue
+                ratio = (a / b) if b else float("inf") if a else 1.0
+                rows.append((scheme, field, a, b, ratio))
+        return rows
+
+
+def significant_changes(diff_rows, *, threshold: float = 0.05):
+    """Filter diff rows whose ratio moved more than ``threshold``."""
+    return [row for row in diff_rows
+            if abs(row[4] - 1.0) > threshold]

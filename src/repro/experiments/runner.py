@@ -1,0 +1,92 @@
+"""Shared experiment plumbing: scaling knobs and trace caching.
+
+Every experiment driver goes through :class:`ExperimentRunner`, which
+
+* scales operation counts via the ``REPRO_OPS`` environment variable
+  (a float multiplier; 1.0 = the defaults used in CI-sized runs), and
+* caches generated traces per (suite, benchmark, n_pools) so the sweep of
+  Figure 6/7 and the breakdown of Table VII reuse each trace instead of
+  regenerating it.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, Iterable, Optional, Tuple
+
+from ..cpu.trace import Trace
+from ..sim.config import DEFAULT_CONFIG, SimConfig
+from ..sim.simulator import replay_trace
+from ..sim.stats import RunStats
+from ..workloads.base import Workspace
+from ..workloads.micro import MicroParams, generate_micro_trace
+from ..workloads.whisper import WhisperParams, generate_whisper_trace
+
+#: PMO counts of the Figure 6/7 sweep (the paper uses stride 16 from 16
+#: to 1024; powers of two keep runtimes sane while preserving the shape).
+DEFAULT_SWEEP = (16, 32, 64, 128, 256, 512, 1024)
+
+
+def ops_scale() -> float:
+    """The REPRO_OPS multiplier (defaults to 1.0)."""
+    return float(os.environ.get("REPRO_OPS", "1.0"))
+
+
+def sweep_points() -> Tuple[int, ...]:
+    """The REPRO_SWEEP PMO counts (comma-separated), or the default."""
+    raw = os.environ.get("REPRO_SWEEP")
+    if not raw:
+        return DEFAULT_SWEEP
+    return tuple(int(part) for part in raw.split(","))
+
+
+class ExperimentRunner:
+    """Generates, caches, and replays benchmark traces."""
+
+    def __init__(self, config: Optional[SimConfig] = None,
+                 *, scale: Optional[float] = None):
+        self.config = config or DEFAULT_CONFIG
+        self.scale = ops_scale() if scale is None else scale
+        self._micro_cache: Dict[Tuple[str, int], Tuple[Trace, Workspace]] = {}
+        self._whisper_cache: Dict[str, Tuple[Trace, Workspace]] = {}
+
+    # -- trace generation ---------------------------------------------------------
+
+    def micro_trace(self, benchmark: str, n_pools: int,
+                    **overrides) -> Tuple[Trace, Workspace]:
+        key = (benchmark, n_pools)
+        if key not in self._micro_cache or overrides:
+            params = MicroParams(benchmark=benchmark, n_pools=n_pools,
+                                 **overrides).scaled(self.scale)
+            generated = generate_micro_trace(params)
+            if overrides:
+                return generated
+            self._micro_cache[key] = generated
+        return self._micro_cache[key]
+
+    def whisper_trace(self, benchmark: str,
+                      **overrides) -> Tuple[Trace, Workspace]:
+        if benchmark not in self._whisper_cache or overrides:
+            params = WhisperParams(benchmark=benchmark,
+                                   **overrides).scaled(self.scale)
+            generated = generate_whisper_trace(params)
+            if overrides:
+                return generated
+            self._whisper_cache[benchmark] = generated
+        return self._whisper_cache[benchmark]
+
+    # -- replay ------------------------------------------------------------------------
+
+    def replay_micro(self, benchmark: str, n_pools: int,
+                     schemes: Iterable[str]) -> Dict[str, RunStats]:
+        trace, ws = self.micro_trace(benchmark, n_pools)
+        return replay_trace(trace, ws, schemes, self.config)
+
+    def replay_whisper(self, benchmark: str,
+                       schemes: Iterable[str]) -> Dict[str, RunStats]:
+        trace, ws = self.whisper_trace(benchmark)
+        return replay_trace(trace, ws, schemes, self.config)
+
+    def drop_micro_trace(self, benchmark: str, n_pools: int) -> None:
+        """Free a cached trace (the 1024-PMO workspaces are large)."""
+        self._micro_cache.pop((benchmark, n_pools), None)

@@ -1,0 +1,86 @@
+"""Configuration sensitivity sweeps — generalized ablation machinery.
+
+Sweeps one configuration field over a list of values, re-replaying a
+cached trace per value, and reports how each scheme's overhead moves.
+The ablation benchmarks are thin wrappers over this; it is also directly
+usable::
+
+    from repro.experiments.sensitivity import sweep_config
+    rows = sweep_config("mpk_virt.tlb_invalidation_cycles",
+                        [143, 286, 572], benchmark="avl", n_pools=256)
+
+Field paths are ``section.field`` against :class:`repro.sim.SimConfig`;
+the special section ``both`` applies the field to ``mpk_virt`` *and*
+``libmpk`` (for parameters they share, like shootdown cost).
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import List, Optional, Sequence
+
+from ..sim.config import DEFAULT_CONFIG, SimConfig
+from ..sim.simulator import (MULTI_PMO_SCHEMES, overhead_over_lowerbound,
+                             replay_trace)
+from ..workloads.micro import MicroParams, generate_micro_trace
+from .reporting import format_table
+
+SWEPT_SCHEMES = ("libmpk", "mpk_virt", "domain_virt")
+
+
+def apply_override(config: SimConfig, field_path: str, value) -> SimConfig:
+    """Return a config copy with ``section.field`` (or ``both.field``)
+    replaced by ``value``."""
+    section_name, _, field_name = field_path.partition(".")
+    if not field_name:
+        raise ValueError(f"field path {field_path!r} must be "
+                         "'section.field'")
+    sections = (["mpk_virt", "libmpk"] if section_name == "both"
+                else [section_name])
+    overrides = {}
+    for name in sections:
+        section = getattr(config, name, None)
+        if section is None or not hasattr(section, field_name):
+            raise ValueError(
+                f"unknown configuration field {name}.{field_name}")
+        overrides[name] = replace(section, **{field_name: value})
+    return config.with_overrides(**overrides)
+
+
+def sweep_config(field_path: str, values: Sequence,
+                 *, benchmark: str = "avl", n_pools: int = 256,
+                 operations: int = 1200,
+                 base_config: Optional[SimConfig] = None
+                 ) -> List[List[object]]:
+    """Sweep one field; returns rows [label, libmpk%, mpk_virt%, dv%]."""
+    base_config = base_config or DEFAULT_CONFIG
+    trace, ws = generate_micro_trace(MicroParams(
+        benchmark=benchmark, n_pools=n_pools, operations=operations))
+    rows: List[List[object]] = []
+    for value in values:
+        config = apply_override(base_config, field_path, value)
+        results = replay_trace(trace, ws, MULTI_PMO_SCHEMES, config)
+        rows.append([f"{field_path}={value}"]
+                    + [overhead_over_lowerbound(results, scheme)
+                       for scheme in SWEPT_SCHEMES])
+    return rows
+
+
+def report_sweep(field_path: str, values: Sequence, **kwargs) -> str:
+    rows = sweep_config(field_path, values, **kwargs)
+    benchmark = kwargs.get("benchmark", "avl")
+    n_pools = kwargs.get("n_pools", 256)
+    return format_table(
+        f"Sensitivity: {field_path} ({benchmark}, {n_pools} PMOs, "
+        "% over lowerbound)",
+        ["Variant"] + list(SWEPT_SCHEMES), rows)
+
+
+def elasticity(rows: List[List[object]], scheme: str) -> float:
+    """Relative overhead change across the sweep: last/first for one
+    scheme column (1.0 = insensitive)."""
+    index = 1 + SWEPT_SCHEMES.index(scheme)
+    first, last = rows[0][index], rows[-1][index]
+    if first == 0:
+        return float("inf") if last else 1.0
+    return last / first

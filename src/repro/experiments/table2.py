@@ -1,0 +1,54 @@
+"""Table II — simulation parameters, rendered from the live configuration."""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..sim.config import DEFAULT_CONFIG, SimConfig
+from .reporting import format_table
+
+HEADERS = ("Component", "Configuration")
+
+
+def run_table2(config: Optional[SimConfig] = None) -> List[List[str]]:
+    cfg = config or DEFAULT_CONFIG
+    ghz = cfg.processor.frequency_hz / 1e9
+    return [
+        ["Processor",
+         f"{ghz:.1f} GHz, {cfg.processor.issue_width}-way issue OoO, "
+         f"{cfg.processor.rob_entries}-entry ROB"],
+        ["Cache",
+         f"L1D {cfg.cache.l1_ways}-way {cfg.cache.l1_size >> 10}KB "
+         f"{cfg.cache.l1_latency} cycle; "
+         f"L2 {cfg.cache.l2_ways}-way {cfg.cache.l2_size >> 20}MB "
+         f"{cfg.cache.l2_latency} cycles"],
+        ["Memory",
+         f"DRAM {cfg.memory.dram_latency} cycles; "
+         f"NVM {cfg.memory.nvm_latency} cycles"],
+        ["TLB",
+         f"L1 {cfg.tlb.l1_entries}-entry {cfg.tlb.l1_ways}-way; "
+         f"L2 {cfg.tlb.l2_entries}-entry {cfg.tlb.l2_ways}-way; "
+         f"{cfg.tlb.miss_penalty}-cycle miss penalty"],
+        ["MPK", f"WRPKRU: {cfg.mpk.wrpkru_cycles} cycles"],
+        ["MPK Virtualization",
+         f"DTTLB {cfg.mpk_virt.dttlb_entries} entries; "
+         f"DTTLB miss {cfg.mpk_virt.dttlb_miss_cycles} cycles; "
+         f"TLB invalidation {cfg.mpk_virt.tlb_invalidation_cycles} cycles"],
+        ["Domain Virtualization",
+         f"PTLB {cfg.domain_virt.ptlb_entries} entries; "
+         f"access {cfg.domain_virt.ptlb_access_cycles} cycle; "
+         f"miss {cfg.domain_virt.ptlb_miss_cycles} cycles"],
+        ["libmpk model",
+         f"exception {cfg.libmpk.exception_cycles}; "
+         f"syscall {cfg.libmpk.syscall_cycles}; "
+         f"PTE write {cfg.libmpk.pte_write_cycles} cycles"],
+    ]
+
+
+def report_table2(config: Optional[SimConfig] = None) -> str:
+    return format_table("Table II: simulation parameters", HEADERS,
+                        run_table2(config))
+
+
+if __name__ == "__main__":  # pragma: no cover - CLI convenience
+    print(report_table2())

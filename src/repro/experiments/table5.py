@@ -1,0 +1,57 @@
+"""Table V — single-PMO WHISPER overheads.
+
+For each WHISPER benchmark: the permission-switch rate (switches per
+second of baseline execution) and the overhead of default MPK, hardware
+MPK virtualization and hardware domain virtualization over the
+unprotected baseline.
+
+Expected shape (paper values in EXPERIMENTS.md): overheads of a few
+percent at ~10^6 switches/sec; MPK virtualization identical to default
+MPK (a single PMO never evicts a key); domain virtualization slightly
+higher (the PTLB lookup rides on every PMO access).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..sim.simulator import SINGLE_PMO_SCHEMES
+from ..workloads.whisper import WHISPER_BENCHMARKS, WHISPER_LABELS
+from .reporting import format_table
+from .runner import ExperimentRunner
+
+HEADERS = ("Benchmark", "Switches/sec", "MPK %", "MPK Virt %",
+           "Domain Virt %")
+
+
+def run_table5(runner: Optional[ExperimentRunner] = None,
+               benchmarks=WHISPER_BENCHMARKS) -> List[List[object]]:
+    """Compute Table V rows; returns one row per benchmark plus Average."""
+    runner = runner or ExperimentRunner()
+    frequency = runner.config.processor.frequency_hz
+    rows: List[List[object]] = []
+    sums = [0.0, 0.0, 0.0, 0.0]
+    for benchmark in benchmarks:
+        results = runner.replay_whisper(benchmark, SINGLE_PMO_SCHEMES)
+        base = results["baseline"].cycles
+        switches_per_sec = results["mpk"].switches_per_second(frequency, base)
+        row = [WHISPER_LABELS[benchmark], switches_per_sec]
+        for i, scheme in enumerate(SINGLE_PMO_SCHEMES):
+            overhead = results[scheme].overhead_percent(base)
+            row.append(overhead)
+            sums[i + 1] += overhead
+        sums[0] += switches_per_sec
+        rows.append(row)
+    count = len(benchmarks)
+    rows.append(["Average"] + [total / count for total in sums])
+    return rows
+
+
+def report_table5(runner: Optional[ExperimentRunner] = None) -> str:
+    return format_table(
+        "Table V: single-PMO WHISPER overheads (MPK vs virtualization)",
+        HEADERS, run_table5(runner))
+
+
+if __name__ == "__main__":  # pragma: no cover - CLI convenience
+    print(report_table5())

@@ -1,0 +1,46 @@
+"""Table VI — multi-PMO lowerbound overheads and switch frequencies.
+
+For each microbenchmark at the full PMO count: permission switches per
+second of baseline time, and the lowerbound overhead (the cost of just
+executing the permission-granting/disabling instructions).
+
+Expected shape: String Swap highest (smallest operations), Linked List
+lowest (long traversals per switch pair).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..workloads.micro import MICRO_BENCHMARKS, MICRO_LABELS
+from .reporting import format_table
+from .runner import ExperimentRunner
+
+HEADERS = ("Benchmark", "Switches/sec", "Lowerbound overhead %")
+
+
+def run_table6(runner: Optional[ExperimentRunner] = None,
+               *, n_pools: int = 1024,
+               benchmarks=MICRO_BENCHMARKS) -> List[List[object]]:
+    runner = runner or ExperimentRunner()
+    frequency = runner.config.processor.frequency_hz
+    rows: List[List[object]] = []
+    for benchmark in benchmarks:
+        results = runner.replay_micro(benchmark, n_pools, ("lowerbound",))
+        base = results["baseline"].cycles
+        stats = results["lowerbound"]
+        rows.append([MICRO_LABELS[benchmark],
+                     stats.switches_per_second(frequency, base),
+                     stats.overhead_percent(base)])
+    return rows
+
+
+def report_table6(runner: Optional[ExperimentRunner] = None,
+                  *, n_pools: int = 1024) -> str:
+    return format_table(
+        f"Table VI: lowerbound overhead / switch rates ({n_pools} PMOs)",
+        HEADERS, run_table6(runner, n_pools=n_pools))
+
+
+if __name__ == "__main__":  # pragma: no cover - CLI convenience
+    print(report_table6())

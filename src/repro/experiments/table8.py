@@ -1,0 +1,39 @@
+"""Table VIII — area overhead summary of the two designs."""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..sim.area import domain_virt_area, mpk_virt_area
+from .reporting import format_table
+
+HEADERS = ("", "Hardware-based MPK Virtualization", "Domain Virtualization")
+
+
+def run_table8(*, max_domains: int = 1024,
+               max_threads: int = 1024) -> List[List[object]]:
+    mpkv = mpk_virt_area(max_domains=max_domains, max_threads=max_threads)
+    dv = domain_virt_area(max_domains=max_domains, max_threads=max_threads)
+    return [
+        ["New registers/core",
+         f"{mpkv.registers_per_core} x 64-bit",
+         f"{dv.registers_per_core} x 64-bit"],
+        ["Dedicated buffer/core",
+         f"{mpkv.buffer_bytes_per_core} bytes",
+         f"{dv.buffer_bytes_per_core} bytes"],
+        ["Other changes",
+         "No",
+         f"Extend {dv.tlb_extra_bits_per_entry} bits per TLB entry"],
+        ["Memory usage/process",
+         f"{mpkv.memory_bytes_per_process >> 10} KB (DTT)",
+         f"{dv.memory_bytes_per_process >> 10} KB (DRT + PT)"],
+    ]
+
+
+def report_table8(**kwargs) -> str:
+    return format_table("Table VIII: area overhead summary",
+                        HEADERS, run_table8(**kwargs))
+
+
+if __name__ == "__main__":  # pragma: no cover - CLI convenience
+    print(report_table8())

@@ -1,0 +1,22 @@
+"""Memory hierarchy: physical memory, page table, TLBs, caches."""
+
+from .cache import LINE_SIZE, CacheHierarchy, CacheLevel
+from .memory import NVM_FRAME_BASE, PhysicalMemory
+from .page_table import NULL_DOMAIN, NULL_PKEY, PTE, PageTable, vpn_of
+from .tlb import TLBEntry, TLBLevel, TwoLevelTLB
+
+__all__ = [
+    "CacheHierarchy",
+    "CacheLevel",
+    "LINE_SIZE",
+    "NULL_DOMAIN",
+    "NULL_PKEY",
+    "NVM_FRAME_BASE",
+    "PTE",
+    "PageTable",
+    "PhysicalMemory",
+    "TLBEntry",
+    "TLBLevel",
+    "TwoLevelTLB",
+    "vpn_of",
+]

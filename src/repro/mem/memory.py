@@ -1,0 +1,65 @@
+"""Physical memory: DRAM + NVM regions and frame allocation.
+
+Main memory consists of DRAM and NVM (Section V).  The physical address
+space is split into two fixed regions; PMO pages are backed by NVM frames
+(360-cycle latency) and everything else by DRAM frames (120 cycles), the
+3x ratio the paper takes from the Optane DC characterization [24].
+"""
+
+from __future__ import annotations
+
+from ..errors import SimulationError
+
+PAGE_SHIFT = 12
+PAGE_SIZE = 1 << PAGE_SHIFT
+
+#: First frame number of the NVM region (DRAM frames sit below it).
+NVM_FRAME_BASE = 1 << 28  # 1 TB boundary in frame numbers
+
+
+class PhysicalMemory:
+    """Frame allocator plus per-region access latency."""
+
+    def __init__(self, *, dram_latency: int = 120, nvm_latency: int = 360,
+                 dram_frames: int = NVM_FRAME_BASE,
+                 nvm_frames: int = 1 << 28):
+        self.dram_latency = dram_latency
+        self.nvm_latency = nvm_latency
+        self._dram_limit = dram_frames
+        self._nvm_limit = NVM_FRAME_BASE + nvm_frames
+        self._next_dram = 0
+        self._next_nvm = NVM_FRAME_BASE
+        self.dram_frames_allocated = 0
+        self.nvm_frames_allocated = 0
+
+    # -- frame allocation -----------------------------------------------------
+
+    def alloc_dram_frame(self) -> int:
+        """Allocate one DRAM frame; returns its frame number."""
+        if self._next_dram >= self._dram_limit:
+            raise SimulationError("out of DRAM frames")
+        pfn = self._next_dram
+        self._next_dram += 1
+        self.dram_frames_allocated += 1
+        return pfn
+
+    def alloc_nvm_frame(self) -> int:
+        """Allocate one NVM frame; returns its frame number."""
+        if self._next_nvm >= self._nvm_limit:
+            raise SimulationError("out of NVM frames")
+        pfn = self._next_nvm
+        self._next_nvm += 1
+        self.nvm_frames_allocated += 1
+        return pfn
+
+    # -- classification / latency ----------------------------------------------
+
+    @staticmethod
+    def is_nvm_frame(pfn: int) -> bool:
+        return pfn >= NVM_FRAME_BASE
+
+    def latency_for_frame(self, pfn: int) -> int:
+        """Main-memory access latency for a physical frame."""
+        if self.is_nvm_frame(pfn):
+            return self.nvm_latency
+        return self.dram_latency

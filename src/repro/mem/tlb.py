@@ -1,0 +1,216 @@
+"""Two-level set-associative TLB whose entries carry a pkey or domain ID.
+
+The TLB is where page permission and domain identity meet: on a hit, the
+entry supplies the page permission *and* either the 4-bit protection key
+(MPK / MPK-virtualization designs) or the 10-bit domain ID (domain
+virtualization, which extends each entry by 6 bits — Table VIII).
+
+The MPK-virtualization design must invalidate TLB entries when a key is
+remapped to a different domain (``Range_Flush`` of the victim PMO's VA
+range); :meth:`TLBLevel.invalidate_range` and
+:meth:`TwoLevelTLB.range_flush` implement that, returning how many entries
+died so the harness can attribute the re-miss cost to invalidations.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from ..permissions import Perm
+
+# Mirrors page_table.NULL_PKEY / NULL_DOMAIN (kept local: no import cycle).
+NULL_PKEY = 0
+NULL_DOMAIN = 0
+
+
+@dataclass
+class TLBEntry:
+    """One cached translation."""
+
+    vpn: int
+    pfn: int
+    perm: Perm
+    pkey: int = NULL_PKEY
+    domain: int = NULL_DOMAIN
+
+
+class TLBLevel:
+    """One set-associative TLB level with per-set LRU replacement."""
+
+    def __init__(self, entries: int, ways: int):
+        if entries % ways:
+            raise ValueError("entries must be a multiple of ways")
+        self.entries = entries
+        self.ways = ways
+        self.n_sets = entries // ways
+        self._sets: List["OrderedDict[int, TLBEntry]"] = [
+            OrderedDict() for _ in range(self.n_sets)]
+        # domain -> vpns currently cached; lets a domain's range flush run
+        # in time proportional to the entries killed, not the TLB size.
+        self._vpns_by_domain: Dict[int, set] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def _set_for(self, vpn: int) -> "OrderedDict[int, TLBEntry]":
+        # XOR-folded set index.  PMO regions are granule-aligned (1GB for
+        # the 8MB pools of the microbenchmarks), so a pure low-bit index
+        # would alias every pool's pages into the same dozen sets; real
+        # TLBs hash higher VPN bits into the index for exactly this
+        # reason.
+        return self._sets[(vpn ^ (vpn >> 8) ^ (vpn >> 16) ^ (vpn >> 24))
+                          % self.n_sets]
+
+    def lookup(self, vpn: int) -> Optional[TLBEntry]:
+        entries = self._set_for(vpn)
+        entry = entries.get(vpn)
+        if entry is None:
+            self.misses += 1
+            return None
+        entries.move_to_end(vpn)
+        self.hits += 1
+        return entry
+
+    def peek(self, vpn: int) -> Optional[TLBEntry]:
+        """Lookup without touching LRU state or statistics."""
+        return self._set_for(vpn).get(vpn)
+
+    def fill(self, entry: TLBEntry) -> Optional[TLBEntry]:
+        """Insert an entry; returns the evicted victim, if any."""
+        entries = self._set_for(entry.vpn)
+        victim = None
+        if entry.vpn not in entries and len(entries) >= self.ways:
+            _, victim = entries.popitem(last=False)
+            if victim.domain:
+                vpns = self._vpns_by_domain.get(victim.domain)
+                if vpns is not None:
+                    vpns.discard(victim.vpn)
+        entries[entry.vpn] = entry
+        entries.move_to_end(entry.vpn)
+        if entry.domain:
+            self._vpns_by_domain.setdefault(entry.domain, set()).add(entry.vpn)
+        return victim
+
+    # -- invalidation -----------------------------------------------------------
+
+    def invalidate(self, vpn: int) -> bool:
+        entry = self._set_for(vpn).pop(vpn, None)
+        if entry is None:
+            return False
+        if entry.domain:
+            vpns = self._vpns_by_domain.get(entry.domain)
+            if vpns is not None:
+                vpns.discard(vpn)
+        return True
+
+    def invalidate_all(self) -> int:
+        count = sum(len(s) for s in self._sets)
+        for entries in self._sets:
+            entries.clear()
+        self._vpns_by_domain.clear()
+        return count
+
+    def invalidate_domain(self, domain: int) -> int:
+        """Invalidate every entry belonging to one domain (O(killed))."""
+        vpns = self._vpns_by_domain.pop(domain, None)
+        if not vpns:
+            return 0
+        count = 0
+        for vpn in vpns:
+            if self._set_for(vpn).pop(vpn, None) is not None:
+                count += 1
+        return count
+
+    def invalidate_range(self, start_vpn: int, n_pages: int) -> int:
+        """Invalidate all entries translating pages in the VA range."""
+        end = start_vpn + n_pages
+        count = 0
+        for entries in self._sets:
+            doomed = [vpn for vpn in entries if start_vpn <= vpn < end]
+            for vpn in doomed:
+                entry = entries.pop(vpn)
+                if entry.domain:
+                    vpns = self._vpns_by_domain.get(entry.domain)
+                    if vpns is not None:
+                        vpns.discard(vpn)
+            count += len(doomed)
+        return count
+
+    def invalidate_pkey(self, pkey: int) -> int:
+        """Invalidate all entries tagged with a protection key."""
+        count = 0
+        for entries in self._sets:
+            doomed = [vpn for vpn, e in entries.items() if e.pkey == pkey]
+            for vpn in doomed:
+                entry = entries.pop(vpn)
+                if entry.domain:
+                    vpns = self._vpns_by_domain.get(entry.domain)
+                    if vpns is not None:
+                        vpns.discard(vpn)
+            count += len(doomed)
+        return count
+
+    # -- introspection --------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return sum(len(s) for s in self._sets)
+
+    def __iter__(self) -> Iterator[TLBEntry]:
+        for entries in self._sets:
+            yield from entries.values()
+
+
+class TwoLevelTLB:
+    """L1 + L2 data TLB (Table II: 64-entry/4-way and 1536-entry/6-way)."""
+
+    def __init__(self, *, l1_entries: int = 64, l1_ways: int = 4,
+                 l2_entries: int = 1536, l2_ways: int = 6):
+        self.l1 = TLBLevel(l1_entries, l1_ways)
+        self.l2 = TLBLevel(l2_entries, l2_ways)
+
+    def lookup(self, vpn: int) -> Tuple[Optional[TLBEntry], str]:
+        """Look up a translation.
+
+        Returns ``(entry, level)`` where level is ``"l1"``, ``"l2"`` (the
+        entry is promoted to L1), or ``"miss"``.
+        """
+        entry = self.l1.lookup(vpn)
+        if entry is not None:
+            return entry, "l1"
+        entry = self.l2.lookup(vpn)
+        if entry is not None:
+            self.l1.fill(entry)
+            return entry, "l2"
+        return None, "miss"
+
+    def fill(self, entry: TLBEntry) -> None:
+        """Install a translation in both levels (walk completion)."""
+        self.l1.fill(entry)
+        self.l2.fill(entry)
+
+    def invalidate_all(self) -> int:
+        return self.l1.invalidate_all() + self.l2.invalidate_all()
+
+    def range_flush(self, start_vpn: int, n_pages: int) -> int:
+        """Range invalidation of a PMO's VA range (both levels)."""
+        return (self.l1.invalidate_range(start_vpn, n_pages)
+                + self.l2.invalidate_range(start_vpn, n_pages))
+
+    def pkey_flush(self, pkey: int) -> int:
+        """Invalidate every entry carrying ``pkey`` (both levels)."""
+        return self.l1.invalidate_pkey(pkey) + self.l2.invalidate_pkey(pkey)
+
+    def domain_flush(self, domain: int) -> int:
+        """Invalidate every entry of one domain — the fast path for the
+        per-domain ``Range_Flush`` the hardware schemes issue."""
+        return self.l1.invalidate_domain(domain) + self.l2.invalidate_domain(domain)
+
+    @property
+    def hits(self) -> int:
+        return self.l1.hits + self.l2.hits
+
+    @property
+    def misses(self) -> int:
+        """Full TLB misses (missed both levels)."""
+        return self.l2.misses

@@ -1,0 +1,26 @@
+"""Simulated OS layer: address spaces, processes, kernel system calls."""
+
+from .address_space import (GB1, KB4, MB2, PMO_GRANULES, VMA, AddressSpace,
+                            granule_for_size, region_span)
+from .kernel import Kernel
+from .process import (ALLOCATABLE_PKEYS, NUM_PKEYS, Attachment, Process,
+                      Thread)
+from .scheduler import RoundRobinScheduler
+
+__all__ = [
+    "ALLOCATABLE_PKEYS",
+    "AddressSpace",
+    "Attachment",
+    "GB1",
+    "KB4",
+    "Kernel",
+    "MB2",
+    "NUM_PKEYS",
+    "PMO_GRANULES",
+    "Process",
+    "RoundRobinScheduler",
+    "Thread",
+    "VMA",
+    "granule_for_size",
+    "region_span",
+]

@@ -1,0 +1,147 @@
+"""Per-process virtual address space management.
+
+The paper constrains PMO placement: *"A PMO can map only to an aligned and
+contiguous range of virtual address that corresponds to the granularity of
+the hierarchy level of the page table"* — 4KB, 2MB or 1GB regions
+(Section IV-A).  The smallest granule that covers the PMO is reserved (a
+PMO does not have to use its whole VA range); PMOs larger than 1GB take
+consecutive 1GB granules.
+
+This alignment is what lets a single DTT/DRT radix entry (base VA + 2-bit
+size field) describe an entire domain.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..errors import AddressSpaceError
+
+KB4 = 1 << 12
+MB2 = 1 << 21
+GB1 = 1 << 30
+
+#: Page-table-level granules a PMO region may use (Section IV-A).
+PMO_GRANULES = (KB4, MB2, GB1)
+
+#: Base of the area where PMO regions are placed.
+PMO_AREA_BASE = 0x2000_0000_0000
+PMO_AREA_LIMIT = 0x6000_0000_0000
+#: Base of the area for ordinary volatile mappings (heap/stack stand-ins).
+VOLATILE_AREA_BASE = 0x7000_0000_0000
+VOLATILE_AREA_LIMIT = 0x7FFF_0000_0000
+
+
+def granule_for_size(size: int) -> int:
+    """Choose the page-table granule for a PMO of ``size`` bytes."""
+    if size <= 0:
+        raise ValueError("PMO size must be positive")
+    for granule in PMO_GRANULES:
+        if size <= granule:
+            return granule
+    return GB1  # >1GB PMOs take multiple 1GB granules
+
+
+def region_span(size: int) -> Tuple[int, int]:
+    """Return ``(granule, reserved_bytes)`` for a PMO of ``size`` bytes."""
+    granule = granule_for_size(size)
+    count = -(-size // granule)  # ceil division
+    return granule, granule * count
+
+
+@dataclass
+class VMA:
+    """One virtual memory area.
+
+    ``pmo_id`` is 0 for volatile areas; for PMO areas it doubles as the
+    domain ID (the attach system call returns a PMO ID which is also the
+    domain ID, Section IV-A).
+    """
+
+    base: int
+    reserved: int      #: bytes of VA reserved (granule-aligned)
+    size: int          #: bytes actually usable by the object
+    pmo_id: int = 0
+    granule: int = KB4
+    is_nvm: bool = False
+    #: Current MPK protection key for pages of this area (0 = NULL key).
+    #: Set by pkey_mprotect; newly faulted-in pages inherit it.
+    pkey: int = 0
+
+    @property
+    def end(self) -> int:
+        return self.base + self.reserved
+
+    def contains(self, vaddr: int) -> bool:
+        return self.base <= vaddr < self.base + self.size
+
+
+class AddressSpace:
+    """Sorted VMA list with granule-aligned PMO placement."""
+
+    def __init__(self):
+        self._vmas: List[VMA] = []
+        self._by_base: Dict[int, VMA] = {}
+        self._next_pmo = PMO_AREA_BASE
+        self._next_volatile = VOLATILE_AREA_BASE
+
+    # -- reservation --------------------------------------------------------------
+
+    def reserve_pmo(self, size: int, pmo_id: int) -> VMA:
+        """Reserve a granule-aligned region for a PMO; returns its VMA."""
+        granule, reserved = region_span(size)
+        base = -(-self._next_pmo // granule) * granule  # align up
+        if base + reserved > PMO_AREA_LIMIT:
+            raise AddressSpaceError("PMO VA area exhausted")
+        vma = VMA(base=base, reserved=reserved, size=size, pmo_id=pmo_id,
+                  granule=granule, is_nvm=True)
+        self._insert(vma)
+        self._next_pmo = base + reserved
+        return vma
+
+    def reserve_volatile(self, size: int) -> VMA:
+        """Reserve an ordinary (DRAM-backed) region."""
+        reserved = -(-size // KB4) * KB4
+        base = self._next_volatile
+        if base + reserved > VOLATILE_AREA_LIMIT:
+            raise AddressSpaceError("volatile VA area exhausted")
+        vma = VMA(base=base, reserved=reserved, size=size)
+        self._insert(vma)
+        self._next_volatile = base + reserved
+        return vma
+
+    def release(self, base: int) -> VMA:
+        vma = self._by_base.pop(base, None)
+        if vma is None:
+            raise AddressSpaceError(f"no VMA at base {base:#x}")
+        self._vmas.remove(vma)
+        return vma
+
+    def _insert(self, vma: VMA) -> None:
+        self._vmas.append(vma)
+        self._vmas.sort(key=lambda v: v.base)
+        self._by_base[vma.base] = vma
+
+    # -- lookup ----------------------------------------------------------------------
+
+    def find(self, vaddr: int) -> Optional[VMA]:
+        """Find the VMA containing ``vaddr`` (binary search)."""
+        vmas = self._vmas
+        lo, hi = 0, len(vmas)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            vma = vmas[mid]
+            if vaddr < vma.base:
+                hi = mid
+            elif vaddr >= vma.end:
+                lo = mid + 1
+            else:
+                return vma if vma.contains(vaddr) else None
+        return None
+
+    def vmas(self) -> List[VMA]:
+        return list(self._vmas)
+
+    def __len__(self) -> int:
+        return len(self._vmas)

@@ -1,0 +1,70 @@
+"""Round-robin thread scheduler for multi-threaded trace generation.
+
+The protection schemes' context-switch behaviour (DTTLB/PTLB flushes,
+PKRU reconstruction) only matters when threads actually interleave.  The
+scheduler runs one *task generator* per thread and rotates between them
+every ``quantum`` operations, emitting a CTXSW trace event at each
+rotation so the replay engine drives the schemes' switch hooks.
+
+A task is any Python generator: each ``yield`` marks an operation
+boundary where the scheduler may preempt the thread.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Generator, List, Optional
+
+from ..errors import SimulationError
+from .process import Thread
+
+Task = Generator[None, None, None]
+
+
+class RoundRobinScheduler:
+    """Cooperative round-robin over per-thread task generators."""
+
+    def __init__(self, workspace, *, quantum: int = 8):
+        if quantum < 1:
+            raise ValueError("quantum must be at least 1")
+        self.workspace = workspace
+        self.quantum = quantum
+        self._tasks: List[tuple] = []  # (thread, generator)
+        self.switches = 0
+        self.steps = 0
+
+    def spawn(self, task_factory: Callable[[Thread], Task],
+              thread: Optional[Thread] = None) -> Thread:
+        """Register a task; a fresh thread is spawned unless one is given."""
+        thread = thread or self.workspace.process.spawn_thread()
+        self._tasks.append((thread, task_factory(thread)))
+        return thread
+
+    def run(self) -> Dict[int, int]:
+        """Run all tasks to completion; returns steps executed per tid.
+
+        The first scheduled thread starts without a CTXSW event (it is
+        already on the core); every subsequent rotation emits one.
+        """
+        if not self._tasks:
+            raise SimulationError("no tasks to schedule")
+        queue = list(self._tasks)
+        executed: Dict[int, int] = {thread.tid: 0 for thread, _ in queue}
+        current: Optional[Thread] = None
+        while queue:
+            thread, task = queue.pop(0)
+            if current is not None and current.tid != thread.tid:
+                self.workspace.context_switch(current, thread)
+                self.switches += 1
+            current = thread
+            alive = True
+            for _ in range(self.quantum):
+                try:
+                    next(task)
+                except StopIteration:
+                    alive = False
+                    break
+                executed[thread.tid] += 1
+                self.steps += 1
+            if alive:
+                queue.append((thread, task))
+        return executed

@@ -1,0 +1,130 @@
+"""Permission lattice shared by every protection mechanism.
+
+The paper uses three access levels for a domain: inaccessible (or execute
+only), read-only, and read/write.  The effective permission of an access is
+the *strictest* of the page permission and the domain permission — the MMU
+compares both and the more restrictive one wins (Section IV-C, Figure 3).
+
+Two wire encodings appear in the paper and are provided here:
+
+* the PKRU encoding of Intel MPK — two bits per key, *Access Disable* (AD)
+  and *Write Disable* (WD); and
+* the PTLB encoding of the domain-virtualization design — ``1x`` means
+  inaccessible/execute-only, ``01`` read-only, ``00`` read/write
+  (Section IV-E).
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class Perm(enum.IntEnum):
+    """A domain/page permission level, ordered from most to least strict.
+
+    The integer values are chosen so that ``min`` of two permissions is
+    their meet in the lattice (the strictest combination): NONE < R < RW.
+    """
+
+    NONE = 0   #: inaccessible (execute-only in the paper's PTLB encoding)
+    R = 1      #: read-only
+    RW = 2     #: readable and writable
+
+    def allows(self, *, is_write: bool) -> bool:
+        """Return whether this permission level allows a read or a write."""
+        if is_write:
+            return self is Perm.RW
+        return self is not Perm.NONE
+
+    @property
+    def readable(self) -> bool:
+        return self is not Perm.NONE
+
+    @property
+    def writable(self) -> bool:
+        return self is Perm.RW
+
+
+def strictest(page: Perm, domain: Perm) -> Perm:
+    """Combine a page permission and a domain permission.
+
+    The MMU derives the more restrictive of the two (Figure 3); with the
+    ordering of :class:`Perm` that is simply the minimum.
+    """
+    return Perm(min(page, domain))
+
+
+def check_access(page: Perm, domain: Perm, *, is_write: bool) -> bool:
+    """Return whether an access is legal under both permissions."""
+    return strictest(page, domain).allows(is_write=is_write)
+
+
+# ---------------------------------------------------------------------------
+# PKRU (Intel MPK) encoding: 2 bits per key, AD (bit 0) and WD (bit 1).
+# AD=1 disables all data access; WD=1 disables writes.
+# ---------------------------------------------------------------------------
+
+PKRU_AD = 0b01
+PKRU_WD = 0b10
+
+
+def perm_to_pkru_bits(perm: Perm) -> int:
+    """Encode a permission as the 2-bit (WD, AD) PKRU field for one key."""
+    if perm is Perm.NONE:
+        return PKRU_AD | PKRU_WD
+    if perm is Perm.R:
+        return PKRU_WD
+    return 0
+
+
+def pkru_bits_to_perm(bits: int) -> Perm:
+    """Decode a 2-bit PKRU field back to a permission level."""
+    if bits & PKRU_AD:
+        return Perm.NONE
+    if bits & PKRU_WD:
+        return Perm.R
+    return Perm.RW
+
+
+# ---------------------------------------------------------------------------
+# PTLB encoding (domain virtualization): "1x" inaccessible, "01" read-only,
+# "00" read/write.
+# ---------------------------------------------------------------------------
+
+
+def perm_to_ptlb_bits(perm: Perm) -> int:
+    """Encode a permission as the paper's 2-bit PTLB permission field."""
+    if perm is Perm.NONE:
+        return 0b10
+    if perm is Perm.R:
+        return 0b01
+    return 0b00
+
+
+def ptlb_bits_to_perm(bits: int) -> Perm:
+    """Decode the paper's 2-bit PTLB permission field."""
+    if bits & 0b10:
+        return Perm.NONE
+    if bits & 0b01:
+        return Perm.R
+    return Perm.RW
+
+
+def parse_perm(text: str) -> Perm:
+    """Parse a human-friendly permission string (``"none"/"r"/"rw"``)."""
+    normalized = text.strip().lower()
+    table = {
+        "none": Perm.NONE,
+        "n": Perm.NONE,
+        "-": Perm.NONE,
+        "r": Perm.R,
+        "ro": Perm.R,
+        "read": Perm.R,
+        "rw": Perm.RW,
+        "w": Perm.RW,
+        "write": Perm.RW,
+        "readwrite": Perm.RW,
+    }
+    if normalized not in table:
+        raise ValueError(f"unknown permission {text!r}; expected none/r/rw")
+    return table[normalized]

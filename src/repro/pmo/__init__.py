@@ -1,0 +1,32 @@
+"""Persistent Memory Object substrate: pools, ObjectIDs, heap, transactions."""
+
+from .heap import PoolHeap
+from .namespace import Namespace, PoolMeta
+from .oid import NULL_OID, OID
+from .pool import POOL_HEADER_SIZE, Pool, PoolManager
+from .crash import (CrashExplorationResult, CrashFailure,
+                    CrashPointExplorer)
+from .snapshot import load_pools, save_pools
+from .storage import PAGE_SIZE, SparseMemory
+from .tx import Transaction, TransactionManager, UndoLog
+
+__all__ = [
+    "NULL_OID",
+    "OID",
+    "PAGE_SIZE",
+    "POOL_HEADER_SIZE",
+    "CrashExplorationResult",
+    "CrashFailure",
+    "CrashPointExplorer",
+    "Namespace",
+    "Pool",
+    "PoolHeap",
+    "PoolManager",
+    "PoolMeta",
+    "SparseMemory",
+    "load_pools",
+    "save_pools",
+    "Transaction",
+    "TransactionManager",
+    "UndoLog",
+]

@@ -1,0 +1,81 @@
+"""The Table I pool API, verbatim — free functions over a context.
+
+The paper adopts Wang et al.'s interface (Table I): ``pool_create``,
+``pool_open``, ``pool_close``, ``pool_root``, ``pmalloc``, ``pfree`` and
+``oid_direct``.  This module exposes exactly those names so code written
+against the paper reads 1:1::
+
+    from repro.pmo.api import PoolContext
+
+    pm = PoolContext()
+    p = pm.pool_create("accounts", 8 << 20, "rw")
+    root = pm.pool_root(p, 64)
+    node = pm.pmalloc(p, 128)
+    addr = pm.oid_direct(node)          # a usable (pool, offset) handle
+    pm.pfree(node)
+    pm.pool_close(p)
+
+Modes are the familiar strings ``"rw"`` / ``"r"`` (owner permission; a
+second character group after a comma sets others', e.g. ``"rw,r"``).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from ..permissions import Perm, parse_perm
+from .oid import OID
+from .pool import Pool, PoolManager
+
+
+def _parse_mode(mode: str) -> Tuple[Perm, Perm]:
+    """``"rw"`` → (RW, NONE); ``"rw,r"`` → (RW, R)."""
+    owner, _, others = mode.partition(",")
+    return (parse_perm(owner),
+            parse_perm(others) if others else Perm.NONE)
+
+
+class PoolContext:
+    """A process's pool-API context (wraps a :class:`PoolManager`)."""
+
+    def __init__(self, manager: Optional[PoolManager] = None,
+                 *, uid: int = 0):
+        self.manager = manager or PoolManager()
+        self.uid = uid
+
+    # -- Table I ------------------------------------------------------------------
+
+    def pool_create(self, name: str, size: int, mode: str = "rw") -> Pool:
+        """Create a pool with the specified size and associate it with a
+        name.  The running process is the owner."""
+        return self.manager.pool_create(name, size, _parse_mode(mode),
+                                        owner=self.uid)
+
+    def pool_open(self, name: str, mode: str = "rw",
+                  *, attach_key: Optional[int] = None) -> Pool:
+        """Reopen a pool previously created.  Permissions are checked."""
+        return self.manager.pool_open(name, parse_perm(mode), uid=self.uid,
+                                      attach_key=attach_key)
+
+    def pool_close(self, pool: Pool) -> None:
+        """Close a pool."""
+        self.manager.pool_close(pool)
+
+    def pool_root(self, pool: Pool, size: int) -> OID:
+        """Return the root object of the pool with the specified size —
+        intended as the directory of the pool's contents."""
+        return pool.root(size)
+
+    def pmalloc(self, pool: Pool, size: int, *, align: int = 8) -> OID:
+        """Allocate persistent data of ``size`` bytes on the pool; return
+        the ObjectID of the first byte."""
+        return pool.pmalloc(size, align=align)
+
+    def pfree(self, oid: OID) -> None:
+        """Free the persistent data pointed to by the ObjectID."""
+        self.manager.pool_by_id(oid.pool_id).pfree(oid)
+
+    def oid_direct(self, oid: OID) -> Tuple[Pool, int]:
+        """Translate an ObjectID to a direct reference — used when there
+        is no hardware translation."""
+        return self.manager.oid_direct(oid)

@@ -1,0 +1,101 @@
+"""OS-managed PMO namespace and permissions.
+
+A PMO is managed by the OS similar to a file (Section I): it has a name, a
+numeric ID, an owner, and mode bits.  The paper additionally sketches an
+*attach key* — a secret a process must produce for an attach request to be
+granted — and a sharing policy (exclusive writer, shared readers) enforced
+at attach time (Section IV-A).  This module keeps the naming/permission
+half; the sharing policy lives in the OS kernel which sees attachments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..permissions import Perm
+from ..errors import PoolExistsError, PoolNotFoundError
+
+#: Pool IDs start at 1; pool 0 is reserved so that OID(0, 0) is NULL.
+FIRST_POOL_ID = 1
+
+
+@dataclass
+class PoolMeta:
+    """Namespace record for one pool."""
+
+    pool_id: int
+    name: str
+    size: int
+    owner: int
+    #: ``(owner_perm, others_perm)`` — the mode of Table I's pool_create.
+    mode: Tuple[Perm, Perm]
+    attach_key: Optional[int] = None
+    tags: Dict[str, str] = field(default_factory=dict)
+
+
+class Namespace:
+    """Name → :class:`PoolMeta` directory with permission checks."""
+
+    def __init__(self):
+        self._by_name: Dict[str, PoolMeta] = {}
+        self._by_id: Dict[int, PoolMeta] = {}
+        self._next_id = FIRST_POOL_ID
+
+    # -- CRUD -------------------------------------------------------------------
+
+    def create(self, name: str, size: int, mode: Tuple[Perm, Perm],
+               *, owner: int = 0, attach_key: Optional[int] = None) -> PoolMeta:
+        if not name:
+            raise ValueError("pool name must be non-empty")
+        if name in self._by_name:
+            raise PoolExistsError(f"pool {name!r} already exists")
+        owner_perm, others_perm = mode
+        meta = PoolMeta(pool_id=self._next_id, name=name, size=size,
+                        owner=owner, mode=(Perm(owner_perm), Perm(others_perm)),
+                        attach_key=attach_key)
+        self._next_id += 1
+        self._by_name[name] = meta
+        self._by_id[meta.pool_id] = meta
+        return meta
+
+    def lookup(self, name: str) -> PoolMeta:
+        meta = self._by_name.get(name)
+        if meta is None:
+            raise PoolNotFoundError(f"no pool named {name!r}")
+        return meta
+
+    def by_id(self, pool_id: int) -> PoolMeta:
+        meta = self._by_id.get(pool_id)
+        if meta is None:
+            raise PoolNotFoundError(f"no pool with id {pool_id}")
+        return meta
+
+    def remove(self, name: str) -> None:
+        meta = self.lookup(name)
+        del self._by_name[name]
+        del self._by_id[meta.pool_id]
+
+    def names(self) -> List[str]:
+        return sorted(self._by_name)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._by_name
+
+    def __len__(self) -> int:
+        return len(self._by_name)
+
+    # -- permission checks ---------------------------------------------------------
+
+    def allows(self, meta: PoolMeta, *, uid: int, want: Perm,
+               attach_key: Optional[int] = None) -> bool:
+        """Check whether ``uid`` may open/attach the pool with ``want``.
+
+        The owner is checked against the owner half of the mode, everyone
+        else against the others half; when the pool carries an attach key,
+        the caller must also produce it (Section IV-A's finer-grain scheme).
+        """
+        if meta.attach_key is not None and attach_key != meta.attach_key:
+            return False
+        granted = meta.mode[0] if uid == meta.owner else meta.mode[1]
+        return want <= granted

@@ -1,0 +1,123 @@
+"""Pool snapshots: persistence beyond the Python process's lifetime.
+
+A PMO's defining feature is that its data outlives the process
+(Section I).  Within one :class:`~repro.pmo.pool.PoolManager`, pools
+survive close/reopen; this module extends that across *process* restarts
+by serializing every pool's durable pages — plus the namespace — to one
+snapshot file, and rebuilding an equivalent manager from it.
+
+Only durable bytes are saved: pending (unpersisted) writes of a
+persistence-tracking store are deliberately dropped, exactly as a power
+failure would, so a snapshot taken mid-transaction recovers the same way
+real NVM would.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import zlib
+from typing import Union
+
+from ..errors import PMOError
+from ..permissions import Perm
+from .pool import Pool, PoolManager
+from .storage import PAGE_SIZE, SparseMemory
+
+SNAPSHOT_MAGIC = "repro-pmo-snapshot"
+FORMAT_VERSION = 1
+
+
+def save_pools(manager: PoolManager,
+               path: Union[str, pathlib.Path]) -> int:
+    """Snapshot all pools of a manager; returns pages written."""
+    pools_meta = []
+    blobs = []
+    total_pages = 0
+    for name in manager.namespace.names():
+        meta = manager.namespace.lookup(name)
+        backing = manager._backings[meta.pool_id]
+        pages = {}
+        for index in backing.touched_page_indexes():
+            # Durable bytes only: pending writes vanish, as on power loss.
+            page = backing.read_durable(index * PAGE_SIZE, PAGE_SIZE)
+            if any(page):
+                pages[index] = page
+        total_pages += len(pages)
+        page_index = []
+        payload = bytearray()
+        for index in sorted(pages):
+            page_index.append(index)
+            payload.extend(pages[index])
+        blobs.append(bytes(payload))
+        pools_meta.append({
+            "name": meta.name,
+            "pool_id": meta.pool_id,
+            "size": meta.size,
+            "owner": meta.owner,
+            "mode": [int(meta.mode[0]), int(meta.mode[1])],
+            "attach_key": meta.attach_key,
+            "pages": page_index,
+            "track_persistence": backing.track_persistence,
+        })
+
+    header = {
+        "magic": SNAPSHOT_MAGIC,
+        "version": FORMAT_VERSION,
+        "pools": pools_meta,
+    }
+    header_bytes = json.dumps(header).encode()
+    with open(path, "wb") as out:
+        out.write(len(header_bytes).to_bytes(8, "little"))
+        out.write(header_bytes)
+        for blob in blobs:
+            compressed = zlib.compress(blob, level=1)
+            out.write(len(compressed).to_bytes(8, "little"))
+            out.write(compressed)
+    return total_pages
+
+
+def load_pools(path: Union[str, pathlib.Path]) -> PoolManager:
+    """Rebuild a :class:`PoolManager` (pools closed, ready to open)."""
+    with open(path, "rb") as inp:
+        header_len = int.from_bytes(inp.read(8), "little")
+        header = json.loads(inp.read(header_len).decode())
+        if header.get("magic") != SNAPSHOT_MAGIC:
+            raise PMOError(f"{path} is not a PMO snapshot")
+        if header.get("version") != FORMAT_VERSION:
+            raise PMOError(
+                f"unsupported snapshot version {header.get('version')}")
+
+        manager = PoolManager()
+        for meta in header["pools"]:
+            blob_len = int.from_bytes(inp.read(8), "little")
+            payload = zlib.decompress(inp.read(blob_len))
+            backing = SparseMemory(
+                meta["size"],
+                track_persistence=meta["track_persistence"])
+            for slot, index in enumerate(meta["pages"]):
+                backing.write(index * PAGE_SIZE,
+                              payload[slot * PAGE_SIZE:
+                                      (slot + 1) * PAGE_SIZE])
+            backing.persist_all()
+            # Recreate the namespace entry with its original identity.
+            created = manager.namespace.create(
+                meta["name"], meta["size"],
+                (Perm(meta["mode"][0]), Perm(meta["mode"][1])),
+                owner=meta["owner"], attach_key=meta["attach_key"])
+            if created.pool_id != meta["pool_id"]:
+                # Pool IDs are embedded in on-media OIDs; remap the
+                # namespace record so pointers stay valid.
+                del manager.namespace._by_id[created.pool_id]
+                created.pool_id = meta["pool_id"]
+                manager.namespace._by_id[meta["pool_id"]] = created
+                manager.namespace._next_id = max(
+                    manager.namespace._next_id, meta["pool_id"] + 1)
+            manager._backings[meta["pool_id"]] = backing
+            # Open (recovering the heap from the persisted headers),
+            # then close so the manager starts quiescent.
+            pool = Pool(meta["pool_id"], meta["name"], meta["size"],
+                        backing)
+            manager._open[meta["pool_id"]] = pool
+            pool.close()
+    return manager

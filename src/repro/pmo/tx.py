@@ -1,0 +1,174 @@
+"""Durable transactions with an undo log (crash consistency for PMOs).
+
+The paper assumes PMOs provide *crash consistency* — a PMO remains in a
+consistent state across process crashes or power loss (Section II-C), via
+the durable-transaction interface of the pool APIs it adopts.  This module
+implements the classic undo-log protocol over :class:`SparseMemory`'s
+persistence model:
+
+1. before the first in-place write to a range inside a transaction, the
+   *old* contents are appended to a persisted log;
+2. in-place writes then proceed (and may sit in the volatile layer);
+3. ``commit`` persists all written ranges, then truncates the log in one
+   persisted step;
+4. recovery after a crash replays the log backwards, restoring every
+   logged range to its pre-transaction contents, then truncates the log.
+
+The log itself is a dedicated region of persistent memory with the same
+crash semantics as the pool data.
+
+Log layout::
+
+    0x00  valid length  u64   (bytes of log payload; 0 == empty/committed)
+    0x10  entries       [ addr u64 | length u32 | old bytes ... ] ...
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import List, Set, Tuple
+
+from ..errors import TransactionError
+from .storage import SparseMemory
+
+_LOG_HEAD = 0x00
+_LOG_DATA = 0x10
+_ENTRY_HDR = struct.Struct("<QI")
+
+
+class UndoLog:
+    """Persisted undo log over its own persistent region."""
+
+    def __init__(self, size: int = 1 << 20):
+        self.memory = SparseMemory(size, track_persistence=True)
+        self.memory.write_u64(_LOG_HEAD, 0)
+        self.memory.persist(_LOG_HEAD, 8)
+
+    @property
+    def valid_length(self) -> int:
+        return self.memory.read_u64(_LOG_HEAD)
+
+    def append(self, addr: int, old: bytes) -> None:
+        """Durably record the pre-image of ``[addr, addr+len(old))``."""
+        head = self.valid_length
+        entry_off = _LOG_DATA + head
+        self.memory.write(entry_off, _ENTRY_HDR.pack(addr, len(old)))
+        self.memory.write(entry_off + _ENTRY_HDR.size, old)
+        # Entry bytes must be durable *before* the head moves past them.
+        self.memory.persist(entry_off, _ENTRY_HDR.size + len(old))
+        self.memory.write_u64(_LOG_HEAD, head + _ENTRY_HDR.size + len(old))
+        self.memory.persist(_LOG_HEAD, 8)
+
+    def truncate(self) -> None:
+        """Mark the log empty (the commit point of a transaction)."""
+        self.memory.write_u64(_LOG_HEAD, 0)
+        self.memory.persist(_LOG_HEAD, 8)
+
+    def entries(self) -> List[Tuple[int, bytes]]:
+        """Decode the valid log entries in append order."""
+        out: List[Tuple[int, bytes]] = []
+        pos = _LOG_DATA
+        end = _LOG_DATA + self.valid_length
+        while pos < end:
+            addr, length = _ENTRY_HDR.unpack(
+                self.memory.read(pos, _ENTRY_HDR.size))
+            pos += _ENTRY_HDR.size
+            out.append((addr, self.memory.read(pos, length)))
+            pos += length
+        return out
+
+    def crash(self) -> None:
+        self.memory.crash()
+
+
+class Transaction:
+    """One durable transaction over a pool's memory.
+
+    Use through :class:`TransactionManager`; a transaction tracks its
+    write-set so commit can persist exactly the ranges it touched.
+    """
+
+    def __init__(self, memory: SparseMemory, log: UndoLog):
+        self._mem = memory
+        self._log = log
+        self._logged: Set[Tuple[int, int]] = set()
+        self._write_set: List[Tuple[int, int]] = []
+        self.active = True
+
+    def _require_active(self) -> None:
+        if not self.active:
+            raise TransactionError("transaction is no longer active")
+
+    def write(self, addr: int, data: bytes) -> None:
+        """Transactionally write ``data`` at ``addr`` (undo logged first)."""
+        self._require_active()
+        key = (addr, len(data))
+        if key not in self._logged:
+            self._log.append(addr, self._mem.read(addr, len(data)))
+            self._logged.add(key)
+        self._mem.write(addr, data)
+        self._write_set.append(key)
+
+    def write_u64(self, addr: int, value: int) -> None:
+        self.write(addr, struct.pack("<Q", value & 0xFFFF_FFFF_FFFF_FFFF))
+
+    def read(self, addr: int, length: int) -> bytes:
+        self._require_active()
+        return self._mem.read(addr, length)
+
+    def commit(self) -> None:
+        """Persist the write-set, then truncate the log (the commit point)."""
+        self._require_active()
+        for addr, length in self._write_set:
+            self._mem.persist(addr, length)
+        self._log.truncate()
+        self.active = False
+
+    def abort(self) -> None:
+        """Roll back in-place writes from the undo log and truncate it."""
+        self._require_active()
+        _apply_undo(self._mem, self._log)
+        self.active = False
+
+
+def _apply_undo(memory: SparseMemory, log: UndoLog) -> None:
+    for addr, old in reversed(log.entries()):
+        memory.write(addr, old)
+        memory.persist(addr, len(old))
+    log.truncate()
+
+
+class TransactionManager:
+    """Per-pool transaction facade with crash recovery."""
+
+    def __init__(self, memory: SparseMemory, *, log_size: int = 1 << 20):
+        if not memory.track_persistence:
+            raise TransactionError(
+                "durable transactions require a persistence-tracking store")
+        self.memory = memory
+        self.log = UndoLog(log_size)
+        self._current: Transaction = None  # type: ignore[assignment]
+
+    def begin(self) -> Transaction:
+        if self._current is not None and self._current.active:
+            raise TransactionError("a transaction is already active")
+        self._current = Transaction(self.memory, self.log)
+        return self._current
+
+    def crash(self) -> None:
+        """Simulate power failure across pool data and log."""
+        self.memory.crash()
+        self.log.crash()
+        if self._current is not None:
+            self._current.active = False
+            self._current = None
+
+    def recover(self) -> int:
+        """Run crash recovery; returns the number of entries rolled back."""
+        entries = self.log.entries()
+        _apply_undo(self.memory, self.log)
+        return len(entries)
+
+    @property
+    def needs_recovery(self) -> bool:
+        return self.log.valid_length > 0

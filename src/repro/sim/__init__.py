@@ -1,0 +1,44 @@
+"""Simulation harness: configuration, statistics, replay, area model.
+
+``replay_trace`` and friends live in :mod:`repro.sim.simulator`, which
+depends on the cpu/core layers; they are exported lazily so that those
+layers can import the leaf modules here (config, stats) without a cycle.
+"""
+
+from .area import AreaReport, domain_virt_area, mpk_virt_area
+from .config import (DEFAULT_CONFIG, CacheConfig, DomainVirtConfig,
+                     LibmpkConfig, MemoryConfig, MPKConfig, MPKVirtConfig,
+                     ProcessorConfig, SimConfig, TLBConfig)
+from .stats import OVERHEAD_BUCKETS, RunStats
+
+_SIMULATOR_EXPORTS = ("MULTI_PMO_SCHEMES", "SINGLE_PMO_SCHEMES",
+                      "overhead_over_lowerbound", "replay_trace")
+
+__all__ = [
+    "AreaReport",
+    "CacheConfig",
+    "DEFAULT_CONFIG",
+    "DomainVirtConfig",
+    "LibmpkConfig",
+    "MPKConfig",
+    "MPKVirtConfig",
+    "MULTI_PMO_SCHEMES",
+    "MemoryConfig",
+    "OVERHEAD_BUCKETS",
+    "ProcessorConfig",
+    "RunStats",
+    "SINGLE_PMO_SCHEMES",
+    "SimConfig",
+    "TLBConfig",
+    "domain_virt_area",
+    "mpk_virt_area",
+    "overhead_over_lowerbound",
+    "replay_trace",
+]
+
+
+def __getattr__(name):
+    if name in _SIMULATOR_EXPORTS:
+        from . import simulator
+        return getattr(simulator, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,0 +1,94 @@
+"""Analytic area/storage model — Table VIII of the paper.
+
+Both designs add only small per-core buffers; the big tables (DTT, DRT,
+PT) are software data structures in ordinary (pageable) memory.  This
+module recomputes every Table VIII entry from first principles so changes
+to the configuration (entry counts, domain/thread limits) propagate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .config import DomainVirtConfig, MPKVirtConfig
+
+#: Bits of one DTTLB entry: 36-bit VA-range tag + 32-bit domain ID +
+#: valid + dirty + 4-bit protection key + 2-bit region-size field
+#: (Section IV-D describes the 76-bit entry).
+DTTLB_ENTRY_BITS = 36 + 32 + 1 + 1 + 4 + 2
+
+#: Bits of one PTLB entry: 10-bit domain ID tag + 2-bit permission —
+#: Table VIII bills the PTLB at 12 bits per entry.
+PTLB_ENTRY_BITS = 10 + 2
+
+#: Bits added to each TLB entry by domain virtualization: the 10-bit
+#: domain ID replaces the 4-bit protection key → 6 extra bits.
+TLB_EXTRA_BITS = 6
+
+
+@dataclass(frozen=True)
+class AreaReport:
+    """Hardware and memory budget of one design."""
+
+    design: str
+    registers_per_core: int
+    buffer_bytes_per_core: int
+    tlb_extra_bits_per_entry: int
+    memory_bytes_per_process: int
+
+    def describe(self) -> str:
+        parts = [
+            f"{self.design}:",
+            f"  registers/core      : {self.registers_per_core} x 64-bit",
+            f"  dedicated buffer    : {self.buffer_bytes_per_core} bytes/core",
+            f"  TLB entry extension : {self.tlb_extra_bits_per_entry} bits",
+            f"  memory/process      : {self.memory_bytes_per_process >> 10} KB",
+        ]
+        return "\n".join(parts)
+
+
+def _per_domain_permission_bytes(max_threads: int) -> int:
+    """Per-domain permission storage: 2 bits per thread, byte-rounded."""
+    return (2 * max_threads + 7) // 8
+
+
+def mpk_virt_area(config: MPKVirtConfig = MPKVirtConfig(),
+                  *, max_domains: int = 1024,
+                  max_threads: int = 1024) -> AreaReport:
+    """Area of hardware MPK virtualization.
+
+    The DTTLB is ``entries x 76 bits``; the DTT stores, per domain, the
+    permission of every thread (2 bits each) → 256KB for 1024 domains x
+    1024 threads, exactly Table VIII's figure.  One register points to
+    the DTT root for the hardware walker.
+    """
+    buffer_bytes = (config.dttlb_entries * DTTLB_ENTRY_BITS + 7) // 8
+    dtt_bytes = max_domains * _per_domain_permission_bytes(max_threads)
+    return AreaReport(
+        design="Hardware-based MPK Virtualization",
+        registers_per_core=1,
+        buffer_bytes_per_core=buffer_bytes,
+        tlb_extra_bits_per_entry=0,
+        memory_bytes_per_process=dtt_bytes,
+    )
+
+
+def domain_virt_area(config: DomainVirtConfig = DomainVirtConfig(),
+                     *, max_domains: int = 1024,
+                     max_threads: int = 1024) -> AreaReport:
+    """Area of hardware domain virtualization.
+
+    The PTLB is ``entries x 12 bits``; the PT is 256KB (1024 domains x
+    1024 threads x 2 bits) plus a 16KB DRT; each TLB entry grows by 6
+    bits; two registers point at the DRT and PT.
+    """
+    buffer_bytes = (config.ptlb_entries * PTLB_ENTRY_BITS + 7) // 8
+    pt_bytes = max_domains * _per_domain_permission_bytes(max_threads)
+    drt_bytes = max_domains * 16  # one 16-byte radix leaf per domain
+    return AreaReport(
+        design="Domain Virtualization",
+        registers_per_core=2,
+        buffer_bytes_per_core=buffer_bytes,
+        tlb_extra_bits_per_entry=TLB_EXTRA_BITS,
+        memory_bytes_per_process=pt_bytes + drt_bytes,
+    )

@@ -1,0 +1,59 @@
+"""High-level simulation API: generate a trace once, replay per scheme.
+
+The paper's methodology is two-phase (Section V): obtain one Pin trace of
+the instrumented program, then re-execute it in the simulator once per
+evaluated scheme.  :func:`replay_trace` mirrors that: the baseline
+(unprotected) replay establishes the denominator, then each scheme replays
+the *same* trace and records its overhead buckets.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional
+
+from ..core.schemes import NullProtection, scheme_by_name
+from ..cpu.timing import ReplayEngine
+from ..cpu.trace import Trace
+from ..workloads.base import Workspace
+from .config import DEFAULT_CONFIG, SimConfig
+from .stats import RunStats
+
+#: The schemes of the multi-PMO evaluation (Figure 6/7, Table VII).
+MULTI_PMO_SCHEMES = ("lowerbound", "libmpk", "mpk_virt", "domain_virt")
+#: The schemes of the single-PMO evaluation (Table V).
+SINGLE_PMO_SCHEMES = ("mpk", "mpk_virt", "domain_virt")
+
+
+def replay_trace(trace: Trace, workspace: Workspace,
+                 schemes: Iterable[str] = MULTI_PMO_SCHEMES,
+                 config: Optional[SimConfig] = None,
+                 *, include_baseline: bool = True) -> Dict[str, RunStats]:
+    """Replay one trace under the baseline plus each named scheme.
+
+    Returns scheme name → :class:`RunStats`; every non-baseline result has
+    ``baseline_cycles`` filled in so ``overhead_percent()`` works.
+    """
+    config = config or DEFAULT_CONFIG
+    kernel, process = workspace.kernel, workspace.process
+    results: Dict[str, RunStats] = {}
+
+    baseline = ReplayEngine(config, kernel, process, NullProtection).run(trace)
+    if include_baseline:
+        results["baseline"] = baseline
+
+    for name in schemes:
+        engine = ReplayEngine(config, kernel, process, scheme_by_name(name))
+        stats = engine.run(trace)
+        stats.baseline_cycles = baseline.cycles
+        results[name] = stats
+    return results
+
+
+def overhead_over_lowerbound(results: Dict[str, RunStats],
+                             scheme: str) -> float:
+    """Figure 6's y-axis: overhead% of a scheme relative to the lowerbound.
+
+    ``(T_scheme - T_lowerbound) / T_lowerbound * 100`` over the same trace.
+    """
+    lower = results["lowerbound"].cycles
+    return 100.0 * (results[scheme].cycles - lower) / lower

@@ -1,0 +1,146 @@
+"""Cycle accounting: the overhead buckets of Table VII plus event counters.
+
+Every protection scheme charges its extra cycles into named buckets so the
+harness can reproduce the paper's overhead breakdown:
+
+* ``perm_change``      — SETPERM / WRPKRU instruction latency
+* ``entry_changes``    — DTTLB/PTLB add/remove/modify micro-ops
+* ``dtt_misses``       — DTT walks on DTTLB misses (MPK virtualization)
+* ``ptlb_misses``      — permission-table lookups on PTLB misses (DV)
+* ``tlb_invalidations``— key-remap TLB shootdowns *and* the re-walk cost
+                         of the TLB entries they killed (the paper charges
+                         subsequent misses to invalidations too)
+* ``access_latency``   — PTLB lookup added to every domain access (DV)
+* ``libmpk``           — exception + syscalls + PTE rewrites (libmpk only)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+OVERHEAD_BUCKETS = (
+    "perm_change",
+    "entry_changes",
+    "dtt_misses",
+    "ptlb_misses",
+    "tlb_invalidations",
+    "access_latency",
+    "libmpk",
+)
+
+
+@dataclass
+class RunStats:
+    """Statistics of one trace replay under one protection scheme."""
+
+    scheme: str = "baseline"
+    #: Cycles of the unprotected execution of the same trace (set by the
+    #: harness so overhead percentages can be derived).
+    baseline_cycles: float = 0.0
+    cycles: float = 0.0
+    instructions: int = 0
+    loads: int = 0
+    stores: int = 0
+    pmo_accesses: int = 0
+    perm_switches: int = 0
+    tlb_l1_hits: int = 0
+    tlb_l2_hits: int = 0
+    tlb_misses: int = 0
+    context_switches: int = 0
+    #: Domain-to-key remappings / libmpk evictions / PTLB refills.
+    evictions: int = 0
+    dttlb_misses: int = 0
+    ptlb_misses_count: int = 0
+    tlb_entries_invalidated: int = 0
+    pte_rewrites: int = 0
+    protection_faults: int = 0
+    buckets: Dict[str, float] = field(
+        default_factory=lambda: {name: 0.0 for name in OVERHEAD_BUCKETS})
+
+    # -- charging -------------------------------------------------------------
+
+    def charge(self, bucket: str, cycles: float) -> None:
+        """Add protection-overhead cycles into a named bucket."""
+        self.buckets[bucket] += cycles
+        self.cycles += cycles
+
+    # -- derived quantities ------------------------------------------------------
+
+    @property
+    def overhead_cycles(self) -> float:
+        return sum(self.buckets.values())
+
+    def overhead_percent(self, baseline: float = 0.0) -> float:
+        """Total overhead as a percentage of the baseline execution time."""
+        base = baseline or self.baseline_cycles
+        if base <= 0:
+            raise ValueError("baseline cycles unknown")
+        return 100.0 * (self.cycles - base) / base
+
+    def bucket_percent(self, bucket: str, baseline: float = 0.0) -> float:
+        base = baseline or self.baseline_cycles
+        if base <= 0:
+            raise ValueError("baseline cycles unknown")
+        return 100.0 * self.buckets[bucket] / base
+
+    def seconds(self, frequency_hz: float) -> float:
+        return self.cycles / frequency_hz
+
+    def switches_per_second(self, frequency_hz: float,
+                            baseline: float = 0.0) -> float:
+        """Permission switches per second of *baseline* execution time.
+
+        Table V/VI define switch frequency against the unprotected run.
+        """
+        base = baseline or self.baseline_cycles or self.cycles
+        return self.perm_switches * frequency_hz / base
+
+    def to_dict(self, *, baseline: float = 0.0) -> Dict[str, object]:
+        """Machine-readable export (JSON-safe) for result archiving."""
+        base = baseline or self.baseline_cycles
+        out: Dict[str, object] = {
+            "scheme": self.scheme,
+            "cycles": self.cycles,
+            "baseline_cycles": base,
+            "instructions": self.instructions,
+            "loads": self.loads,
+            "stores": self.stores,
+            "pmo_accesses": self.pmo_accesses,
+            "perm_switches": self.perm_switches,
+            "tlb": {"l1_hits": self.tlb_l1_hits,
+                    "l2_hits": self.tlb_l2_hits,
+                    "misses": self.tlb_misses},
+            "evictions": self.evictions,
+            "dttlb_misses": self.dttlb_misses,
+            "ptlb_misses": self.ptlb_misses_count,
+            "tlb_entries_invalidated": self.tlb_entries_invalidated,
+            "pte_rewrites": self.pte_rewrites,
+            "protection_faults": self.protection_faults,
+            "context_switches": self.context_switches,
+            "buckets": dict(self.buckets),
+        }
+        if base:
+            out["overhead_percent"] = 100.0 * (self.cycles - base) / base
+        return out
+
+    def summary(self) -> str:
+        lines = [
+            f"scheme={self.scheme} cycles={self.cycles:.0f} "
+            f"instructions={self.instructions}",
+            f"  loads={self.loads} stores={self.stores} "
+            f"pmo_accesses={self.pmo_accesses} switches={self.perm_switches}",
+            f"  tlb: l1_hits={self.tlb_l1_hits} l2_hits={self.tlb_l2_hits} "
+            f"misses={self.tlb_misses}",
+            f"  evictions={self.evictions} dttlb_misses={self.dttlb_misses} "
+            f"ptlb_misses={self.ptlb_misses_count} "
+            f"invalidated={self.tlb_entries_invalidated}",
+        ]
+        if self.baseline_cycles:
+            lines.append(
+                f"  overhead={self.overhead_percent():.2f}% over baseline")
+        nonzero = {k: v for k, v in self.buckets.items() if v}
+        if nonzero:
+            lines.append("  buckets: " + ", ".join(
+                f"{k}={v:.0f}" for k, v in sorted(nonzero.items())))
+        return "\n".join(lines)

@@ -1,0 +1,1 @@
+"""Command-line utilities: trace dumping, inspection, replay."""

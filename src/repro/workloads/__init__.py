@@ -1,0 +1,26 @@
+"""Benchmark workloads: instrumentation layer, WHISPER suite, micro suite."""
+
+from .base import (PerAccessPolicy, PermissionPolicy, PerOpPolicy, PMem,
+                   PoolHandle, UnprotectedPolicy, Workspace)
+from .micro import (MICRO_BENCHMARKS, MICRO_LABELS, MicroParams,
+                    generate_micro_trace)
+from .whisper import (WHISPER_BENCHMARKS, WHISPER_LABELS, WhisperParams,
+                      generate_whisper_trace)
+
+__all__ = [
+    "MICRO_BENCHMARKS",
+    "MICRO_LABELS",
+    "MicroParams",
+    "PMem",
+    "PerAccessPolicy",
+    "PerOpPolicy",
+    "PermissionPolicy",
+    "PoolHandle",
+    "UnprotectedPolicy",
+    "WHISPER_BENCHMARKS",
+    "WHISPER_LABELS",
+    "WhisperParams",
+    "Workspace",
+    "generate_micro_trace",
+    "generate_whisper_trace",
+]

@@ -1,0 +1,346 @@
+"""Workload infrastructure: traced, permission-instrumented pool access.
+
+A :class:`Workspace` ties together the kernel, one process, and a trace
+recorder.  Data structures access pool memory through :class:`PMem`, which
+
+* translates ObjectIDs to virtual addresses via the attachment base
+  (relocatable pool pointers, Figure 1);
+* performs the *real* read/write against the pool's backing store, so the
+  workloads compute genuine results;
+* records a LOAD/STORE trace event per access; and
+* inserts permission switches according to the active policy, mirroring
+  where the paper's methodology inserts WRPKRU/SETPERM.
+
+Two policies reproduce the two evaluation set-ups:
+
+* :class:`PerAccessPolicy` — WHISPER: permission is granted before each
+  PMO access and revoked right after (2 switches per access, Section V);
+* :class:`PerOpPolicy` — multi-PMO microbenchmarks: every thread holds
+  read permission on all PMOs; write permission is granted at the first
+  write to a domain inside an operation and dropped at operation end
+  (Section V: switches per data-structure operation).
+"""
+
+from __future__ import annotations
+
+import random
+from contextlib import contextmanager
+from typing import Dict, Optional, Set, Tuple
+
+from ..permissions import Perm
+from ..cpu.trace import Trace, TraceRecorder
+from ..errors import SimulationError
+from ..os.kernel import Kernel
+from ..os.process import Attachment, Thread
+from ..pmo.oid import OID
+from ..pmo.pool import Pool
+
+
+class PermissionPolicy:
+    """Decides which SETPERM events surround each traced access."""
+
+    def __init__(self):
+        self.workspace: Optional["Workspace"] = None
+
+    def bind(self, workspace: "Workspace") -> None:
+        self.workspace = workspace
+
+    def on_attach(self, domain: int) -> None:
+        """A PMO was attached; set default permissions."""
+
+    def before_access(self, tid: int, domain: int, is_write: bool) -> None:
+        """Called before each traced PMO access."""
+
+    def after_access(self, tid: int, domain: int, is_write: bool) -> None:
+        """Called after each traced PMO access."""
+
+    @contextmanager
+    def operation(self, tid: int):
+        """Scope of one data-structure operation."""
+        yield
+
+
+class PerAccessPolicy(PermissionPolicy):
+    """WHISPER discipline: enable before / disable after every access."""
+
+    def on_attach(self, domain: int) -> None:
+        # The key's default permission is inaccessible (Section V).
+        for thread in self.workspace.process.threads:
+            self.workspace.recorder.init_perm(thread.tid, domain, Perm.NONE)
+
+    def before_access(self, tid: int, domain: int, is_write: bool) -> None:
+        self.workspace.recorder.perm(tid, domain, Perm.RW)
+
+    def after_access(self, tid: int, domain: int, is_write: bool) -> None:
+        self.workspace.recorder.perm(tid, domain, Perm.NONE)
+
+
+class PerOpPolicy(PermissionPolicy):
+    """Micro-benchmark discipline: global read, per-op write windows."""
+
+    def __init__(self):
+        super().__init__()
+        self._granted: Dict[int, Set[int]] = {}  # tid -> domains with +W
+
+    def on_attach(self, domain: int) -> None:
+        # The application has read permission for all PMOs (Section V).
+        for thread in self.workspace.process.threads:
+            self.workspace.recorder.init_perm(thread.tid, domain, Perm.R)
+
+    def before_access(self, tid: int, domain: int, is_write: bool) -> None:
+        if not is_write:
+            return
+        granted = self._granted.get(tid)
+        if granted is None:
+            raise SimulationError(
+                "PerOpPolicy: write outside an operation() scope")
+        if domain not in granted:
+            self.workspace.recorder.perm(tid, domain, Perm.RW)
+            granted.add(domain)
+
+    @contextmanager
+    def operation(self, tid: int):
+        if tid in self._granted:
+            raise SimulationError("nested operation() scopes")
+        self._granted[tid] = set()
+        try:
+            yield
+        finally:
+            for domain in sorted(self._granted.pop(tid)):
+                self.workspace.recorder.perm(tid, domain, Perm.R)
+
+
+class UnprotectedPolicy(PermissionPolicy):
+    """No permission instrumentation at all (pure baseline traces)."""
+
+
+class PoolHandle:
+    """An attached pool as seen by a workload."""
+
+    def __init__(self, pool: Pool, attachment: Attachment):
+        self.pool = pool
+        self.attachment = attachment
+
+    @property
+    def domain(self) -> int:
+        return self.attachment.pmo_id
+
+    @property
+    def base(self) -> int:
+        return self.attachment.vma.base
+
+    def va_of(self, oid: OID, offset: int = 0) -> int:
+        return self.attachment.vma.base + oid.offset + offset
+
+
+class Workspace:
+    """Kernel + process + recorder + permission policy for one workload."""
+
+    def __init__(self, policy: Optional[PermissionPolicy] = None,
+                 *, kernel: Optional[Kernel] = None, seed: int = 0,
+                 label: str = ""):
+        self.kernel = kernel or Kernel()
+        self.process = self.kernel.create_process()
+        self.recorder = TraceRecorder(label)
+        self.policy = policy or UnprotectedPolicy()
+        self.policy.bind(self)
+        self.rng = random.Random(seed)
+        self.pools: Dict[int, PoolHandle] = {}
+        self._recording = True
+        self._stack_vma = self.kernel.map_volatile(self.process, 1 << 20)
+        self.mem = PMem(self)
+        #: The thread currently "on the core"; untagged accesses belong
+        #: to it.  Updated by context_switch (the scheduler drives this).
+        self.current_tid = self.process.main_thread.tid
+
+    @property
+    def tid(self) -> int:
+        return self.current_tid
+
+    # -- pools ---------------------------------------------------------------------
+
+    def create_and_attach(self, name: str, size: int,
+                          *, intent: Perm = Perm.RW) -> PoolHandle:
+        """Create a pool and attach it (the domain gets its attach event)."""
+        self.kernel.pools.pool_create(
+            name, size, (Perm.RW, Perm.NONE), owner=self.process.uid)
+        return self.attach(name, intent=intent)
+
+    def attach(self, name: str, *, intent: Perm = Perm.RW) -> PoolHandle:
+        attachment = self.kernel.attach(self.process, name, intent)
+        pool = self.kernel.pools.pool_by_id(attachment.pmo_id)
+        handle = PoolHandle(pool, attachment)
+        self.pools[attachment.pmo_id] = handle
+        self.recorder.attach(attachment.pmo_id, attachment.vma, intent)
+        self.policy.on_attach(attachment.pmo_id)
+        return handle
+
+    def detach(self, handle: PoolHandle) -> None:
+        self.recorder.detach(handle.domain)
+        self.kernel.detach(self.process, handle.domain)
+        del self.pools[handle.domain]
+
+    # -- recording control --------------------------------------------------------------
+
+    @contextmanager
+    def untraced(self):
+        """Suspend event recording (setup phases: initial node population)."""
+        saved = self._recording
+        self._recording = False
+        try:
+            yield
+        finally:
+            self._recording = saved
+
+    @property
+    def recording(self) -> bool:
+        return self._recording
+
+    @contextmanager
+    def operation(self, tid: Optional[int] = None):
+        """One data-structure operation (permission-policy scope)."""
+        with self.policy.operation(tid if tid is not None else self.tid):
+            yield
+
+    def compute(self, instructions: int) -> None:
+        """Model non-memory work (loop control, comparisons, hashing)."""
+        if self._recording:
+            self.recorder.compute(instructions)
+
+    def fetch(self, vaddr: int, *, tid: Optional[int] = None) -> None:
+        """Record an instruction fetch (execute-only memory support)."""
+        self.kernel.ensure_mapped(self.process, vaddr)
+        if self._recording:
+            self.recorder.fetch(tid if tid is not None else self.tid,
+                                vaddr)
+
+    def stack_access(self, tid: Optional[int] = None, *, n: int = 1,
+                     is_write: bool = False) -> None:
+        """Record volatile (DRAM, domainless) accesses on the stack region."""
+        if not self._recording:
+            return
+        tid = tid if tid is not None else self.tid
+        base = self._stack_vma.base
+        for i in range(n):
+            addr = base + (i * 8) % 4096
+            if is_write:
+                self.recorder.store(tid, addr)
+            else:
+                self.recorder.load(tid, addr)
+
+    def context_switch(self, old: Thread, new: Thread) -> None:
+        self.current_tid = new.tid
+        if self._recording:
+            self.recorder.context_switch(old.tid, new.tid)
+
+    def finish(self) -> Trace:
+        return self.recorder.finish()
+
+
+class PMem:
+    """Traced, permission-instrumented typed access to pool memory."""
+
+    def __init__(self, workspace: Workspace):
+        self._ws = workspace
+
+    def _resolve(self, oid: OID, offset: int) -> Tuple[PoolHandle, int, int]:
+        handle = self._ws.pools[oid.pool_id]
+        addr = oid.offset + offset
+        va = handle.attachment.vma.base + addr
+        return handle, addr, va
+
+    def _trace(self, tid: int, handle: PoolHandle, va: int, size: int,
+               is_write: bool) -> None:
+        ws = self._ws
+        ws.kernel.ensure_mapped(ws.process, va)
+        if not ws.recording:
+            return
+        ws.policy.before_access(tid, handle.domain, is_write)
+        if is_write:
+            ws.recorder.store(tid, va, size)
+        else:
+            ws.recorder.load(tid, va, size)
+        ws.policy.after_access(tid, handle.domain, is_write)
+
+    # -- allocation -------------------------------------------------------------------
+
+    def pmalloc(self, handle: PoolHandle, size: int, *, align: int = 8) -> OID:
+        return handle.pool.pmalloc(size, align=align)
+
+    def pfree(self, oid: OID) -> None:
+        self._ws.pools[oid.pool_id].pool.pfree(oid)
+
+    # -- typed access -------------------------------------------------------------------
+
+    def read_u64(self, oid: OID, offset: int = 0,
+                 *, tid: Optional[int] = None) -> int:
+        handle, addr, va = self._resolve(oid, offset)
+        self._trace(tid if tid is not None else self._ws.tid,
+                    handle, va, 8, False)
+        return handle.pool.memory.read_u64(addr)
+
+    def write_u64(self, oid: OID, offset: int, value: int,
+                  *, tid: Optional[int] = None) -> None:
+        handle, addr, va = self._resolve(oid, offset)
+        self._trace(tid if tid is not None else self._ws.tid,
+                    handle, va, 8, True)
+        handle.pool.memory.write_u64(addr, value)
+
+    def read_oid(self, oid: OID, offset: int = 0,
+                 *, tid: Optional[int] = None) -> OID:
+        return OID.unpack(self.read_u64(oid, offset, tid=tid))
+
+    def write_oid(self, oid: OID, offset: int, target: OID,
+                  *, tid: Optional[int] = None) -> None:
+        self.write_u64(oid, offset, target.pack(), tid=tid)
+
+    def read_bytes(self, oid: OID, offset: int, length: int,
+                   *, tid: Optional[int] = None) -> bytes:
+        """Read a byte range, traced as one access per 8-byte word."""
+        handle, addr, va = self._resolve(oid, offset)
+        tid = tid if tid is not None else self._ws.tid
+        for word in range(0, length, 8):
+            self._trace(tid, handle, va + word, min(8, length - word), False)
+        return handle.pool.memory.read(addr, length)
+
+    def write_bytes(self, oid: OID, offset: int, data: bytes,
+                    *, tid: Optional[int] = None) -> None:
+        handle, addr, va = self._resolve(oid, offset)
+        tid = tid if tid is not None else self._ws.tid
+        for word in range(0, len(data), 8):
+            self._trace(tid, handle, va + word, min(8, len(data) - word), True)
+        handle.pool.memory.write(addr, data)
+
+    # -- bulk moves (traced at cache-line granularity) -----------------------------------
+    #
+    # B+-tree shifts and splits move whole runs of entries; hardware moves
+    # them line by line, so one load+store pair is traced per 64B line
+    # instead of per word, keeping traces proportional to real traffic.
+
+    def move_range(self, oid: OID, src_off: int, dst_off: int, nbytes: int,
+                   *, tid: Optional[int] = None) -> None:
+        """Intra-object memmove, traced per 64-byte line."""
+        if nbytes <= 0:
+            return
+        handle, src_addr, src_va = self._resolve(oid, src_off)
+        _, dst_addr, dst_va = self._resolve(oid, dst_off)
+        tid = tid if tid is not None else self._ws.tid
+        for line in range(0, nbytes, 64):
+            self._trace(tid, handle, src_va + line, 8, False)
+            self._trace(tid, handle, dst_va + line, 8, True)
+        data = handle.pool.memory.read(src_addr, nbytes)
+        handle.pool.memory.write(dst_addr, data)
+
+    def copy_range(self, src: OID, src_off: int, dst: OID, dst_off: int,
+                   nbytes: int, *, tid: Optional[int] = None) -> None:
+        """Inter-object copy (e.g. node split), traced per 64-byte line."""
+        if nbytes <= 0:
+            return
+        src_handle, src_addr, src_va = self._resolve(src, src_off)
+        dst_handle, dst_addr, dst_va = self._resolve(dst, dst_off)
+        tid = tid if tid is not None else self._ws.tid
+        for line in range(0, nbytes, 64):
+            self._trace(tid, src_handle, src_va + line, 8, False)
+            self._trace(tid, dst_handle, dst_va + line, 8, True)
+        data = src_handle.pool.memory.read(src_addr, nbytes)
+        dst_handle.pool.memory.write(dst_addr, data)

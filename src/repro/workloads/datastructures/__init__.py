@@ -1,0 +1,19 @@
+"""Persistent data structures used by the benchmark suites."""
+
+from .avl import PersistentAVL
+from .btree import PersistentBPlusTree
+from .critbit import PersistentCritbitTree
+from .hashmap import PersistentHashMap
+from .linkedlist import PersistentLinkedList
+from .rbtree import PersistentRBTree
+from .stringswap import PersistentStringArray
+
+__all__ = [
+    "PersistentAVL",
+    "PersistentBPlusTree",
+    "PersistentCritbitTree",
+    "PersistentHashMap",
+    "PersistentLinkedList",
+    "PersistentRBTree",
+    "PersistentStringArray",
+]

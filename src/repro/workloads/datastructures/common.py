@@ -1,0 +1,84 @@
+"""Shared plumbing for the persistent data structures.
+
+Every structure of Table III/IV stores its nodes *in pools* and reaches
+them through traced :class:`~repro.workloads.base.PMem` accesses, so the
+traces carry genuine pointer-chasing behaviour.  A structure spanning
+multiple pools (the multi-PMO microbenchmarks) places each new node in a
+random pool of its :class:`PoolSet`, which is what makes traversals hop
+protection domains.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ...pmo.oid import NULL_OID, OID
+from ..base import PMem, PoolHandle, Workspace
+
+
+class PoolSet:
+    """The pools a structure spreads over, plus its anchor object.
+
+    The anchor lives in the first pool's root object and persistently
+    holds the structure's entry pointer (root/head) and element count —
+    the "directory of the contents" role of Table I's root object.
+    """
+
+    ANCHOR_SIZE = 64
+
+    def __init__(self, workspace: Workspace, pools: List[PoolHandle],
+                 *, spill: float = 0.0, node_align: int = 8):
+        if not pools:
+            raise ValueError("a structure needs at least one pool")
+        if not 0.0 <= spill <= 1.0:
+            raise ValueError("spill must be a fraction")
+        self.ws = workspace
+        self.mem: PMem = workspace.mem
+        self.pools = pools
+        #: Probability that a new node lands in a random non-home pool —
+        #: the paper's "data structures contain nodes in different PMOs".
+        self.spill = spill
+        #: Minimum node alignment.  4096 scatters 64-byte nodes one per
+        #: page, reproducing the TLB pressure of the paper's 8MB pools.
+        self.node_align = node_align
+        with workspace.untraced():
+            self.anchor: OID = pools[0].pool.root(self.ANCHOR_SIZE)
+
+    def pick_pool(self) -> PoolHandle:
+        """Home pool, or (with probability ``spill``) a random other one."""
+        pools = self.pools
+        if len(pools) == 1:
+            return pools[0]
+        if self.spill and self.ws.rng.random() < self.spill:
+            return pools[self.ws.rng.randrange(len(pools))]
+        return pools[0]
+
+    def alloc_node(self, size: int, *, align: int = 8) -> OID:
+        return self.pick_pool().pool.pmalloc(
+            size, align=max(align, self.node_align))
+
+    def free_node(self, oid: OID) -> None:
+        self.ws.pools[oid.pool_id].pool.pfree(oid)
+
+    # -- anchor fields (slot 0: entry OID, slot 1: element count) -------------------
+
+    def read_entry(self) -> OID:
+        return self.mem.read_oid(self.anchor, 0)
+
+    def write_entry(self, oid: OID) -> None:
+        self.mem.write_oid(self.anchor, 0, oid)
+
+    def read_count(self) -> int:
+        # Counts are bookkeeping, not part of the measured access pattern:
+        # updating them per operation would add an artificial write (and a
+        # write-permission grant) on the anchor pool to every operation.
+        with self.ws.untraced():
+            return self.mem.read_u64(self.anchor, 8)
+
+    def write_count(self, value: int) -> None:
+        with self.ws.untraced():
+            self.mem.write_u64(self.anchor, 8, value)
+
+
+def is_null(oid: Optional[OID]) -> bool:
+    return oid is None or oid == NULL_OID or oid.is_null()

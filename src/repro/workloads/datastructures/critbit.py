@@ -1,0 +1,195 @@
+"""Persistent crit-bit tree — the C-tree of the WHISPER suite.
+
+A binary radix (PATRICIA-style) tree over 64-bit keys: internal nodes
+store the index of the critical bit and two children; leaves store the
+key/value.  Lookups and inserts walk at most 64 internal nodes but in
+practice ~log(n) of them; every hop is a pointer chase into a potentially
+different page.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ...pmo.oid import NULL_OID, OID
+from ..base import PoolHandle, Workspace
+from .common import PoolSet, is_null
+
+OFF_TYPE = 0     # 0 = leaf, 1 = internal
+OFF_KEY = 8      # leaf: key          internal: critical bit index (0 = MSB)
+OFF_VALUE = 16   # leaf: value        internal: child0
+OFF_CHILD1 = 24  # internal only
+NODE_SIZE = 64
+
+LEAF = 0
+INTERNAL = 1
+
+
+def _bit(key: int, index: int) -> int:
+    """Bit ``index`` of a 64-bit key, counting from the MSB."""
+    return (key >> (63 - index)) & 1
+
+
+class PersistentCritbitTree:
+    """Crit-bit tree keyed by u64."""
+
+    def __init__(self, workspace: Workspace, pools: List[PoolHandle],
+                 *, spill: float = 0.0, node_align: int = 8):
+        self.ps = PoolSet(workspace, pools, spill=spill,
+                          node_align=node_align)
+        self.mem = self.ps.mem
+        with workspace.untraced():
+            self.ps.write_entry(NULL_OID)
+            self.ps.write_count(0)
+
+    def __len__(self) -> int:
+        return self.ps.read_count()
+
+    # -- node helpers ---------------------------------------------------------------
+
+    def _new_leaf(self, key: int, value: int) -> OID:
+        node = self.ps.alloc_node(NODE_SIZE)
+        self.mem.write_u64(node, OFF_TYPE, LEAF)
+        self.mem.write_u64(node, OFF_KEY, key)
+        self.mem.write_u64(node, OFF_VALUE, value)
+        return node
+
+    def _new_internal(self, bit: int, child0: OID, child1: OID) -> OID:
+        node = self.ps.alloc_node(NODE_SIZE)
+        self.mem.write_u64(node, OFF_TYPE, INTERNAL)
+        self.mem.write_u64(node, OFF_KEY, bit)
+        self.mem.write_oid(node, OFF_VALUE, child0)
+        self.mem.write_oid(node, OFF_CHILD1, child1)
+        return node
+
+    def _is_leaf(self, node: OID) -> bool:
+        return self.mem.read_u64(node, OFF_TYPE) == LEAF
+
+    def _child(self, node: OID, direction: int) -> OID:
+        return self.mem.read_oid(
+            node, OFF_CHILD1 if direction else OFF_VALUE)
+
+    def _set_child(self, node: OID, direction: int, child: OID) -> None:
+        self.mem.write_oid(node, OFF_CHILD1 if direction else OFF_VALUE,
+                           child)
+
+    def _walk_to_leaf(self, key: int) -> OID:
+        node = self.ps.read_entry()
+        while not self._is_leaf(node):
+            bit = self.mem.read_u64(node, OFF_KEY)
+            node = self._child(node, _bit(key, bit))
+        return node
+
+    # -- operations -----------------------------------------------------------------------
+
+    def lookup(self, key: int) -> Optional[int]:
+        if is_null(self.ps.read_entry()):
+            return None
+        leaf = self._walk_to_leaf(key)
+        if self.mem.read_u64(leaf, OFF_KEY) == key:
+            return self.mem.read_u64(leaf, OFF_VALUE)
+        return None
+
+    def insert(self, key: int, value: int) -> None:
+        root = self.ps.read_entry()
+        if is_null(root):
+            self.ps.write_entry(self._new_leaf(key, value))
+            self.ps.write_count(1)
+            return
+
+        best = self._walk_to_leaf(key)
+        best_key = self.mem.read_u64(best, OFF_KEY)
+        if best_key == key:
+            self.mem.write_u64(best, OFF_VALUE, value)
+            return
+
+        # The highest bit where the new key differs from its best match.
+        crit = 63 - (key ^ best_key).bit_length() + 1
+        direction = _bit(key, crit)
+        leaf = self._new_leaf(key, value)
+
+        # Re-walk from the root to the insertion point: the first node
+        # whose critical bit is below (numerically above) ``crit``.
+        parent = NULL_OID
+        parent_dir = 0
+        node = self.ps.read_entry()
+        while not self._is_leaf(node):
+            bit = self.mem.read_u64(node, OFF_KEY)
+            if bit > crit:
+                break
+            parent = node
+            parent_dir = _bit(key, bit)
+            node = self._child(node, parent_dir)
+
+        joint = self._new_internal(
+            crit,
+            leaf if direction == 0 else node,
+            leaf if direction == 1 else node)
+        if is_null(parent):
+            self.ps.write_entry(joint)
+        else:
+            self._set_child(parent, parent_dir, joint)
+        self.ps.write_count(self.ps.read_count() + 1)
+
+    def delete(self, key: int) -> bool:
+        root = self.ps.read_entry()
+        if is_null(root):
+            return False
+        parent = NULL_OID
+        parent_dir = 0
+        grand = NULL_OID
+        grand_dir = 0
+        node = root
+        while not self._is_leaf(node):
+            bit = self.mem.read_u64(node, OFF_KEY)
+            direction = _bit(key, bit)
+            grand, grand_dir = parent, parent_dir
+            parent, parent_dir = node, direction
+            node = self._child(node, direction)
+        if self.mem.read_u64(node, OFF_KEY) != key:
+            return False
+
+        if is_null(parent):
+            self.ps.write_entry(NULL_OID)
+        else:
+            sibling = self._child(parent, 1 - parent_dir)
+            if is_null(grand):
+                self.ps.write_entry(sibling)
+            else:
+                self._set_child(grand, grand_dir, sibling)
+            self.ps.free_node(parent)
+        self.ps.free_node(node)
+        self.ps.write_count(self.ps.read_count() - 1)
+        return True
+
+    # -- validation aids -----------------------------------------------------------------
+
+    def keys(self) -> List[int]:
+        out: List[int] = []
+        root = self.ps.read_entry()
+        if is_null(root):
+            return out
+        stack = [root]
+        while stack:
+            node = stack.pop()
+            if self._is_leaf(node):
+                out.append(self.mem.read_u64(node, OFF_KEY))
+            else:
+                stack.append(self._child(node, 0))
+                stack.append(self._child(node, 1))
+        return sorted(out)
+
+    def check_invariants(self) -> None:
+        """Critical bits strictly increase along every root-leaf path."""
+        def recurse(node: OID, min_bit: int) -> None:
+            if self._is_leaf(node):
+                return
+            bit = self.mem.read_u64(node, OFF_KEY)
+            if bit < min_bit:
+                raise AssertionError("crit-bit order violated")
+            recurse(self._child(node, 0), bit + 1)
+            recurse(self._child(node, 1), bit + 1)
+
+        root = self.ps.read_entry()
+        if not is_null(root):
+            recurse(root, 0)

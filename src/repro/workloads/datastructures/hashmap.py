@@ -1,0 +1,109 @@
+"""Persistent chained hash map (the Hashmap of the WHISPER suite).
+
+A persistent bucket array of chain-head pointers plus 64-byte chain nodes
+(key, value, next).  Gets hash to a bucket (one array load) then walk a
+short chain; puts prepend to the chain — the access pattern of PM
+key-value stores like Echo.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ...pmo.oid import NULL_OID, OID
+from ..base import PoolHandle, Workspace
+from .common import PoolSet, is_null
+
+OFF_KEY = 0
+OFF_VALUE = 8
+OFF_NEXT = 16
+NODE_SIZE = 64
+
+#: Fibonacci multiplicative hashing (golden-ratio constant for 64 bits).
+_HASH_MULT = 0x9E3779B97F4A7C15
+
+
+def _hash(key: int) -> int:
+    return ((key * _HASH_MULT) & 0xFFFF_FFFF_FFFF_FFFF) >> 32
+
+
+class PersistentHashMap:
+    """Chained hash map over pool memory."""
+
+    def __init__(self, workspace: Workspace, pools: List[PoolHandle],
+                 n_buckets: int = 4096):
+        if n_buckets <= 0:
+            raise ValueError("need at least one bucket")
+        self.ps = PoolSet(workspace, pools)  # single-pool use (WHISPER)
+        self.mem = self.ps.mem
+        self.ws = workspace
+        self.n_buckets = n_buckets
+        with workspace.untraced():
+            self.buckets = pools[0].pool.pmalloc(n_buckets * 8)
+            self.ps.write_count(0)
+
+    def __len__(self) -> int:
+        return self.ps.read_count()
+
+    def _bucket_index(self, key: int) -> int:
+        self.ws.compute(4)  # the multiply/shift/mask of the hash
+        return _hash(key) % self.n_buckets
+
+    def _bucket_head(self, index: int) -> OID:
+        return self.mem.read_oid(self.buckets, index * 8)
+
+    # -- operations -----------------------------------------------------------------------
+
+    def put(self, key: int, value: int) -> None:
+        index = self._bucket_index(key)
+        head = self._bucket_head(index)
+        cur = head
+        while not is_null(cur):
+            if self.mem.read_u64(cur, OFF_KEY) == key:
+                self.mem.write_u64(cur, OFF_VALUE, value)
+                return
+            cur = self.mem.read_oid(cur, OFF_NEXT)
+        node = self.ps.alloc_node(NODE_SIZE)
+        self.mem.write_u64(node, OFF_KEY, key)
+        self.mem.write_u64(node, OFF_VALUE, value)
+        self.mem.write_oid(node, OFF_NEXT, head if not is_null(head)
+                           else NULL_OID)
+        self.mem.write_oid(self.buckets, index * 8, node)
+        self.ps.write_count(self.ps.read_count() + 1)
+
+    def get(self, key: int) -> Optional[int]:
+        cur = self._bucket_head(self._bucket_index(key))
+        while not is_null(cur):
+            if self.mem.read_u64(cur, OFF_KEY) == key:
+                return self.mem.read_u64(cur, OFF_VALUE)
+            cur = self.mem.read_oid(cur, OFF_NEXT)
+        return None
+
+    def remove(self, key: int) -> bool:
+        index = self._bucket_index(key)
+        prev = NULL_OID
+        cur = self._bucket_head(index)
+        while not is_null(cur):
+            if self.mem.read_u64(cur, OFF_KEY) == key:
+                nxt = self.mem.read_oid(cur, OFF_NEXT)
+                if is_null(prev):
+                    self.mem.write_oid(self.buckets, index * 8, nxt)
+                else:
+                    self.mem.write_oid(prev, OFF_NEXT, nxt)
+                self.ps.free_node(cur)
+                self.ps.write_count(self.ps.read_count() - 1)
+                return True
+            prev = cur
+            cur = self.mem.read_oid(cur, OFF_NEXT)
+        return False
+
+    # -- validation aids -------------------------------------------------------------------
+
+    def keys(self) -> List[int]:
+        out: List[int] = []
+        for index in range(self.n_buckets):
+            cur = self._bucket_head(index)
+            while not is_null(cur):
+                out.append(self.mem.read_u64(cur, OFF_KEY))
+                cur = self.mem.read_oid(cur, OFF_NEXT)
+        return sorted(out)

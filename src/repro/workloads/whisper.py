@@ -1,0 +1,269 @@
+"""WHISPER-style single-PMO benchmarks — Table III / Table V.
+
+Re-implementations of the access skeletons of the WHISPER suite [37]:
+PM key-value stores (Echo, Redis), database-like transactions (YCSB-like,
+TPC-C-like) and PM data structures (C-tree, Hashmap), all working in one
+2GB PMO.  Following Section V, the PMO's key default permission is
+inaccessible and a WRPKRU/SETPERM pair surrounds *every* PMO access
+(:class:`~repro.workloads.base.PerAccessPolicy`).
+
+Real WHISPER applications interleave substantial volatile work (request
+parsing, volatile indexes, allocator bookkeeping) between PM accesses —
+that is what puts their permission-switch rates around one million per
+second instead of one per hundred cycles.  ``compute_per_txn`` models that
+volatile work per transaction; its defaults are calibrated so the
+reproduced switch rates land in the paper's band (Table V).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, Tuple
+
+from ..cpu.trace import Trace
+from ..pmo.oid import NULL_OID, OID
+from .base import PerAccessPolicy, PoolHandle, Workspace
+from .datastructures import PersistentCritbitTree, PersistentHashMap
+
+WHISPER_BENCHMARKS = ("echo", "ycsb", "tpcc", "ctree", "hashmap", "redis")
+
+WHISPER_LABELS = {
+    "echo": "Echo",
+    "ycsb": "YCSB",
+    "tpcc": "TPCC",
+    "ctree": "C-tree",
+    "hashmap": "Hashmap",
+    "redis": "Redis",
+}
+
+#: Volatile instructions per transaction, per benchmark.  These stand in
+#: for the applications' non-PM work; larger values mean sparser PM
+#: accesses (Echo's batching/serialization makes it the sparsest).
+DEFAULT_COMPUTE: Dict[str, int] = {
+    "echo": 97_000,
+    "ycsb": 27_000,
+    "tpcc": 202_000,
+    "ctree": 630_000,
+    "hashmap": 52_000,
+    "redis": 100_000,
+}
+
+
+@dataclass(frozen=True)
+class WhisperParams:
+    """Parameters of one WHISPER-style run."""
+
+    benchmark: str
+    transactions: int = 5000
+    pool_size: int = 2 << 30
+    records: int = 4096
+    write_fraction: float = 0.8  # YCSB/TPCC: 80% writes (Table III)
+    seed: int = 11
+    compute_per_txn: int = 0  # 0 = use DEFAULT_COMPUTE[benchmark]
+    stack_per_txn: int = 4
+
+    def scaled(self, factor: float) -> "WhisperParams":
+        return replace(self,
+                       transactions=max(1, int(self.transactions * factor)))
+
+    @property
+    def compute(self) -> int:
+        return self.compute_per_txn or DEFAULT_COMPUTE[self.benchmark]
+
+
+def _key(rng, space: int) -> int:
+    return rng.randrange(1, space)
+
+
+class _EchoApp:
+    """Echo: log-structured KV store — append to a log, update the index."""
+
+    def __init__(self, ws: Workspace, pool: PoolHandle, params: WhisperParams):
+        self.ws = ws
+        self.params = params
+        self.index = PersistentHashMap(ws, [pool], n_buckets=4096)
+        with ws.untraced():
+            self.log = pool.pool.pmalloc(1 << 22)
+        self.log_pos = 0
+
+    def txn(self) -> None:
+        rng = self.ws.rng
+        key = _key(rng, self.params.records)
+        value = rng.getrandbits(32)
+        # Append the (key, value, seqno) record to the persistent log.
+        for word, datum in enumerate((key, value, self.log_pos)):
+            self.ws.mem.write_u64(self.log, (self.log_pos * 3 + word) * 8,
+                                  datum)
+        self.log_pos = (self.log_pos + 1) % ((1 << 22) // 24 - 1)
+        self.index.put(key, value)
+
+
+class _HashmapApp:
+    """Hashmap: pure inserts (Table III: 100K insert operations)."""
+
+    def __init__(self, ws: Workspace, pool: PoolHandle, params: WhisperParams):
+        self.ws = ws
+        self.params = params
+        self.map = PersistentHashMap(ws, [pool], n_buckets=8192)
+
+    def txn(self) -> None:
+        key = self.ws.rng.getrandbits(40) + 1
+        self.map.put(key, key)
+
+
+class _CtreeApp:
+    """C-tree: crit-bit tree inserts (Table III: 100K insert operations)."""
+
+    def __init__(self, ws: Workspace, pool: PoolHandle, params: WhisperParams):
+        self.ws = ws
+        self.tree = PersistentCritbitTree(ws, [pool])
+
+    def txn(self) -> None:
+        key = self.ws.rng.getrandbits(40) + 1
+        self.tree.insert(key, key)
+
+
+class _YCSBApp:
+    """YCSB-like: 80% updates / 20% reads over a fixed record set."""
+
+    def __init__(self, ws: Workspace, pool: PoolHandle, params: WhisperParams):
+        self.ws = ws
+        self.params = params
+        self.map = PersistentHashMap(ws, [pool], n_buckets=4096)
+        with ws.untraced():
+            for key in range(1, params.records + 1):
+                self.map.put(key, key)
+
+    def txn(self) -> None:
+        rng = self.ws.rng
+        key = _key(rng, self.params.records)
+        if rng.random() < self.params.write_fraction:
+            self.map.put(key, rng.getrandbits(32))
+        else:
+            self.map.get(key)
+
+
+class _TPCCApp:
+    """TPC-C-like new-order transactions: stock updates + an order record.
+
+    Each transaction touches several stock rows (read-modify-write), a
+    district counter and the order log — the densest PM access pattern of
+    the suite, which is why TPCC tops Table V.
+    """
+
+    ITEMS_PER_ORDER = 8
+
+    def __init__(self, ws: Workspace, pool: PoolHandle, params: WhisperParams):
+        self.ws = ws
+        self.params = params
+        with ws.untraced():
+            self.stock = pool.pool.pmalloc(params.records * 64)
+            self.district = pool.pool.pmalloc(64)
+            self.orders = pool.pool.pmalloc(1 << 22)
+            ws.mem.write_u64(self.district, 0, 1)
+        self.order_pos = 0
+
+    def txn(self) -> None:
+        ws = self.ws
+        rng = ws.rng
+        # Read + increment the district's next-order-id.
+        order_id = ws.mem.read_u64(self.district, 0)
+        ws.mem.write_u64(self.district, 0, order_id + 1)
+        # Read-modify-write a handful of stock rows.
+        for _ in range(self.ITEMS_PER_ORDER):
+            item = rng.randrange(self.params.records)
+            quantity = ws.mem.read_u64(self.stock, item * 64)
+            ws.compute(6)
+            ws.mem.write_u64(self.stock, item * 64, quantity + 1)
+        # Append the order record.
+        base = (self.order_pos * 4) % ((1 << 22) - 64)
+        for word in range(4):
+            ws.mem.write_u64(self.orders, base + word * 8, order_id)
+        self.order_pos += 1
+
+
+class _RedisApp:
+    """Redis-like LRU store: gets/puts plus LRU list maintenance."""
+
+    OFF_PREV = 24
+    OFF_NEXT_LRU = 32
+
+    def __init__(self, ws: Workspace, pool: PoolHandle, params: WhisperParams):
+        self.ws = ws
+        self.params = params
+        self.map = PersistentHashMap(ws, [pool], n_buckets=4096)
+        with ws.untraced():
+            self.lru_anchor = pool.pool.pmalloc(16)  # head pointer
+            ws.mem.write_oid(self.lru_anchor, 0, NULL_OID)
+        self.node_of: Dict[int, OID] = {}
+        self.pool = pool
+
+    def _push_front(self, node: OID) -> None:
+        ws = self.ws
+        head = ws.mem.read_oid(self.lru_anchor, 0)
+        ws.mem.write_oid(node, self.OFF_PREV, NULL_OID)
+        ws.mem.write_oid(node, self.OFF_NEXT_LRU,
+                         head if not head.is_null() else NULL_OID)
+        if not head.is_null():
+            ws.mem.write_oid(head, self.OFF_PREV, node)
+        ws.mem.write_oid(self.lru_anchor, 0, node)
+
+    def _unlink(self, node: OID) -> None:
+        ws = self.ws
+        prev = ws.mem.read_oid(node, self.OFF_PREV)
+        nxt = ws.mem.read_oid(node, self.OFF_NEXT_LRU)
+        if prev.is_null():
+            ws.mem.write_oid(self.lru_anchor, 0, nxt)
+        else:
+            ws.mem.write_oid(prev, self.OFF_NEXT_LRU, nxt)
+        if not nxt.is_null():
+            ws.mem.write_oid(nxt, self.OFF_PREV, prev)
+
+    def txn(self) -> None:
+        ws = self.ws
+        rng = ws.rng
+        key = _key(rng, self.params.records)
+        node = self.node_of.get(key)
+        if node is not None and rng.random() < 0.5:  # GET: read + LRU touch
+            ws.mem.read_u64(node, 8)
+            self._unlink(node)
+            self._push_front(node)
+            return
+        if node is None:  # PUT of a new key
+            node = self.pool.pool.pmalloc(64)
+            ws.mem.write_u64(node, 0, key)
+            self.node_of[key] = node
+            self.map.put(key, node.pack())
+            ws.mem.write_u64(node, 8, rng.getrandbits(32))
+            self._push_front(node)
+            return
+        # PUT of an existing key: update value, move to LRU front.
+        ws.mem.write_u64(node, 8, rng.getrandbits(32))
+        self._unlink(node)
+        self._push_front(node)
+
+
+_APPS = {
+    "echo": _EchoApp,
+    "ycsb": _YCSBApp,
+    "tpcc": _TPCCApp,
+    "ctree": _CtreeApp,
+    "hashmap": _HashmapApp,
+    "redis": _RedisApp,
+}
+
+
+def generate_whisper_trace(params: WhisperParams) -> Tuple[Trace, Workspace]:
+    """Build and execute one WHISPER-style benchmark."""
+    if params.benchmark not in WHISPER_BENCHMARKS:
+        raise ValueError(f"unknown WHISPER benchmark {params.benchmark!r}; "
+                         f"choose from {WHISPER_BENCHMARKS}")
+    ws = Workspace(PerAccessPolicy(), seed=params.seed,
+                   label=f"whisper-{params.benchmark}")
+    pool = ws.create_and_attach("whisper", params.pool_size)
+    app = _APPS[params.benchmark](ws, pool, params)
+    for _ in range(params.transactions):
+        ws.compute(params.compute)
+        ws.stack_access(n=params.stack_per_txn)
+        app.txn()
+    return ws.finish(), ws

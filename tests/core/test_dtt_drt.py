@@ -1,0 +1,114 @@
+"""Tests for the DTT and DRT radix tables."""
+
+import pytest
+
+from repro.core.drt import DomainRangeTable
+from repro.core.dtt import NO_KEY, DomainTranslationTable
+from repro.errors import DomainError
+from repro.permissions import Perm
+from repro.os.address_space import GB1, KB4, MB2, VMA
+
+
+def vma(domain, base, size, granule):
+    reserved = -(-size // granule) * granule
+    return VMA(base=base, reserved=reserved, size=size, pmo_id=domain,
+               granule=granule, is_nvm=True)
+
+
+@pytest.fixture(params=[DomainTranslationTable, DomainRangeTable])
+def table(request):
+    return request.param()
+
+
+class TestRadixCommon:
+    """Behaviour shared by the DTT and DRT (same radix organisation)."""
+
+    def test_walk_finds_4kb_domain(self, table):
+        table.add(vma(7, 0x2000_0000_0000, KB4, KB4))
+        entry = table.walk(0x2000_0000_0000 + 100)
+        assert entry.domain == 7
+
+    def test_walk_finds_2mb_domain(self, table):
+        table.add(vma(8, 0x2000_0020_0000, MB2, MB2))
+        assert table.walk(0x2000_0020_0000 + MB2 - 1).domain == 8
+
+    def test_walk_finds_1gb_domain(self, table):
+        table.add(vma(9, 0x2000_4000_0000, 8 << 20, GB1))
+        assert table.walk(0x2000_4000_0000 + (5 << 20)).domain == 9
+
+    def test_walk_outside_any_domain_is_null(self, table):
+        table.add(vma(7, 0x2000_0000_0000, KB4, KB4))
+        assert table.walk(0x7000_0000_0000) is None
+
+    def test_adjacent_4kb_domains_are_distinct(self, table):
+        table.add(vma(1, 0x2000_0000_0000, KB4, KB4))
+        table.add(vma(2, 0x2000_0000_1000, KB4, KB4))
+        assert table.walk(0x2000_0000_0000).domain == 1
+        assert table.walk(0x2000_0000_1000).domain == 2
+
+    def test_multi_granule_domain_covers_all_chunks(self, table):
+        # A 3GB PMO takes three consecutive 1GB granules.
+        table.add(vma(3, 0x2000_8000_0000, 3 * GB1, GB1))
+        for chunk in range(3):
+            addr = 0x2000_8000_0000 + chunk * GB1 + 12345
+            assert table.walk(addr).domain == 3
+
+    def test_duplicate_domain_rejected(self, table):
+        table.add(vma(5, 0x2000_0000_0000, KB4, KB4))
+        with pytest.raises(DomainError):
+            table.add(vma(5, 0x2000_0000_2000, KB4, KB4))
+
+    def test_remove_clears_mapping(self, table):
+        table.add(vma(5, 0x2000_0000_0000, KB4, KB4))
+        table.remove(5)
+        assert table.walk(0x2000_0000_0000) is None
+        assert 5 not in table
+
+    def test_remove_unknown_domain(self, table):
+        with pytest.raises(DomainError):
+            table.remove(42)
+
+    def test_len_and_contains(self, table):
+        table.add(vma(1, 0x2000_0000_0000, KB4, KB4))
+        table.add(vma(2, 0x2000_4000_0000, MB2, MB2))
+        assert len(table) == 2
+        assert 1 in table and 2 in table and 3 not in table
+
+    def test_walk_count_increments(self, table):
+        table.add(vma(1, 0x2000_0000_0000, KB4, KB4))
+        table.walk(0x2000_0000_0000)
+        table.walk(0x2000_0000_0000)
+        assert table.walk_count == 2
+
+
+class TestDTTSpecifics:
+    def test_new_entry_has_no_key(self):
+        dtt = DomainTranslationTable()
+        entry = dtt.add(vma(1, 0x2000_0000_0000, 8 << 20, GB1))
+        assert entry.key == NO_KEY
+
+    def test_per_thread_permissions_default_none(self):
+        dtt = DomainTranslationTable()
+        entry = dtt.add(vma(1, 0x2000_0000_0000, KB4, KB4))
+        assert entry.perm_for(tid=123) == Perm.NONE
+        entry.perms[123] = Perm.R
+        assert entry.perm_for(123) == Perm.R
+        assert entry.perm_for(124) == Perm.NONE
+
+    def test_by_domain_lookup(self):
+        dtt = DomainTranslationTable()
+        dtt.add(vma(4, 0x2000_0000_0000, KB4, KB4))
+        assert dtt.by_domain(4).domain == 4
+        with pytest.raises(DomainError):
+            dtt.by_domain(5)
+
+    def test_n_pages(self):
+        dtt = DomainTranslationTable()
+        entry = dtt.add(vma(1, 0x2000_0000_0000, 8 << 20, GB1))
+        assert entry.n_pages == GB1 // KB4
+
+    def test_removed_entry_marked_invalid(self):
+        dtt = DomainTranslationTable()
+        entry = dtt.add(vma(1, 0x2000_0000_0000, KB4, KB4))
+        dtt.remove(1)
+        assert not entry.valid

@@ -1,0 +1,113 @@
+"""Figure 2 — temporal and spatial protection semantics, per scheme.
+
+Part (a): a thread attaches a PMO, and loads/stores are only legal inside
+the window between granting and revoking the matching permission.
+Part (b): permissions are thread-specific — another thread that never
+obtained permission is denied.
+
+Every scheme that enforces protection must reproduce these outcomes.
+"""
+
+import pytest
+
+from repro.permissions import Perm
+
+ENFORCING_SCHEMES = ("mpk", "mpk_virt", "domain_virt", "libmpk")
+
+
+@pytest.fixture(params=ENFORCING_SCHEMES)
+def h(request, harness):
+    return harness(request.param)
+
+
+class TestTemporalIsolation:
+    """Figure 2(a): the same thread over time."""
+
+    def test_attached_but_no_permission_denies_load(self, h):
+        domain = h.add_pmo(initial=Perm.NONE)
+        assert not h.access(domain)
+
+    def test_plus_r_allows_load_but_not_store(self, h):
+        domain = h.add_pmo(initial=Perm.NONE)
+        h.setperm(domain, Perm.R)
+        assert h.access(domain)                 # ld A
+        assert not h.access(domain, is_write=True)  # st B denied
+
+    def test_plus_w_allows_store(self, h):
+        domain = h.add_pmo(initial=Perm.NONE)
+        h.setperm(domain, Perm.R)
+        h.setperm(domain, Perm.RW)
+        assert h.access(domain, is_write=True)  # st C
+
+    def test_revocation_denies_subsequent_load(self, h):
+        domain = h.add_pmo(initial=Perm.NONE)
+        h.setperm(domain, Perm.RW)
+        assert h.access(domain)
+        h.setperm(domain, Perm.NONE)
+        assert not h.access(domain)             # ld D denied
+
+    def test_revocation_applies_on_tlb_hit_path(self, h):
+        # The access right after the grant warms the TLB; revocation must
+        # still bite even though the translation is cached.
+        domain = h.add_pmo(initial=Perm.NONE)
+        h.setperm(domain, Perm.RW)
+        assert h.access(domain, offset=4096)
+        h.setperm(domain, Perm.NONE)
+        assert not h.access(domain, offset=4096)
+
+
+class TestSpatialIsolation:
+    """Figure 2(b): two threads, different rights on the same PMO."""
+
+    def test_other_thread_denied(self, h):
+        domain = h.add_pmo(initial=Perm.NONE)
+        t2 = h.spawn_thread()
+        h.setperm(domain, Perm.RW)              # thread 1 grants itself RW
+        assert h.access(domain, is_write=True)  # t1: st A permitted
+        h.context_switch(h.tid, t2)
+        assert not h.access(domain, tid=t2)     # t2: ld A denied
+
+    def test_other_thread_with_read_only_cannot_write(self, h):
+        domain = h.add_pmo(initial=Perm.NONE)
+        t2 = h.spawn_thread()
+        h.setperm(domain, Perm.RW)
+        h.context_switch(h.tid, t2)
+        h.setperm(domain, Perm.R, tid=t2)
+        assert h.access(domain, tid=t2)
+        assert not h.access(domain, tid=t2, is_write=True)  # st B denied
+
+    def test_grants_are_independent_across_threads(self, h):
+        domain = h.add_pmo(initial=Perm.NONE)
+        t2 = h.spawn_thread()
+        h.setperm(domain, Perm.RW)
+        h.context_switch(h.tid, t2)
+        h.setperm(domain, Perm.RW, tid=t2)
+        h.setperm(domain, Perm.NONE, tid=t2)    # t2 revokes its own only
+        h.context_switch(t2, h.tid)
+        assert h.access(domain, is_write=True)  # t1 still has RW
+
+
+class TestPagePermissionInteraction:
+    """The strictest of page and domain permission wins (Figure 3)."""
+
+    def test_read_only_attachment_blocks_writes_despite_domain_rw(self, h):
+        domain = h.add_pmo(intent=Perm.R, initial=Perm.NONE)
+        h.setperm(domain, Perm.RW)
+        assert h.access(domain)
+        assert not h.access(domain, is_write=True)
+
+
+class TestDomainlessAccess:
+    """NULL-domain pages bypass domain checking entirely."""
+
+    @pytest.mark.parametrize("scheme", ENFORCING_SCHEMES)
+    def test_volatile_memory_unaffected(self, harness, scheme):
+        h = harness(scheme)
+        from repro.mem.tlb import TLBEntry
+        vma = h.kernel.map_volatile(h.process, 1 << 16)
+        pte = h.kernel.ensure_mapped(h.process, vma.base)
+        pkey, domain = h.scheme.fill_tags(vma, h.tid)
+        assert domain == 0
+        entry = TLBEntry(vpn=vma.base >> 12, pfn=pte.pfn, perm=pte.perm,
+                         pkey=pkey, domain=domain)
+        assert h.scheme.check_access(h.tid, entry, True)

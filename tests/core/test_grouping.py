@@ -1,0 +1,107 @@
+"""Tests for the key-grouping security-weakening analysis (Section IV-B)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.permissions import Perm
+from repro.core.grouping import (exposure_report, greedy_grouping,
+                                 minimum_weakening, weakening)
+
+
+class TestWeakening:
+    def test_paper_example_r_and_rw_share_a_key(self):
+        """Section IV-B: R1(A) and RW1(B) sharing key X forces RW1(X),
+        so thread 1 can write A — one escalation step."""
+        intents = {0: {1: Perm.R}, 1: {1: Perm.RW}}
+        assert weakening([[0, 1]], intents) == 1  # R -> RW on A
+
+    def test_paper_example_incompatible_threads(self):
+        """RW1(B), RW1(C), RW2(B), None2(C): sharing B,C is free for
+        thread 1 but gives thread 2 RW on C (two escalation steps)."""
+        intents = {0: {1: Perm.RW, 2: Perm.RW},   # B
+                   1: {1: Perm.RW, 2: Perm.NONE}}  # C
+        assert weakening([[0, 1]], intents) == 2
+
+    def test_singleton_groups_never_weaken(self):
+        intents = {d: {1: Perm.R, 2: Perm.RW} for d in range(5)}
+        assert weakening([[d] for d in intents], intents) == 0
+
+    def test_identical_domains_merge_for_free(self):
+        intents = {d: {1: Perm.R} for d in range(4)}
+        assert weakening([list(intents)], intents) == 0
+
+
+class TestGreedyGrouping:
+    def test_respects_key_budget(self):
+        intents = {d: {1: Perm(d % 3)} for d in range(12)}
+        grouping = greedy_grouping(intents, n_keys=4)
+        assert len(grouping) <= 4
+        assert sorted(d for g in grouping for d in g) == sorted(intents)
+
+    def test_enough_keys_means_no_weakening(self):
+        intents = {d: {1: Perm(d % 3)} for d in range(6)}
+        grouping = greedy_grouping(intents, n_keys=6)
+        assert weakening(grouping, intents) == 0
+
+    def test_groups_compatible_domains_first(self):
+        # Two clusters of identical intents: greedy should merge within
+        # clusters and achieve zero weakening with two keys.
+        intents = {0: {1: Perm.R}, 1: {1: Perm.R},
+                   2: {1: Perm.RW}, 3: {1: Perm.RW}}
+        grouping = greedy_grouping(intents, n_keys=2)
+        assert weakening(grouping, intents) == 0
+
+    def test_bad_key_budget_rejected(self):
+        with pytest.raises(ValueError):
+            greedy_grouping({0: {1: Perm.R}}, n_keys=0)
+
+
+class TestThePapersArgument:
+    def test_even_optimal_grouping_weakens_security(self):
+        """The point of Section IV-B: with conflicting per-thread intents
+        and fewer keys than domains, *every* grouping — including the
+        exhaustive optimum — escalates someone's permission."""
+        intents = {
+            0: {1: Perm.RW, 2: Perm.NONE},
+            1: {1: Perm.NONE, 2: Perm.RW},
+            2: {1: Perm.R, 2: Perm.R},
+        }
+        assert minimum_weakening(intents, n_keys=2) > 0
+
+    def test_greedy_matches_optimum_on_small_instances(self):
+        intents = {
+            0: {1: Perm.RW}, 1: {1: Perm.R}, 2: {1: Perm.NONE},
+            3: {1: Perm.RW}, 4: {1: Perm.R},
+        }
+        greedy = weakening(greedy_grouping(intents, n_keys=3), intents)
+        assert greedy == minimum_weakening(intents, n_keys=3)
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.lists(st.tuples(st.sampled_from([0, 1, 2]),
+                              st.sampled_from([0, 1, 2])),
+                    min_size=4, max_size=7))
+    def test_greedy_never_beats_exhaustive(self, perms):
+        intents = {d: {1: Perm(a), 2: Perm(b)}
+                   for d, (a, b) in enumerate(perms)}
+        n_keys = 2
+        greedy = weakening(greedy_grouping(intents, n_keys), intents)
+        optimum = minimum_weakening(intents, n_keys)
+        assert greedy >= optimum
+
+    def test_exhaustive_guard(self):
+        intents = {d: {1: Perm.R} for d in range(11)}
+        with pytest.raises(ValueError):
+            minimum_weakening(intents, 2)
+
+
+class TestExposureReport:
+    def test_lists_each_escalation(self):
+        intents = {0: {1: Perm.R}, 1: {1: Perm.RW}}
+        report = exposure_report([[0, 1]], intents)
+        assert "thread 1 gains RW on domain 0" in report
+
+    def test_clean_grouping(self):
+        intents = {0: {1: Perm.R}, 1: {1: Perm.R}}
+        assert exposure_report([[0], [1]], intents) == \
+            "no security weakening"

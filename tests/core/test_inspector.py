@@ -1,0 +1,128 @@
+"""Tests for the ERIM-style trace inspector."""
+
+import pytest
+
+from repro.permissions import Perm
+from repro.core.inspector import TraceInspector, Violation, assert_clean
+from repro.cpu.trace import TraceRecorder
+from repro.os.address_space import VMA
+from repro.workloads.base import PerAccessPolicy, PerOpPolicy, Workspace
+from repro.workloads.micro import MicroParams, generate_micro_trace
+
+
+def vma(domain):
+    return VMA(base=0x2000_0000_0000 + domain * (1 << 30),
+               reserved=1 << 30, size=8 << 20, pmo_id=domain,
+               granule=1 << 30, is_nvm=True)
+
+
+def recorder_with_domains(*domains, baseline=Perm.R):
+    rec = TraceRecorder()
+    for domain in domains:
+        rec.attach(domain, vma(domain), Perm.RW)
+        rec.init_perm(1, domain, baseline)
+    return rec
+
+
+class TestCleanTraces:
+    def test_balanced_window_is_clean(self):
+        rec = recorder_with_domains(1)
+        rec.perm(1, 1, Perm.RW)
+        rec.store(1, vma(1).base)
+        rec.perm(1, 1, Perm.R)
+        report = TraceInspector().inspect(rec.finish())
+        assert report.clean
+        assert report.switches_seen == 2
+        assert report.max_open_observed == 1
+
+    def test_micro_suite_instrumentation_is_clean(self):
+        trace, _ = generate_micro_trace(MicroParams(
+            benchmark="rbt", n_pools=8, initial_nodes=16, operations=40))
+        assert_clean(trace, max_open_domains=8)
+
+    def test_whisper_per_access_instrumentation_is_clean(self):
+        ws = Workspace(PerAccessPolicy())
+        pool = ws.create_and_attach("p", 1 << 20)
+        oid = pool.pool.pmalloc(64)
+        for _ in range(5):
+            ws.mem.write_u64(oid, 0, 1)
+        assert_clean(ws.finish())
+
+
+class TestViolations:
+    def test_unbalanced_grant_detected(self):
+        rec = recorder_with_domains(1)
+        rec.perm(1, 1, Perm.RW)
+        rec.store(1, vma(1).base)
+        report = TraceInspector().inspect(rec.finish())
+        assert report.by_kind() == {"unbalanced-grant": 1}
+
+    def test_too_many_open_domains(self):
+        rec = recorder_with_domains(1, 2, 3)
+        for domain in (1, 2, 3):
+            rec.perm(1, domain, Perm.RW)
+        for domain in (1, 2, 3):
+            rec.perm(1, domain, Perm.R)
+        report = TraceInspector(max_open_domains=2).inspect(rec.finish())
+        assert report.by_kind()["window-width"] == 1
+        assert report.max_open_observed == 3
+
+    def test_pairwise_rule_allows_two(self):
+        """The paper's rule: at most two PMOs enabled at any time."""
+        rec = recorder_with_domains(1, 2)
+        rec.perm(1, 1, Perm.RW)
+        rec.perm(1, 2, Perm.RW)
+        rec.perm(1, 2, Perm.R)
+        rec.perm(1, 1, Perm.R)
+        assert TraceInspector(max_open_domains=2).inspect(
+            rec.finish()).clean
+
+    def test_window_length_exceeded(self):
+        rec = recorder_with_domains(1)
+        rec.perm(1, 1, Perm.RW)
+        for i in range(6):
+            rec.store(1, vma(1).base + i * 8)
+        rec.perm(1, 1, Perm.R)
+        report = TraceInspector(max_window_accesses=4).inspect(rec.finish())
+        assert report.by_kind() == {"window-length": 1}
+
+    def test_unattached_switch(self):
+        rec = TraceRecorder()
+        rec.perm(1, 99, Perm.RW)
+        report = TraceInspector().inspect(rec.finish())
+        assert report.by_kind() == {"unattached-switch": 1}
+
+    def test_switch_after_detach_flagged(self):
+        rec = recorder_with_domains(1)
+        rec.detach(1)
+        rec.perm(1, 1, Perm.RW)
+        report = TraceInspector().inspect(rec.finish())
+        assert "unattached-switch" in report.by_kind()
+
+    def test_per_thread_windows_independent(self):
+        rec = recorder_with_domains(1, 2, 3)
+        rec.init_perm(2, 3, Perm.R)        # thread 2's baseline
+        for domain in (1, 2):
+            rec.perm(1, domain, Perm.RW)   # thread 1 holds two
+        rec.perm(2, 3, Perm.RW)            # thread 2 holds one: fine
+        rec.perm(2, 3, Perm.R)
+        for domain in (1, 2):
+            rec.perm(1, domain, Perm.R)
+        assert TraceInspector(max_open_domains=2).inspect(
+            rec.finish()).clean
+
+
+class TestHelpers:
+    def test_assert_clean_raises_with_summary(self):
+        rec = recorder_with_domains(1)
+        rec.perm(1, 1, Perm.RW)
+        with pytest.raises(AssertionError, match="unbalanced-grant"):
+            assert_clean(rec.finish())
+
+    def test_bad_configuration_rejected(self):
+        with pytest.raises(ValueError):
+            TraceInspector(max_open_domains=0)
+
+    def test_violation_str(self):
+        violation = Violation("window-width", 3, 1, 9, "too many")
+        assert "window-width" in str(violation)

@@ -1,0 +1,114 @@
+"""Tests for the libmpk software-virtualization baseline."""
+
+import pytest
+
+from repro.permissions import Perm
+
+
+@pytest.fixture
+def h(harness):
+    return harness("libmpk")
+
+
+class TestEvictionCosts:
+    def test_first_16_domains_no_eviction(self, h):
+        domains = [h.add_pmo(size=1 << 20) for _ in range(16)]
+        for domain in domains:
+            h.setperm(domain, Perm.RW)
+        assert h.stats.evictions == 0
+
+    def test_17th_domain_evicts_lru(self, h):
+        domains = [h.add_pmo(size=1 << 20) for _ in range(17)]
+        for domain in domains:
+            h.setperm(domain, Perm.RW)
+        assert h.stats.evictions == 1
+        # The LRU victim was the first-touched domain.
+        assert domains[0] not in h.scheme._key_of
+
+    def test_eviction_cost_scales_with_mapped_pages(self, harness):
+        """libmpk's pkey_mprotect rewrites one PTE per mapped page — the
+        cost driver distinguishing it from the hardware schemes."""
+        def eviction_cost(pages_touched):
+            h = harness("libmpk")
+            domains = [h.add_pmo(size=8 << 20) for _ in range(17)]
+            # Map `pages_touched` pages in the first (future victim) pool.
+            for page in range(pages_touched):
+                h.access(domains[0], offset=4096 * (1 + page))
+            h.stats.buckets["libmpk"] = 0.0
+            for domain in domains[1:]:
+                h.setperm(domain, Perm.RW)
+            return h.stats.buckets["libmpk"], h.stats.pte_rewrites
+
+        small_cost, small_ptes = eviction_cost(2)
+        large_cost, large_ptes = eviction_cost(50)
+        assert large_ptes > small_ptes
+        assert large_cost > small_cost
+
+    def test_exception_and_syscall_charged(self, h):
+        domains = [h.add_pmo(size=1 << 20) for _ in range(17)]
+        for domain in domains:
+            h.setperm(domain, Perm.RW)
+        cfg = h.config.libmpk
+        # 17 faults (initial mappings) of which 1 evicts (2 syscalls).
+        expected_min = 17 * (cfg.exception_cycles + cfg.syscall_cycles) \
+            + cfg.syscall_cycles
+        assert h.stats.buckets["libmpk"] >= expected_min
+
+    def test_shootdown_on_every_fault_map(self, h):
+        h.add_pmo(size=1 << 20)
+        h.setperm(1, Perm.RW)
+        assert h.stats.buckets["tlb_invalidations"] > 0
+
+
+class TestKeyCacheBehaviour:
+    def test_cached_pkey_set_costs_only_wrpkru(self, h):
+        domain = h.add_pmo()
+        h.setperm(domain, Perm.RW)  # fault-maps
+        libmpk_before = h.stats.buckets["libmpk"]
+        h.setperm(domain, Perm.NONE)
+        h.setperm(domain, Perm.RW)
+        assert h.stats.buckets["libmpk"] == libmpk_before
+        assert h.stats.buckets["perm_change"] == 3 * 27
+
+    def test_access_to_unmapped_domain_triggers_remap(self, h):
+        domains = [h.add_pmo(size=1 << 20, initial=Perm.R)
+                   for _ in range(17)]
+        for domain in domains:
+            h.access(domain)
+        assert h.stats.evictions >= 1
+
+    def test_lru_updated_by_pkey_set(self, h):
+        # libmpk's software LRU sees API calls and faults, not TLB-hit
+        # accesses; a pkey_set refreshes the domain's recency.
+        domains = [h.add_pmo(size=1 << 20, initial=Perm.R)
+                   for _ in range(16)]
+        for domain in domains:
+            h.access(domain)
+        h.setperm(domains[0], Perm.R)  # refresh domain 0
+        extra = h.add_pmo(size=1 << 20, initial=Perm.R)
+        h.access(extra)  # evicts the LRU, which is now domains[1]
+        assert domains[0] in h.scheme._key_of
+        assert domains[1] not in h.scheme._key_of
+
+    def test_detach_frees_key(self, h):
+        domain = h.add_pmo(initial=Perm.R)
+        h.access(domain)
+        free_before = len(h.scheme._free_keys)
+        h.scheme.detach_domain(domain)
+        assert len(h.scheme._free_keys) == free_before + 1
+
+
+class TestComparisonWithHardware:
+    def test_libmpk_eviction_is_costlier_than_mpk_virt(self, harness):
+        """Section IV-D: both virtualize keys, but libmpk pays syscalls
+        and per-PTE rewrites where the hardware remaps in place."""
+        def total_overhead(name):
+            h = harness(name)
+            domains = [h.add_pmo(size=1 << 20, initial=Perm.R)
+                       for _ in range(32)]
+            for _ in range(3):
+                for domain in domains:
+                    h.access(domain)
+            return h.stats.overhead_cycles
+
+        assert total_overhead("libmpk") > 3 * total_overhead("mpk_virt")

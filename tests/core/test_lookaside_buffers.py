@@ -1,0 +1,150 @@
+"""Tests for the DTTLB and PTLB hardware buffers."""
+
+import pytest
+
+from repro.core.dttlb import DTTLB, DTTLBEntry
+from repro.core.permission_table import PTLB, PermissionTable, PTLBEntry
+from repro.permissions import Perm
+
+
+class TestDTTLB:
+    def make_entry(self, domain, key=1, perm=Perm.RW):
+        return DTTLBEntry(domain=domain, key=key, perm=perm)
+
+    def test_power_of_two_required(self):
+        with pytest.raises(ValueError):
+            DTTLB(12)
+
+    def test_miss_then_hit(self):
+        buf = DTTLB(16)
+        assert buf.lookup(5) is None
+        buf.insert(self.make_entry(5))
+        assert buf.lookup(5).domain == 5
+        assert buf.hits == 1 and buf.misses == 1
+
+    def test_capacity_and_eviction(self):
+        buf = DTTLB(4)
+        for domain in range(5):
+            buf.insert(self.make_entry(domain))
+        assert len(buf) == 4
+
+    def test_eviction_returns_victim(self):
+        buf = DTTLB(2)
+        buf.insert(self.make_entry(1))
+        buf.insert(self.make_entry(2))
+        victim = buf.insert(self.make_entry(3))
+        assert victim is not None
+        assert victim.domain in (1, 2)
+
+    def test_plru_spares_recent(self):
+        buf = DTTLB(4)
+        for domain in range(4):
+            buf.insert(self.make_entry(domain))
+        buf.lookup(3)
+        victim = buf.insert(self.make_entry(9))
+        assert victim.domain != 3
+
+    def test_reinsert_same_domain_updates_in_place(self):
+        buf = DTTLB(4)
+        buf.insert(self.make_entry(1, key=2))
+        assert buf.insert(self.make_entry(1, key=5)) is None
+        assert buf.lookup(1).key == 5
+
+    def test_invalidate(self):
+        buf = DTTLB(4)
+        buf.insert(self.make_entry(1))
+        removed = buf.invalidate(1)
+        assert removed.domain == 1
+        assert buf.lookup(1) is None
+        assert buf.invalidate(1) is None
+
+    def test_flush_returns_only_dirty(self):
+        buf = DTTLB(4)
+        clean = self.make_entry(1)
+        dirty = self.make_entry(2)
+        dirty.dirty = True
+        buf.insert(clean)
+        buf.insert(dirty)
+        flushed = buf.flush()
+        assert [e.domain for e in flushed] == [2]
+        assert len(buf) == 0
+
+    def test_peek_does_not_count(self):
+        buf = DTTLB(4)
+        buf.insert(self.make_entry(1))
+        buf.peek(1)
+        buf.peek(2)
+        assert buf.hits == 0 and buf.misses == 0
+
+    def test_slot_reuse_after_invalidate(self):
+        buf = DTTLB(2)
+        buf.insert(self.make_entry(1))
+        buf.insert(self.make_entry(2))
+        buf.invalidate(1)
+        # Free slot is reused; no eviction needed.
+        assert buf.insert(self.make_entry(3)) is None
+        assert len(buf) == 2
+
+
+class TestPTLB:
+    def test_miss_then_hit(self):
+        buf = PTLB(16)
+        assert buf.lookup(5) is None
+        buf.insert(PTLBEntry(domain=5, perm=Perm.R))
+        assert buf.lookup(5).perm == Perm.R
+
+    def test_eviction_at_capacity(self):
+        buf = PTLB(4)
+        victims = [buf.insert(PTLBEntry(domain=d, perm=Perm.R))
+                   for d in range(6)]
+        assert len(buf) == 4
+        assert sum(v is not None for v in victims) == 2
+
+    def test_flush_returns_dirty_for_pt_writeback(self):
+        buf = PTLB(4)
+        entry = PTLBEntry(domain=1, perm=Perm.RW, dirty=True)
+        buf.insert(entry)
+        buf.insert(PTLBEntry(domain=2, perm=Perm.R))
+        assert [e.domain for e in buf.flush()] == [1]
+        assert buf.writebacks == 1
+
+    def test_invalidate(self):
+        buf = PTLB(4)
+        buf.insert(PTLBEntry(domain=3, perm=Perm.R))
+        assert buf.invalidate(3).domain == 3
+        assert 3 not in buf
+
+
+class TestPermissionTable:
+    def test_default_is_none(self):
+        pt = PermissionTable()
+        assert pt.get(domain=1, tid=1) == Perm.NONE
+
+    def test_set_get_per_thread(self):
+        pt = PermissionTable()
+        pt.set(1, 100, Perm.RW)
+        pt.set(1, 200, Perm.R)
+        assert pt.get(1, 100) == Perm.RW
+        assert pt.get(1, 200) == Perm.R
+        assert pt.get(1, 300) == Perm.NONE
+
+    def test_register_and_drop_domain(self):
+        pt = PermissionTable()
+        pt.register_domain(5)
+        assert 5 in pt
+        pt.set(5, 1, Perm.RW)
+        pt.drop_domain(5)
+        assert 5 not in pt
+        assert pt.get(5, 1) == Perm.NONE
+
+    def test_lookup_counter(self):
+        pt = PermissionTable()
+        pt.get(1, 1)
+        pt.get(1, 1)
+        assert pt.lookups == 2
+
+    def test_domains_listing(self):
+        pt = PermissionTable()
+        pt.register_domain(3)
+        pt.register_domain(1)
+        assert pt.domains() == [1, 3]

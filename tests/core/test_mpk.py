@@ -1,0 +1,79 @@
+"""Tests for default MPK: the 16-key limit and WRPKRU accounting."""
+
+import pytest
+
+from repro.errors import PkeyError
+from repro.permissions import Perm
+
+
+@pytest.fixture
+def h(harness):
+    return harness("mpk")
+
+
+class TestKeyLimit:
+    def test_fifteen_domains_fit(self, h):
+        for _ in range(15):
+            h.add_pmo(size=1 << 20)
+        assert h.process.free_pkey_count == 0
+
+    def test_sixteenth_domain_fails(self, h):
+        """The scalability wall of Section I: pkey_alloc errors out."""
+        for _ in range(15):
+            h.add_pmo(size=1 << 20)
+        with pytest.raises(PkeyError):
+            h.add_pmo(size=1 << 20)
+
+    def test_detach_frees_the_key(self, h):
+        domains = [h.add_pmo(size=1 << 20) for _ in range(15)]
+        h.scheme.detach_domain(domains[0])
+        h.kernel.detach(h.process, domains[0])
+        assert h.process.free_pkey_count == 1
+        h.add_pmo(size=1 << 20)  # the freed key is reusable
+
+
+class TestAccounting:
+    def test_wrpkru_cost_charged(self, h):
+        domain = h.add_pmo()
+        h.setperm(domain, Perm.RW)
+        h.setperm(domain, Perm.NONE)
+        assert h.stats.buckets["perm_change"] == 2 * 27
+
+    def test_access_check_is_free(self, h):
+        domain = h.add_pmo(initial=Perm.RW)
+        before = h.stats.cycles
+        assert h.access(domain)
+        assert h.stats.cycles == before
+
+    def test_no_evictions_ever(self, h):
+        domain = h.add_pmo(initial=Perm.RW)
+        for offset in range(4096, 40960, 4096):
+            h.access(domain, offset=offset)
+        assert h.stats.evictions == 0
+
+
+class TestPKRUSemantics:
+    def test_pkey_written_into_vma_and_ptes(self, h):
+        domain = h.add_pmo(initial=Perm.RW)
+        vma = h.vma(domain)
+        assert vma.pkey != 0
+        h.access(domain)  # faults the page in with the VMA's key
+        from repro.mem.page_table import vpn_of
+        pte = h.process.page_table.get(vpn_of(vma.base + 4096))
+        assert pte.pkey == vma.pkey
+
+    def test_distinct_domains_distinct_keys(self, h):
+        a = h.add_pmo()
+        b = h.add_pmo()
+        assert h.vma(a).pkey != h.vma(b).pkey
+
+    def test_default_key_zero_allows_everything(self, h):
+        from repro.core.mpk import PKRU
+        pkru = PKRU()
+        assert pkru.get(tid=1, key=0) == Perm.RW
+
+    def test_nonzero_keys_default_inaccessible(self, h):
+        from repro.core.mpk import PKRU
+        pkru = PKRU()
+        for key in range(1, 16):
+            assert pkru.get(tid=1, key=key) == Perm.NONE

@@ -1,0 +1,83 @@
+"""Tests for the permission lattice and wire encodings."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.permissions import (Perm, check_access, parse_perm,
+                               perm_to_pkru_bits, perm_to_ptlb_bits,
+                               pkru_bits_to_perm, ptlb_bits_to_perm,
+                               strictest)
+
+ALL_PERMS = [Perm.NONE, Perm.R, Perm.RW]
+
+
+class TestLattice:
+    def test_ordering(self):
+        assert Perm.NONE < Perm.R < Perm.RW
+
+    @given(st.sampled_from(ALL_PERMS), st.sampled_from(ALL_PERMS))
+    def test_strictest_is_meet(self, a, b):
+        meet = strictest(a, b)
+        assert meet <= a and meet <= b
+        assert meet in (a, b)
+
+    @given(st.sampled_from(ALL_PERMS), st.sampled_from(ALL_PERMS))
+    def test_strictest_commutative(self, a, b):
+        assert strictest(a, b) == strictest(b, a)
+
+    def test_allows(self):
+        assert not Perm.NONE.allows(is_write=False)
+        assert Perm.R.allows(is_write=False)
+        assert not Perm.R.allows(is_write=True)
+        assert Perm.RW.allows(is_write=True)
+
+    def test_check_access_takes_strictest(self):
+        # Page RW but domain R: writes denied (the MMU comparison of Fig 3).
+        assert check_access(Perm.RW, Perm.R, is_write=False)
+        assert not check_access(Perm.RW, Perm.R, is_write=True)
+        # Page R but domain RW: page wins for writes.
+        assert not check_access(Perm.R, Perm.RW, is_write=True)
+
+    def test_readable_writable_properties(self):
+        assert Perm.R.readable and not Perm.R.writable
+        assert Perm.RW.readable and Perm.RW.writable
+        assert not Perm.NONE.readable
+
+
+class TestEncodings:
+    @given(st.sampled_from(ALL_PERMS))
+    def test_pkru_roundtrip(self, perm):
+        assert pkru_bits_to_perm(perm_to_pkru_bits(perm)) == perm
+
+    @given(st.sampled_from(ALL_PERMS))
+    def test_ptlb_roundtrip(self, perm):
+        assert ptlb_bits_to_perm(perm_to_ptlb_bits(perm)) == perm
+
+    def test_pkru_none_sets_access_disable(self):
+        assert perm_to_pkru_bits(Perm.NONE) & 0b01
+
+    def test_pkru_readonly_sets_write_disable_only(self):
+        assert perm_to_pkru_bits(Perm.R) == 0b10
+
+    def test_pkru_rw_is_zero(self):
+        assert perm_to_pkru_bits(Perm.RW) == 0
+
+    def test_ptlb_encoding_matches_paper(self):
+        # Section IV-E: 1x inaccessible, 01 read-only, 00 read/write.
+        assert perm_to_ptlb_bits(Perm.NONE) & 0b10
+        assert perm_to_ptlb_bits(Perm.R) == 0b01
+        assert perm_to_ptlb_bits(Perm.RW) == 0b00
+
+
+class TestParse:
+    @pytest.mark.parametrize("text,expected", [
+        ("none", Perm.NONE), ("r", Perm.R), ("rw", Perm.RW),
+        ("READ", Perm.R), (" write ", Perm.RW), ("-", Perm.NONE),
+    ])
+    def test_accepts_aliases(self, text, expected):
+        assert parse_perm(text) == expected
+
+    def test_rejects_unknown(self):
+        with pytest.raises(ValueError):
+            parse_perm("execute")

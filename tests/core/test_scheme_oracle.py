@@ -1,0 +1,103 @@
+"""Property test: every enforcing scheme agrees with a reference oracle.
+
+The oracle is the paper's specification itself: an access is legal iff
+the page permission AND the thread's current domain permission both allow
+it (Section IV-A).  Random sequences of SETPERMs, accesses and context
+switches are driven through MPK-virt, domain-virt and libmpk side by
+side; any divergence from the oracle (or between schemes) is a bug in
+that scheme's state machine — exactly the class of bug the DTTLB/PTLB
+writeback and shootdown logic could introduce.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.permissions import Perm, strictest
+
+from .conftest import SchemeHarness
+
+N_DOMAINS = 20  # > 16 keys: forces evictions/remaps mid-sequence
+SCHEMES = ("mpk_virt", "domain_virt", "libmpk")
+
+op_strategy = st.lists(st.one_of(
+    st.tuples(st.just("setperm"), st.integers(0, N_DOMAINS - 1),
+              st.sampled_from([Perm.NONE, Perm.R, Perm.RW]),
+              st.integers(0, 1)),
+    st.tuples(st.just("access"), st.integers(0, N_DOMAINS - 1),
+              st.booleans(), st.integers(0, 1)),
+    st.tuples(st.just("ctxsw"), st.integers(0, 1), st.just(None),
+              st.just(None)),
+), min_size=1, max_size=60)
+
+
+class Oracle:
+    """The specification: per-(thread, domain) permission, page perm RW."""
+
+    def __init__(self):
+        self.perms = {}
+
+    def setperm(self, tid, domain, perm):
+        self.perms[(tid, domain)] = perm
+
+    def allowed(self, tid, domain, is_write):
+        domain_perm = self.perms.get((tid, domain), Perm.NONE)
+        return strictest(Perm.RW, domain_perm).allows(is_write=is_write)
+
+
+def drive(scheme_name, harness_cls, ops):
+    """Run one op sequence; returns the access-decision list."""
+    h = harness_cls(scheme_name)
+    tids = [h.tid, h.spawn_thread()]
+    domains = [h.add_pmo(size=1 << 20, initial=Perm.NONE)
+               for _ in range(N_DOMAINS)]
+    current = 0
+    decisions = []
+    for op in ops:
+        if op[0] == "setperm":
+            _, dom_index, perm, thread_index = op
+            if thread_index != current:
+                continue  # only the running thread executes SETPERM
+            h.setperm(domains[dom_index], perm, tid=tids[thread_index])
+        elif op[0] == "access":
+            _, dom_index, is_write, thread_index = op
+            if thread_index != current:
+                continue
+            decisions.append(h.access(domains[dom_index],
+                                      is_write=is_write,
+                                      tid=tids[thread_index]))
+        else:
+            _, new, _, _ = op
+            if new != current:
+                h.context_switch(tids[current], tids[new])
+                current = new
+    return decisions
+
+
+def oracle_decisions(ops):
+    oracle = Oracle()
+    current = 0
+    decisions = []
+    for op in ops:
+        if op[0] == "setperm":
+            _, dom, perm, thread_index = op
+            if thread_index == current:
+                oracle.setperm(thread_index, dom, perm)
+        elif op[0] == "access":
+            _, dom, is_write, thread_index = op
+            if thread_index == current:
+                decisions.append(oracle.allowed(thread_index, dom,
+                                                is_write))
+        else:
+            current = op[1]
+    return decisions
+
+
+class TestSchemesMatchOracle:
+    @settings(max_examples=40, deadline=None)
+    @given(ops=op_strategy)
+    def test_all_schemes_agree_with_specification(self, ops):
+        expected = oracle_decisions(ops)
+        for scheme in SCHEMES:
+            got = drive(scheme, SchemeHarness, ops)
+            assert got == expected, (
+                f"{scheme} diverged from the specification")

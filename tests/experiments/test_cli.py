@@ -1,0 +1,25 @@
+"""Tests for the ``python -m repro.experiments`` command-line interface."""
+
+import pytest
+
+from repro.experiments.__main__ import REPORTS, main
+
+
+class TestCLI:
+    def test_static_targets_print_reports(self, capsys):
+        assert main(["table2", "table8"]) == 0
+        out = capsys.readouterr().out
+        assert "Table II" in out
+        assert "Table VIII" in out
+
+    def test_unknown_target_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["table99"])
+
+    def test_all_targets_registered(self):
+        assert set(REPORTS) == {"table2", "table5", "table6", "table7",
+                                "table8", "figure6", "figure7"}
+
+    def test_requires_at_least_one_target(self):
+        with pytest.raises(SystemExit):
+            main([])

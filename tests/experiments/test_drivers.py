@@ -1,0 +1,127 @@
+"""Smoke + structure tests for the table/figure drivers (tiny workloads)."""
+
+import pytest
+
+from repro.experiments.figure6 import FIGURE6_SCHEMES, run_figure6
+from repro.experiments.figure7 import average_series, speedups_vs_libmpk
+from repro.experiments.reporting import format_table, log2_chart
+from repro.experiments.runner import ExperimentRunner, sweep_points
+from repro.experiments.table2 import report_table2, run_table2
+from repro.experiments.table5 import run_table5
+from repro.experiments.table6 import run_table6
+from repro.experiments.table7 import run_table7
+from repro.experiments.table8 import report_table8, run_table8
+
+
+@pytest.fixture(scope="module")
+def runner():
+    # ~2% of the default op counts: enough for structure, fast enough
+    # for unit testing.
+    return ExperimentRunner(scale=0.02)
+
+
+class TestReporting:
+    def test_format_table_aligns_columns(self):
+        text = format_table("T", ["a", "bb"], [[1, 2.5], ["xyz", 10000.0]])
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "xyz" in text and "10,000" in text
+
+    def test_log2_chart_renders_all_points(self):
+        chart = log2_chart("C", {"s": {16: 4.0, 64: 16.0}})
+        assert chart.count("PMOs=") == 2
+        assert "4.00%" in chart and "16.00%" in chart
+
+
+class TestTableDrivers:
+    def test_table2_rows_cover_all_components(self):
+        rows = run_table2()
+        components = [row[0] for row in rows]
+        for expected in ("Processor", "Cache", "Memory", "TLB", "MPK"):
+            assert expected in components
+        assert "2.2 GHz" in report_table2()
+
+    def test_table5_structure(self, runner):
+        rows = run_table5(runner, benchmarks=("hashmap", "echo"))
+        assert len(rows) == 3  # 2 benchmarks + average
+        assert rows[-1][0] == "Average"
+        for row in rows[:-1]:
+            switches, mpk, mpkv, dv = row[1:]
+            assert switches > 0
+            assert mpk > 0 and mpkv > 0 and dv > 0
+            assert dv >= mpk  # DV is never cheaper than MPK on one PMO
+
+    def test_table6_structure(self, runner):
+        rows = run_table6(runner, n_pools=32, benchmarks=("ll", "ss"))
+        by_name = {row[0]: row for row in rows}
+        assert by_name["String Swap (SS)"][1] > by_name["Linked List (LL)"][1]
+
+    def test_table7_breakdown_sums_to_total(self, runner):
+        data = run_table7(runner, n_pools=64, benchmarks=("avl",))
+        for scheme in ("mpk_virt", "domain_virt"):
+            breakdown = data[scheme]["avl"]
+            total = breakdown.pop("Total (%)")
+            assert sum(breakdown.values()) == pytest.approx(total, rel=1e-6)
+
+    def test_table8_matches_paper(self):
+        rows = run_table8()
+        flat = report_table8()
+        assert "152 bytes" in flat
+        assert "24 bytes" in flat
+        assert "256 KB" in flat
+        assert len(rows) == 4
+
+
+class TestFigureDrivers:
+    def test_figure6_series_structure(self, runner):
+        data = run_figure6(runner, benchmarks=("avl",), points=(16, 64))
+        series = data["avl"]
+        assert set(series) == set(FIGURE6_SCHEMES)
+        for scheme in FIGURE6_SCHEMES:
+            assert set(series[scheme]) == {16, 64}
+
+    def test_figure7_averaging_and_speedups(self):
+        data = {
+            "a": {"libmpk": {16: 100.0}, "mpk_virt": {16: 10.0},
+                  "domain_virt": {16: 4.0}},
+            "b": {"libmpk": {16: 300.0}, "mpk_virt": {16: 30.0},
+                  "domain_virt": {16: 4.0}},
+        }
+        averaged = average_series(data)
+        assert averaged["libmpk"][16] == pytest.approx(200.0)
+        speedups = speedups_vs_libmpk(averaged)
+        assert speedups["mpk_virt"][16] == pytest.approx(10.0)
+        assert speedups["domain_virt"][16] == pytest.approx(50.0)
+
+    def test_speedups_handle_zero_overhead(self):
+        averaged = {"libmpk": {16: 10.0}, "mpk_virt": {16: 0.0},
+                    "domain_virt": {16: 1.0}}
+        assert speedups_vs_libmpk(averaged)["mpk_virt"][16] == float("inf")
+
+
+class TestRunner:
+    def test_trace_caching(self, runner):
+        t1, _ = runner.micro_trace("ll", 16)
+        t2, _ = runner.micro_trace("ll", 16)
+        assert t1 is t2
+        runner.drop_micro_trace("ll", 16)
+        t3, _ = runner.micro_trace("ll", 16)
+        assert t3 is not t1
+
+    def test_scale_reduces_trace_size(self):
+        small = ExperimentRunner(scale=0.01)
+        large = ExperimentRunner(scale=0.03)
+        t_small, _ = small.micro_trace("ss", 16)
+        t_large, _ = large.micro_trace("ss", 16)
+        assert len(t_large) > len(t_small)
+
+    def test_sweep_points_env_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SWEEP", "8,16")
+        assert sweep_points() == (8, 16)
+        monkeypatch.delenv("REPRO_SWEEP")
+        assert 1024 in sweep_points()
+
+    def test_whisper_cache(self, runner):
+        t1, _ = runner.whisper_trace("echo")
+        t2, _ = runner.whisper_trace("echo")
+        assert t1 is t2

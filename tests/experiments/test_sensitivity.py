@@ -1,0 +1,69 @@
+"""Tests for the sensitivity-sweep machinery."""
+
+import pytest
+
+from repro.sim.config import DEFAULT_CONFIG
+from repro.experiments.sensitivity import (apply_override, elasticity,
+                                           report_sweep, sweep_config)
+
+
+class TestApplyOverride:
+    def test_single_section(self):
+        config = apply_override(DEFAULT_CONFIG,
+                                "domain_virt.ptlb_entries", 64)
+        assert config.domain_virt.ptlb_entries == 64
+        assert DEFAULT_CONFIG.domain_virt.ptlb_entries == 16
+
+    def test_both_applies_to_mpkv_and_libmpk(self):
+        config = apply_override(DEFAULT_CONFIG,
+                                "both.tlb_invalidation_cycles", 572)
+        assert config.mpk_virt.tlb_invalidation_cycles == 572
+        assert config.libmpk.tlb_invalidation_cycles == 572
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(ValueError):
+            apply_override(DEFAULT_CONFIG, "mpk_virt.nonexistent", 1)
+
+    def test_unknown_section_rejected(self):
+        with pytest.raises(ValueError):
+            apply_override(DEFAULT_CONFIG, "bogus.field", 1)
+
+    def test_missing_dot_rejected(self):
+        with pytest.raises(ValueError):
+            apply_override(DEFAULT_CONFIG, "justonething", 1)
+
+
+class TestSweep:
+    @pytest.fixture(scope="class")
+    def shootdown_rows(self):
+        return sweep_config("both.tlb_invalidation_cycles", [143, 572],
+                            benchmark="ss", n_pools=64, operations=250)
+
+    def test_rows_structure(self, shootdown_rows):
+        assert len(shootdown_rows) == 2
+        assert shootdown_rows[0][0].endswith("=143")
+        assert all(len(row) == 4 for row in shootdown_rows)
+
+    def test_mpkv_sensitive_to_shootdown_cost(self, shootdown_rows):
+        assert elasticity(shootdown_rows, "mpk_virt") > 1.5
+
+    def test_dv_insensitive_to_shootdown_cost(self, shootdown_rows):
+        assert elasticity(shootdown_rows, "domain_virt") == \
+            pytest.approx(1.0, abs=0.05)
+
+    def test_report_renders(self):
+        text = report_sweep("domain_virt.ptlb_access_cycles", [1, 4],
+                            benchmark="ll", n_pools=32, operations=150)
+        assert "Sensitivity" in text
+        assert "=1" in text and "=4" in text
+
+
+class TestElasticity:
+    def test_flat_is_one(self):
+        rows = [["a", 1.0, 2.0, 3.0], ["b", 1.0, 2.0, 3.0]]
+        assert elasticity(rows, "libmpk") == 1.0
+
+    def test_zero_baseline(self):
+        rows = [["a", 0.0, 0.0, 1.0], ["b", 5.0, 0.0, 2.0]]
+        assert elasticity(rows, "libmpk") == float("inf")
+        assert elasticity(rows, "mpk_virt") == 1.0

@@ -1,0 +1,49 @@
+"""Tests for the paper-vs-measured validation machinery."""
+
+import pytest
+
+from repro.experiments.runner import ExperimentRunner
+from repro.experiments.validate import (Check, _within_factor,
+                                        render_markdown, run_validation)
+
+
+class TestWithinFactor:
+    def test_inside_band(self):
+        assert _within_factor(15.0, 10.0, 2.0)
+        assert _within_factor(6.0, 10.0, 2.0)
+
+    def test_outside_band(self):
+        assert not _within_factor(25.0, 10.0, 2.0)
+        assert not _within_factor(4.0, 10.0, 2.0)
+
+    def test_zero_paper_value(self):
+        assert _within_factor(0.0, 0.0, 2.0)
+        assert not _within_factor(1.0, 0.0, 2.0)
+
+
+class TestRendering:
+    def test_markdown_table(self):
+        checks = [
+            Check("Table V", "rate", "1", "2", True, "banded"),
+            Check("Fig 6", "order", "a>b", "a<b", False, "qualitative"),
+        ]
+        text = render_markdown(checks)
+        assert "| Table V | rate | 1 | 2 | banded | ✅ |" in text
+        assert "❌" in text
+        assert "1/2 checks passed" in text
+
+
+class TestEndToEnd:
+    @pytest.mark.slow
+    def test_scaled_down_validation_mostly_passes(self):
+        """A small-scale validation run: the qualitative checks must all
+        hold even at reduced operation counts (banded checks may wobble
+        at this scale, so only their execution is asserted)."""
+        runner = ExperimentRunner(scale=0.25)
+        checks = run_validation(runner, n_pools=256, sweep=(16, 64, 256))
+        assert len(checks) >= 15
+        qualitative = [c for c in checks if c.kind == "qualitative"]
+        failed = [c for c in qualitative if not c.passed]
+        assert not failed, f"qualitative checks failed: {failed}"
+        exact = [c for c in checks if c.kind == "exact"]
+        assert all(c.passed for c in exact)

@@ -1,0 +1,54 @@
+"""Tests for the DRAM/NVM physical memory model."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.mem.memory import NVM_FRAME_BASE, PhysicalMemory
+
+
+class TestFrameAllocation:
+    def test_dram_frames_below_nvm_base(self):
+        phys = PhysicalMemory()
+        assert phys.alloc_dram_frame() < NVM_FRAME_BASE
+
+    def test_nvm_frames_at_or_above_base(self):
+        phys = PhysicalMemory()
+        assert phys.alloc_nvm_frame() >= NVM_FRAME_BASE
+
+    def test_frames_are_unique(self):
+        phys = PhysicalMemory()
+        frames = {phys.alloc_dram_frame() for _ in range(100)}
+        frames |= {phys.alloc_nvm_frame() for _ in range(100)}
+        assert len(frames) == 200
+
+    def test_exhaustion(self):
+        phys = PhysicalMemory(dram_frames=2)
+        phys.alloc_dram_frame()
+        phys.alloc_dram_frame()
+        with pytest.raises(SimulationError):
+            phys.alloc_dram_frame()
+
+    def test_allocation_counters(self):
+        phys = PhysicalMemory()
+        phys.alloc_dram_frame()
+        phys.alloc_nvm_frame()
+        phys.alloc_nvm_frame()
+        assert phys.dram_frames_allocated == 1
+        assert phys.nvm_frames_allocated == 2
+
+
+class TestLatency:
+    def test_nvm_is_3x_dram_by_default(self):
+        phys = PhysicalMemory()
+        dram = phys.latency_for_frame(phys.alloc_dram_frame())
+        nvm = phys.latency_for_frame(phys.alloc_nvm_frame())
+        assert dram == 120
+        assert nvm == 360
+
+    def test_custom_latencies(self):
+        phys = PhysicalMemory(dram_latency=100, nvm_latency=500)
+        assert phys.latency_for_frame(phys.alloc_nvm_frame()) == 500
+
+    def test_is_nvm_frame(self):
+        assert PhysicalMemory.is_nvm_frame(NVM_FRAME_BASE)
+        assert not PhysicalMemory.is_nvm_frame(NVM_FRAME_BASE - 1)

@@ -1,0 +1,103 @@
+"""Tests for the 4-level page table."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import PageFault
+from repro.permissions import Perm
+from repro.mem.page_table import PTE, PageTable, vpn_of
+
+
+def pte(pfn=1, perm=Perm.RW, pkey=0, domain=0):
+    return PTE(pfn=pfn, perm=perm, pkey=pkey, domain=domain)
+
+
+class TestMapping:
+    def test_map_then_get(self):
+        pt = PageTable()
+        pt.map_page(0x12345, pte(pfn=7))
+        assert pt.get(0x12345).pfn == 7
+
+    def test_get_unmapped_is_none(self):
+        assert PageTable().get(1) is None
+
+    def test_walk_unmapped_faults(self):
+        with pytest.raises(PageFault):
+            PageTable().walk(0x99)
+
+    def test_walk_counts(self):
+        pt = PageTable()
+        pt.map_page(5, pte())
+        pt.walk(5)
+        pt.walk(5)
+        assert pt.walk_count == 2
+
+    def test_unmap(self):
+        pt = PageTable()
+        pt.map_page(5, pte())
+        pt.unmap_page(5)
+        assert pt.get(5) is None
+        with pytest.raises(PageFault):
+            pt.walk(5)
+
+    def test_unmap_unmapped_is_noop(self):
+        PageTable().unmap_page(12345)
+
+    def test_mapped_pages_counter(self):
+        pt = PageTable()
+        for vpn in range(10):
+            pt.map_page(vpn, pte())
+        pt.unmap_page(3)
+        assert pt.mapped_pages == 9
+
+    def test_vpn_of(self):
+        assert vpn_of(0x1000) == 1
+        assert vpn_of(0x1FFF) == 1
+        assert vpn_of(0x2000) == 2
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.sets(st.integers(0, 2**36 - 1), min_size=1, max_size=50))
+    def test_radix_and_flat_agree(self, vpns):
+        """The radix walk and the flat index always return the same PTE."""
+        pt = PageTable()
+        for i, vpn in enumerate(sorted(vpns)):
+            pt.map_page(vpn, pte(pfn=i))
+        for vpn in vpns:
+            assert pt.walk(vpn) is pt.get(vpn)
+
+
+class TestPkeyRewrites:
+    def test_set_pkey_range_counts_mapped_only(self):
+        pt = PageTable()
+        for vpn in (10, 12, 14):
+            pt.map_page(vpn, pte())
+        assert pt.set_pkey_range(10, 5, 3) == 3
+        assert pt.get(10).pkey == 3
+        assert pt.get(14).pkey == 3
+
+    def test_set_pkey_for_domain(self):
+        pt = PageTable()
+        for vpn in range(6):
+            pt.map_page(vpn, pte(domain=1 + vpn % 2))
+        assert pt.set_pkey_for_domain(1, 9) == 3
+        assert pt.get(0).pkey == 9
+        assert pt.get(1).pkey == 0
+
+    def test_set_pkey_for_unknown_domain(self):
+        assert PageTable().set_pkey_for_domain(99, 1) == 0
+
+    def test_mapped_pages_of_domain(self):
+        pt = PageTable()
+        for vpn in range(4):
+            pt.map_page(vpn, pte(domain=7))
+        assert pt.mapped_pages_of_domain(7) == 4
+        pt.unmap_page(0)
+        assert pt.mapped_pages_of_domain(7) == 3
+
+    def test_set_domain_range_moves_index(self):
+        pt = PageTable()
+        pt.map_page(0, pte(domain=1))
+        pt.set_domain_range(0, 1, 2)
+        assert pt.mapped_pages_of_domain(1) == 0
+        assert pt.mapped_pages_of_domain(2) == 1

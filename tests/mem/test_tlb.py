@@ -1,0 +1,151 @@
+"""Tests for the two-level TLB."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.permissions import Perm
+from repro.mem.tlb import TLBEntry, TLBLevel, TwoLevelTLB
+
+
+def entry(vpn, pkey=0, domain=0, perm=Perm.RW):
+    return TLBEntry(vpn=vpn, pfn=vpn + 1000, perm=perm, pkey=pkey,
+                    domain=domain)
+
+
+class TestTLBLevel:
+    def test_miss_then_hit(self):
+        tlb = TLBLevel(64, 4)
+        assert tlb.lookup(5) is None
+        tlb.fill(entry(5))
+        assert tlb.lookup(5).pfn == 1005
+        assert tlb.hits == 1
+        assert tlb.misses == 1
+
+    def test_entries_must_divide_into_ways(self):
+        with pytest.raises(ValueError):
+            TLBLevel(63, 4)
+
+    def test_lru_eviction_within_set(self):
+        tlb = TLBLevel(4, 4)  # one set
+        for vpn in range(4):
+            tlb.fill(entry(vpn))
+        tlb.lookup(0)  # 0 becomes MRU; 1 is now LRU
+        victim = tlb.fill(entry(99))
+        assert victim.vpn == 1
+
+    def test_fill_existing_vpn_replaces_without_eviction(self):
+        tlb = TLBLevel(4, 4)
+        tlb.fill(entry(1, pkey=2))
+        victim = tlb.fill(entry(1, pkey=7))
+        assert victim is None
+        assert tlb.lookup(1).pkey == 7
+
+    def test_capacity_bounded(self):
+        tlb = TLBLevel(64, 4)
+        for vpn in range(1000):
+            tlb.fill(entry(vpn))
+        assert len(tlb) <= 64
+
+    def test_invalidate_single(self):
+        tlb = TLBLevel(64, 4)
+        tlb.fill(entry(3))
+        assert tlb.invalidate(3)
+        assert not tlb.invalidate(3)
+        assert tlb.lookup(3) is None
+
+    def test_invalidate_all(self):
+        tlb = TLBLevel(64, 4)
+        for vpn in range(10):
+            tlb.fill(entry(vpn))
+        assert tlb.invalidate_all() == 10
+        assert len(tlb) == 0
+
+    def test_invalidate_range(self):
+        tlb = TLBLevel(64, 4)
+        for vpn in range(20):
+            tlb.fill(entry(vpn))
+        killed = tlb.invalidate_range(5, 10)
+        assert killed == 10
+        assert tlb.peek(4) is not None
+        assert tlb.peek(5) is None
+        assert tlb.peek(14) is None
+        assert tlb.peek(15) is not None
+
+    def test_invalidate_domain(self):
+        tlb = TLBLevel(64, 4)
+        for vpn in range(12):
+            tlb.fill(entry(vpn, domain=vpn % 3))
+        killed = tlb.invalidate_domain(1)
+        assert killed == 4
+        assert all(e.domain != 1 for e in tlb)
+
+    def test_invalidate_domain_twice_is_zero(self):
+        tlb = TLBLevel(64, 4)
+        tlb.fill(entry(1, domain=5))
+        assert tlb.invalidate_domain(5) == 1
+        assert tlb.invalidate_domain(5) == 0
+
+    def test_invalidate_pkey(self):
+        tlb = TLBLevel(64, 4)
+        for vpn in range(10):
+            tlb.fill(entry(vpn, pkey=vpn % 2, domain=1 + vpn % 2))
+        assert tlb.invalidate_pkey(1) == 5
+
+    def test_domain_index_survives_lru_eviction(self):
+        tlb = TLBLevel(4, 4)
+        for vpn in range(4):
+            tlb.fill(entry(vpn, domain=9))
+        tlb.fill(entry(50, domain=9))  # evicts vpn 0
+        # Flushing the domain must count only live entries.
+        assert tlb.invalidate_domain(9) == 4
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(st.integers(0, 200), min_size=1, max_size=200))
+    def test_domain_index_matches_contents(self, vpns):
+        """After arbitrary fills, flush-by-domain kills exactly the
+        entries whose domain matches."""
+        tlb = TLBLevel(16, 4)
+        for vpn in vpns:
+            tlb.fill(entry(vpn, domain=vpn % 5))
+        expected = sum(1 for e in tlb if e.domain == 2)
+        assert tlb.invalidate_domain(2) == expected
+        assert all(e.domain != 2 for e in tlb)
+
+
+class TestTwoLevelTLB:
+    def test_l2_hit_promotes_to_l1(self):
+        tlb = TwoLevelTLB(l1_entries=4, l1_ways=4,
+                          l2_entries=64, l2_ways=4)
+        tlb.fill(entry(1))
+        # Push vpn 1 out of tiny L1 with conflicting fills.
+        for vpn in range(2, 10):
+            tlb.fill(entry(vpn))
+        got, level = tlb.lookup(1)
+        assert got is not None
+        assert level == "l2"
+        got, level = tlb.lookup(1)
+        assert level == "l1"
+
+    def test_full_miss(self):
+        tlb = TwoLevelTLB()
+        got, level = tlb.lookup(42)
+        assert got is None
+        assert level == "miss"
+
+    def test_domain_flush_covers_both_levels(self):
+        tlb = TwoLevelTLB(l1_entries=4, l1_ways=4,
+                          l2_entries=64, l2_ways=4)
+        for vpn in range(8):
+            tlb.fill(entry(vpn, domain=3))
+        killed = tlb.domain_flush(3)
+        assert killed >= 8  # both levels contribute
+        assert tlb.lookup(0)[1] == "miss"
+
+    def test_miss_counting(self):
+        tlb = TwoLevelTLB()
+        tlb.lookup(7)
+        tlb.fill(entry(7))
+        tlb.lookup(7)
+        assert tlb.misses == 1
+        assert tlb.hits >= 1

@@ -1,0 +1,105 @@
+"""Tests for VA management and the paper's PMO alignment rule."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import AddressSpaceError
+from repro.os.address_space import (GB1, KB4, MB2, AddressSpace,
+                                    granule_for_size, region_span)
+
+
+class TestGranuleRule:
+    """Section IV-A: a PMO occupies a 4KB / 2MB / 1GB aligned region."""
+
+    @pytest.mark.parametrize("size,granule", [
+        (1, KB4), (KB4, KB4),
+        (KB4 + 1, MB2), (MB2, MB2),
+        (MB2 + 1, GB1), (8 << 20, GB1), (GB1, GB1),
+    ])
+    def test_smallest_covering_granule(self, size, granule):
+        assert granule_for_size(size) == granule
+
+    def test_zero_size_rejected(self):
+        with pytest.raises(ValueError):
+            granule_for_size(0)
+
+    def test_over_1gb_takes_multiple_granules(self):
+        granule, reserved = region_span(3 * GB1 + 5)
+        assert granule == GB1
+        assert reserved == 4 * GB1
+
+    @given(st.integers(1, 8 * GB1))
+    @settings(max_examples=50)
+    def test_reservation_covers_size(self, size):
+        granule, reserved = region_span(size)
+        assert reserved >= size
+        assert reserved % granule == 0
+
+
+class TestReservation:
+    def test_pmo_base_is_granule_aligned(self):
+        space = AddressSpace()
+        vma = space.reserve_pmo(8 << 20, pmo_id=1)
+        assert vma.base % GB1 == 0
+        assert vma.is_nvm
+
+    def test_pmo_regions_do_not_overlap(self):
+        space = AddressSpace()
+        vmas = [space.reserve_pmo(8 << 20, pmo_id=i) for i in range(1, 20)]
+        spans = sorted((v.base, v.end) for v in vmas)
+        for (_, end), (start, _) in zip(spans, spans[1:]):
+            assert end <= start
+
+    def test_mixed_granules_do_not_overlap(self):
+        space = AddressSpace()
+        sizes = [KB4, 8 << 20, MB2, 100, GB1, KB4 + 1]
+        vmas = [space.reserve_pmo(size, pmo_id=i + 1)
+                for i, size in enumerate(sizes)]
+        spans = sorted((v.base, v.end) for v in vmas)
+        for (_, end), (start, _) in zip(spans, spans[1:]):
+            assert end <= start
+
+    def test_volatile_regions_separate_from_pmo_area(self):
+        space = AddressSpace()
+        pmo = space.reserve_pmo(KB4, pmo_id=1)
+        vol = space.reserve_volatile(1 << 20)
+        assert vol.base > pmo.end
+        assert not vol.is_nvm
+        assert vol.pmo_id == 0
+
+    def test_release(self):
+        space = AddressSpace()
+        vma = space.reserve_pmo(KB4, pmo_id=1)
+        space.release(vma.base)
+        assert space.find(vma.base) is None
+        with pytest.raises(AddressSpaceError):
+            space.release(vma.base)
+
+
+class TestFind:
+    def test_find_inside_usable_size(self):
+        space = AddressSpace()
+        vma = space.reserve_pmo(8 << 20, pmo_id=3)
+        assert space.find(vma.base) is vma
+        assert space.find(vma.base + (8 << 20) - 1) is vma
+
+    def test_find_in_reserved_but_unused_tail_is_none(self):
+        # The PMO does not have to use its whole VA range; addresses past
+        # its size are not part of the object.
+        space = AddressSpace()
+        vma = space.reserve_pmo(8 << 20, pmo_id=3)
+        assert space.find(vma.base + (8 << 20)) is None
+
+    def test_find_unmapped_address(self):
+        assert AddressSpace().find(0x1234) is None
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.lists(st.integers(1, 1 << 24), min_size=1, max_size=30))
+    def test_find_is_consistent_with_reservations(self, sizes):
+        space = AddressSpace()
+        vmas = [space.reserve_pmo(size, pmo_id=i + 1)
+                for i, size in enumerate(sizes)]
+        for vma in vmas:
+            assert space.find(vma.base) is vma
+            assert space.find(vma.base + vma.size - 1) is vma

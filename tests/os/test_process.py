@@ -1,0 +1,68 @@
+"""Tests for processes, threads, and the pkey allocator."""
+
+import pytest
+
+from repro.errors import NotAttachedError, PkeyError
+from repro.os.kernel import Kernel
+from repro.os.process import ALLOCATABLE_PKEYS
+
+
+@pytest.fixture
+def process():
+    return Kernel().create_process()
+
+
+class TestThreads:
+    def test_process_starts_with_main_thread(self, process):
+        assert process.threads == [process.main_thread]
+
+    def test_spawned_threads_have_unique_tids(self, process):
+        tids = {process.spawn_thread().tid for _ in range(10)}
+        tids.add(process.main_thread.tid)
+        assert len(tids) == 11
+
+    def test_thread_knows_its_process(self, process):
+        thread = process.spawn_thread()
+        assert thread.process is process
+
+
+class TestPkeyAllocator:
+    def test_fifteen_allocatable_keys(self, process):
+        keys = [process.pkey_alloc() for _ in range(15)]
+        assert sorted(keys) == list(ALLOCATABLE_PKEYS)
+        assert 0 not in keys  # key 0 is the reserved NULL/default key
+
+    def test_sixteenth_alloc_fails(self, process):
+        for _ in range(15):
+            process.pkey_alloc()
+        with pytest.raises(PkeyError):
+            process.pkey_alloc()
+
+    def test_free_then_realloc(self, process):
+        keys = [process.pkey_alloc() for _ in range(15)]
+        process.pkey_free(keys[3])
+        assert process.pkey_alloc() == keys[3]
+
+    def test_double_free_rejected(self, process):
+        key = process.pkey_alloc()
+        process.pkey_free(key)
+        with pytest.raises(PkeyError):
+            process.pkey_free(key)
+
+    def test_free_of_reserved_key_rejected(self, process):
+        with pytest.raises(PkeyError):
+            process.pkey_free(0)
+
+    def test_free_pkey_count(self, process):
+        assert process.free_pkey_count == 15
+        process.pkey_alloc()
+        assert process.free_pkey_count == 14
+
+
+class TestAttachments:
+    def test_attachment_lookup_unknown(self, process):
+        with pytest.raises(NotAttachedError):
+            process.attachment(7)
+
+    def test_is_attached(self, process):
+        assert not process.is_attached(7)

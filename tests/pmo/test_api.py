@@ -1,0 +1,78 @@
+"""Tests for the verbatim Table I API surface."""
+
+import pytest
+
+from repro.errors import (InvalidOIDError, PermissionDeniedError,
+                          PoolExistsError)
+from repro.pmo.api import PoolContext, _parse_mode
+from repro.permissions import Perm
+
+
+@pytest.fixture
+def pm():
+    return PoolContext()
+
+
+class TestModeStrings:
+    @pytest.mark.parametrize("mode,expected", [
+        ("rw", (Perm.RW, Perm.NONE)),
+        ("r", (Perm.R, Perm.NONE)),
+        ("rw,r", (Perm.RW, Perm.R)),
+        ("rw,rw", (Perm.RW, Perm.RW)),
+        ("r,none", (Perm.R, Perm.NONE)),
+    ])
+    def test_parse(self, mode, expected):
+        assert _parse_mode(mode) == expected
+
+    def test_invalid_mode_rejected(self):
+        with pytest.raises(ValueError):
+            _parse_mode("x")
+
+
+class TestTableIFlow:
+    """The paper's canonical usage, end to end."""
+
+    def test_create_root_pmalloc_pfree_close(self, pm):
+        pool = pm.pool_create("accounts", 8 << 20, "rw")
+        root = pm.pool_root(pool, 64)
+        node = pm.pmalloc(pool, 128)
+        pool.write_u64(root.offset, node.pack())
+        got_pool, offset = pm.oid_direct(node)
+        assert got_pool is pool and offset == node.offset
+        pm.pfree(node)
+        pm.pool_close(pool)
+
+    def test_reopen_with_permission_check(self, pm):
+        pool = pm.pool_create("shared", 1 << 20, "rw,r")
+        pm.pool_close(pool)
+        other = PoolContext(pm.manager, uid=99)
+        assert other.pool_open("shared", "r")
+        with pytest.raises(PermissionDeniedError):
+            other.pool_open("shared", "rw")
+
+    def test_root_is_stable_across_reopen(self, pm):
+        pool = pm.pool_create("p", 1 << 20)
+        root = pm.pool_root(pool, 32)
+        pm.pool_close(pool)
+        reopened = pm.pool_open("p")
+        assert pm.pool_root(reopened, 32) == root
+
+    def test_duplicate_create_rejected(self, pm):
+        pm.pool_create("p", 1 << 20)
+        with pytest.raises(PoolExistsError):
+            pm.pool_create("p", 1 << 20)
+
+    def test_pfree_via_context_routes_to_owning_pool(self, pm):
+        a = pm.pool_create("a", 1 << 20)
+        b = pm.pool_create("b", 1 << 20)
+        oid_a = pm.pmalloc(a, 64)
+        oid_b = pm.pmalloc(b, 64)
+        pm.pfree(oid_a)
+        pm.pfree(oid_b)
+        with pytest.raises(InvalidOIDError):
+            pm.pfree(oid_a)  # double free detected
+
+    def test_pmalloc_alignment_passthrough(self, pm):
+        pool = pm.pool_create("p", 1 << 20)
+        node = pm.pmalloc(pool, 4096, align=4096)
+        assert node.offset % 4096 == 0

@@ -1,0 +1,125 @@
+"""Exhaustive crash-point tests of the durable-transaction protocol."""
+
+import pytest
+
+from repro.errors import CrashError
+from repro.pmo import SparseMemory, TransactionManager
+from repro.pmo.crash import CrashPointExplorer
+
+
+class BankState:
+    """Two accounts and a transfer — the canonical atomicity scenario."""
+
+    TOTAL = 200
+
+    def __init__(self):
+        self.memory = SparseMemory(4096, track_persistence=True)
+        self.txm = TransactionManager(self.memory)
+        tx = self.txm.begin()
+        tx.write_u64(0, 100)
+        tx.write_u64(8, 100)
+        tx.commit()
+
+    def transfer(self, amount=30):
+        tx = self.txm.begin()
+        a = int.from_bytes(tx.read(0, 8), "little")
+        b = int.from_bytes(tx.read(8, 8), "little")
+        tx.write_u64(0, a - amount)
+        # Adversarial: force the torn in-place write onto the media.
+        self.memory.persist(0, 8)
+        tx.write_u64(8, b + amount)
+        self.memory.persist(8, 8)
+        tx.commit()
+
+    def check(self):
+        a = self.memory.read_u64(0)
+        b = self.memory.read_u64(8)
+        assert a + b == self.TOTAL, f"total {a + b} != {self.TOTAL}"
+        assert a in (100, 70) and b in (100, 130), \
+            f"partial transfer visible: a={a} b={b}"
+
+
+def bank_explorer():
+    return CrashPointExplorer(
+        setup=BankState,
+        scenario=lambda s: s.transfer(),
+        recover=lambda s: s.txm.recover(),
+        invariant=lambda s: s.check(),
+        memories=lambda s: [s.memory, s.txm.log.memory])
+
+
+class TestBankTransfer:
+    def test_scenario_has_many_persist_points(self):
+        assert bank_explorer().count_persist_points() >= 6
+
+    def test_every_crash_point_recovers_consistently(self):
+        """The headline crash-consistency property: atomicity holds for a
+        crash after *any* persist the protocol performs."""
+        result = bank_explorer().explore()
+        assert result.points_tested == result.persist_points
+        assert result.passed, result.failures
+
+
+class TestHarnessDetectsBugs:
+    def test_broken_protocol_is_caught(self):
+        """A deliberately unlogged write must produce failures."""
+
+        class BrokenState(BankState):
+            def transfer(self, amount=30):
+                # BUG: bypass the undo log entirely.
+                a = self.memory.read_u64(0)
+                self.memory.write_u64(0, a - amount)
+                self.memory.persist(0, 8)
+                b = self.memory.read_u64(8)
+                self.memory.write_u64(8, b + amount)
+                self.memory.persist(8, 8)
+
+        explorer = CrashPointExplorer(
+            setup=BrokenState,
+            scenario=lambda s: s.transfer(),
+            recover=lambda s: s.txm.recover(),
+            invariant=lambda s: s.check(),
+            memories=lambda s: [s.memory, s.txm.log.memory])
+        result = explorer.explore()
+        assert not result.passed
+        assert any("total" in f.error or "partial" in f.error
+                   for f in result.failures)
+
+    def test_requires_tracking_stores(self):
+        class Untracked:
+            def __init__(self):
+                self.memory = SparseMemory(4096)
+
+        explorer = CrashPointExplorer(
+            setup=Untracked, scenario=lambda s: None,
+            recover=lambda s: None, invariant=lambda s: None,
+            memories=lambda s: [s.memory])
+        with pytest.raises(CrashError):
+            explorer.explore()
+
+    def test_limit_bounds_exploration(self):
+        result = bank_explorer().explore(limit=3)
+        assert result.points_tested == 3
+
+
+class TestMultiTransferScenario:
+    def test_sequence_of_transfers_fully_explored(self):
+        class MultiState(BankState):
+            def run(self):
+                for amount in (10, 20, 5):
+                    self.transfer(amount)
+
+            def check(self):
+                a = self.memory.read_u64(0)
+                b = self.memory.read_u64(8)
+                assert a + b == self.TOTAL
+
+        explorer = CrashPointExplorer(
+            setup=MultiState,
+            scenario=lambda s: s.run(),
+            recover=lambda s: s.txm.recover(),
+            invariant=lambda s: s.check(),
+            memories=lambda s: [s.memory, s.txm.log.memory])
+        result = explorer.explore()
+        assert result.persist_points > 15
+        assert result.passed, result.failures

@@ -1,0 +1,82 @@
+"""Tests for the PMO namespace."""
+
+import pytest
+
+from repro.permissions import Perm
+from repro.errors import PoolExistsError, PoolNotFoundError
+from repro.pmo.namespace import FIRST_POOL_ID, Namespace
+
+
+@pytest.fixture
+def ns():
+    return Namespace()
+
+
+class TestDirectory:
+    def test_ids_start_at_one_and_increase(self, ns):
+        a = ns.create("a", 4096, (Perm.RW, Perm.NONE))
+        b = ns.create("b", 4096, (Perm.RW, Perm.NONE))
+        assert a.pool_id == FIRST_POOL_ID
+        assert b.pool_id == FIRST_POOL_ID + 1
+
+    def test_lookup_by_name_and_id(self, ns):
+        meta = ns.create("a", 4096, (Perm.RW, Perm.NONE))
+        assert ns.lookup("a") is meta
+        assert ns.by_id(meta.pool_id) is meta
+
+    def test_unknown_lookups(self, ns):
+        with pytest.raises(PoolNotFoundError):
+            ns.lookup("nope")
+        with pytest.raises(PoolNotFoundError):
+            ns.by_id(99)
+
+    def test_duplicate_name(self, ns):
+        ns.create("a", 4096, (Perm.RW, Perm.NONE))
+        with pytest.raises(PoolExistsError):
+            ns.create("a", 4096, (Perm.RW, Perm.NONE))
+
+    def test_empty_name_rejected(self, ns):
+        with pytest.raises(ValueError):
+            ns.create("", 4096, (Perm.RW, Perm.NONE))
+
+    def test_remove(self, ns):
+        meta = ns.create("a", 4096, (Perm.RW, Perm.NONE))
+        ns.remove("a")
+        assert "a" not in ns
+        with pytest.raises(PoolNotFoundError):
+            ns.by_id(meta.pool_id)
+
+    def test_removed_ids_not_reused(self, ns):
+        a = ns.create("a", 4096, (Perm.RW, Perm.NONE))
+        ns.remove("a")
+        b = ns.create("b", 4096, (Perm.RW, Perm.NONE))
+        assert b.pool_id != a.pool_id
+
+    def test_names_sorted(self, ns):
+        for name in ("zebra", "apple", "mango"):
+            ns.create(name, 4096, (Perm.RW, Perm.NONE))
+        assert ns.names() == ["apple", "mango", "zebra"]
+        assert len(ns) == 3
+
+
+class TestPermissionChecks:
+    def test_owner_vs_others(self, ns):
+        meta = ns.create("a", 4096, (Perm.RW, Perm.R), owner=10)
+        assert ns.allows(meta, uid=10, want=Perm.RW)
+        assert ns.allows(meta, uid=20, want=Perm.R)
+        assert not ns.allows(meta, uid=20, want=Perm.RW)
+
+    def test_private_pool(self, ns):
+        meta = ns.create("a", 4096, (Perm.RW, Perm.NONE), owner=10)
+        assert not ns.allows(meta, uid=20, want=Perm.R)
+
+    def test_attach_key_gates_everyone(self, ns):
+        meta = ns.create("a", 4096, (Perm.RW, Perm.R), owner=10,
+                         attach_key=42)
+        assert not ns.allows(meta, uid=10, want=Perm.RW)
+        assert ns.allows(meta, uid=10, want=Perm.RW, attach_key=42)
+        assert not ns.allows(meta, uid=20, want=Perm.R, attach_key=41)
+
+    def test_none_want_always_allowed(self, ns):
+        meta = ns.create("a", 4096, (Perm.NONE, Perm.NONE), owner=10)
+        assert ns.allows(meta, uid=10, want=Perm.NONE)

@@ -1,0 +1,74 @@
+"""Tests for ObjectID pool pointers (Figure 1)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.pmo import NULL_OID, OID
+
+
+class TestPacking:
+    def test_pack_layout_pool_high_offset_low(self):
+        oid = OID(pool_id=0x1234, offset=0x5678)
+        assert oid.pack() == (0x1234 << 32) | 0x5678
+
+    def test_unpack_inverse(self):
+        oid = OID(pool_id=7, offset=4096)
+        assert OID.unpack(oid.pack()) == oid
+
+    @given(pool=st.integers(0, 2**32 - 1), off=st.integers(0, 2**32 - 1))
+    def test_roundtrip_property(self, pool, off):
+        oid = OID(pool, off)
+        assert OID.unpack(oid.pack()) == oid
+
+    def test_pool_id_must_fit_32_bits(self):
+        with pytest.raises(ValueError):
+            OID(pool_id=2**32, offset=0)
+
+    def test_offset_must_fit_32_bits(self):
+        with pytest.raises(ValueError):
+            OID(pool_id=0, offset=2**32)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            OID(pool_id=-1, offset=0)
+
+    def test_unpack_rejects_oversized_value(self):
+        with pytest.raises(ValueError):
+            OID.unpack(2**64)
+
+
+class TestNull:
+    def test_null_is_pool_zero_offset_zero(self):
+        assert NULL_OID.pool_id == 0
+        assert NULL_OID.offset == 0
+
+    def test_null_is_falsy(self):
+        assert not NULL_OID
+        assert NULL_OID.is_null()
+
+    def test_non_null_is_truthy(self):
+        assert OID(1, 8)
+
+    def test_pool_zero_nonzero_offset_is_not_null(self):
+        # Only the all-zero value is NULL.
+        assert OID(0, 8)
+
+
+class TestArithmetic:
+    def test_add_moves_offset(self):
+        assert OID(3, 100) + 28 == OID(3, 128)
+
+    def test_sub_moves_offset(self):
+        assert OID(3, 100) - 36 == OID(3, 64)
+
+    def test_add_overflow_rejected(self):
+        with pytest.raises(ValueError):
+            OID(1, 2**32 - 1) + 1
+
+    def test_sub_underflow_rejected(self):
+        with pytest.raises(ValueError):
+            OID(1, 0) - 1
+
+    def test_hashable(self):
+        assert len({OID(1, 2), OID(1, 2), OID(1, 3)}) == 2

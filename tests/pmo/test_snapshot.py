@@ -1,0 +1,101 @@
+"""Tests for pool snapshots (persistence across manager lifetimes)."""
+
+import pytest
+
+from repro.permissions import Perm
+from repro.errors import PermissionDeniedError, PMOError
+from repro.pmo import PoolManager
+from repro.pmo.snapshot import load_pools, save_pools
+
+MODE = (Perm.RW, Perm.R)
+
+
+def build_manager():
+    manager = PoolManager()
+    pool = manager.pool_create("alpha", 1 << 20, MODE, owner=3)
+    root = pool.root(64)
+    pool.write_u64(root.offset, 0xFEED)
+    node = pool.pmalloc(128)
+    pool.write(node.offset, b"hello persistent world")
+    other = manager.pool_create("beta", 1 << 20, MODE, attach_key=7)
+    other.pmalloc(64)
+    return manager, root, node
+
+
+class TestRoundTrip:
+    def test_data_survives_reload(self, tmp_path):
+        manager, root, node = build_manager()
+        path = tmp_path / "pools.snap"
+        pages = save_pools(manager, path)
+        assert pages > 0
+
+        reloaded = load_pools(path)
+        pool = reloaded.pool_open("alpha", Perm.RW, uid=3)
+        assert pool.read_u64(root.offset) == 0xFEED
+        assert pool.read(node.offset, 22) == b"hello persistent world"
+
+    def test_pool_ids_preserved_for_oid_validity(self, tmp_path):
+        manager, root, _node = build_manager()
+        original_id = manager.namespace.lookup("alpha").pool_id
+        path = tmp_path / "pools.snap"
+        save_pools(manager, path)
+        reloaded = load_pools(path)
+        assert reloaded.namespace.lookup("alpha").pool_id == original_id
+        # The persisted root OID still resolves.
+        pool = reloaded.pool_open("alpha", Perm.RW, uid=3)
+        assert pool.root(64) == root
+
+    def test_heap_state_recovered(self, tmp_path):
+        manager, _root, node = build_manager()
+        path = tmp_path / "pools.snap"
+        save_pools(manager, path)
+        reloaded = load_pools(path)
+        pool = reloaded.pool_open("alpha", Perm.RW, uid=3)
+        fresh = pool.pmalloc(128)
+        assert fresh.offset != node.offset  # old allocation still live
+
+    def test_namespace_permissions_survive(self, tmp_path):
+        manager, *_ = build_manager()
+        path = tmp_path / "pools.snap"
+        save_pools(manager, path)
+        reloaded = load_pools(path)
+        with pytest.raises(PermissionDeniedError):
+            reloaded.pool_open("alpha", Perm.RW, uid=99)  # not the owner
+        with pytest.raises(PermissionDeniedError):
+            reloaded.pool_open("beta", Perm.R, uid=1)  # missing attach key
+        assert reloaded.pool_open("beta", Perm.R, uid=1, attach_key=7)
+
+    def test_new_pools_after_reload_get_fresh_ids(self, tmp_path):
+        manager, *_ = build_manager()
+        existing = {meta.pool_id for meta in
+                    (manager.namespace.lookup(n)
+                     for n in manager.namespace.names())}
+        path = tmp_path / "pools.snap"
+        save_pools(manager, path)
+        reloaded = load_pools(path)
+        created = reloaded.pool_create("gamma", 1 << 20, MODE)
+        assert created.pool_id not in existing
+
+    def test_bad_file_rejected(self, tmp_path):
+        path = tmp_path / "junk"
+        path.write_bytes(len(b"{}").to_bytes(8, "little") + b"{}")
+        with pytest.raises(PMOError):
+            load_pools(path)
+
+
+class TestPendingWritesDropped:
+    def test_snapshot_has_power_failure_semantics(self, tmp_path):
+        """Unpersisted writes of a tracking store vanish, like on real NVM."""
+        manager = PoolManager(track_persistence=True)
+        pool = manager.pool_create("p", 1 << 20, MODE)
+        oid = pool.pmalloc(64)
+        pool.write(oid.offset, b"durable!")
+        pool.memory.persist(oid.offset, 8)
+        pool.write(oid.offset + 8, b"volatile")  # never persisted
+
+        path = tmp_path / "pools.snap"
+        save_pools(manager, path)
+        reloaded = load_pools(path)
+        got = reloaded.pool_open("p", Perm.RW)
+        assert got.read(oid.offset, 8) == b"durable!"
+        assert got.read(oid.offset + 8, 8) == b"\x00" * 8

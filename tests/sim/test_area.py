@@ -1,0 +1,54 @@
+"""Tests for the Table VIII area model."""
+
+from repro.sim.area import domain_virt_area, mpk_virt_area
+from repro.sim.config import DomainVirtConfig, MPKVirtConfig
+
+
+class TestTableVIIIValues:
+    """The default configuration must reproduce Table VIII exactly."""
+
+    def test_mpk_virt_buffer_is_152_bytes(self):
+        assert mpk_virt_area().buffer_bytes_per_core == 152
+
+    def test_dv_buffer_is_24_bytes(self):
+        assert domain_virt_area().buffer_bytes_per_core == 24
+
+    def test_dtt_memory_is_256kb(self):
+        assert mpk_virt_area().memory_bytes_per_process == 256 << 10
+
+    def test_dv_memory_is_pt_plus_drt(self):
+        report = domain_virt_area()
+        assert report.memory_bytes_per_process == (256 << 10) + (16 << 10)
+
+    def test_register_counts(self):
+        assert mpk_virt_area().registers_per_core == 1
+        assert domain_virt_area().registers_per_core == 2
+
+    def test_tlb_extension(self):
+        assert mpk_virt_area().tlb_extra_bits_per_entry == 0
+        assert domain_virt_area().tlb_extra_bits_per_entry == 6
+
+
+class TestScaling:
+    def test_buffer_scales_with_entries(self):
+        small = mpk_virt_area(MPKVirtConfig(dttlb_entries=16))
+        large = mpk_virt_area(MPKVirtConfig(dttlb_entries=32))
+        assert large.buffer_bytes_per_core == 2 * small.buffer_bytes_per_core
+
+    def test_memory_scales_with_domains_and_threads(self):
+        base = mpk_virt_area(max_domains=1024, max_threads=1024)
+        more_domains = mpk_virt_area(max_domains=2048, max_threads=1024)
+        more_threads = mpk_virt_area(max_domains=1024, max_threads=2048)
+        assert more_domains.memory_bytes_per_process == \
+            2 * base.memory_bytes_per_process
+        assert more_threads.memory_bytes_per_process == \
+            2 * base.memory_bytes_per_process
+
+    def test_ptlb_scales(self):
+        small = domain_virt_area(DomainVirtConfig(ptlb_entries=16))
+        large = domain_virt_area(DomainVirtConfig(ptlb_entries=64))
+        assert large.buffer_bytes_per_core == 4 * small.buffer_bytes_per_core
+
+    def test_describe_is_readable(self):
+        text = mpk_virt_area().describe()
+        assert "152" in text and "256 KB" in text

@@ -1,0 +1,60 @@
+"""Tests for the configuration objects (Table II)."""
+
+import dataclasses
+
+import pytest
+
+from repro.sim.config import (DEFAULT_CONFIG, MemoryConfig, SimConfig)
+
+
+class TestTableIIDefaults:
+    """The defaults must match the paper's Table II."""
+
+    def test_processor(self):
+        assert DEFAULT_CONFIG.processor.frequency_hz == 2.2e9
+        assert DEFAULT_CONFIG.processor.issue_width == 4
+        assert DEFAULT_CONFIG.processor.rob_entries == 128
+
+    def test_caches(self):
+        assert DEFAULT_CONFIG.cache.l1_size == 32 << 10
+        assert DEFAULT_CONFIG.cache.l1_ways == 8
+        assert DEFAULT_CONFIG.cache.l1_latency == 1
+        assert DEFAULT_CONFIG.cache.l2_size == 1 << 20
+        assert DEFAULT_CONFIG.cache.l2_ways == 16
+        assert DEFAULT_CONFIG.cache.l2_latency == 8
+
+    def test_memory_latencies_are_3x(self):
+        assert DEFAULT_CONFIG.memory.dram_latency == 120
+        assert DEFAULT_CONFIG.memory.nvm_latency == 360
+
+    def test_tlb(self):
+        assert DEFAULT_CONFIG.tlb.l1_entries == 64
+        assert DEFAULT_CONFIG.tlb.l1_ways == 4
+        assert DEFAULT_CONFIG.tlb.l2_entries == 1536
+        assert DEFAULT_CONFIG.tlb.l2_ways == 6
+        assert DEFAULT_CONFIG.tlb.miss_penalty == 30
+
+    def test_mpk_and_virtualization_latencies(self):
+        assert DEFAULT_CONFIG.mpk.wrpkru_cycles == 27
+        assert DEFAULT_CONFIG.mpk_virt.dttlb_entries == 16
+        assert DEFAULT_CONFIG.mpk_virt.dttlb_miss_cycles == 30
+        assert DEFAULT_CONFIG.mpk_virt.tlb_invalidation_cycles == 286
+        assert DEFAULT_CONFIG.domain_virt.ptlb_entries == 16
+        assert DEFAULT_CONFIG.domain_virt.ptlb_access_cycles == 1
+        assert DEFAULT_CONFIG.domain_virt.ptlb_miss_cycles == 30
+
+
+class TestConfigMechanics:
+    def test_frozen(self):
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            DEFAULT_CONFIG.mpk.wrpkru_cycles = 1  # type: ignore[misc]
+
+    def test_with_overrides_replaces_section(self):
+        custom = DEFAULT_CONFIG.with_overrides(
+            memory=MemoryConfig(nvm_latency=999))
+        assert custom.memory.nvm_latency == 999
+        assert DEFAULT_CONFIG.memory.nvm_latency == 360  # untouched
+        assert custom.tlb is DEFAULT_CONFIG.tlb
+
+    def test_fresh_config_equals_default(self):
+        assert SimConfig() == DEFAULT_CONFIG

@@ -1,0 +1,67 @@
+"""Tests for run statistics and overhead accounting."""
+
+import pytest
+
+from repro.sim.stats import OVERHEAD_BUCKETS, RunStats
+
+
+class TestCharging:
+    def test_charge_adds_to_bucket_and_total(self):
+        stats = RunStats()
+        stats.charge("perm_change", 27)
+        stats.charge("perm_change", 27)
+        stats.charge("dtt_misses", 30)
+        assert stats.buckets["perm_change"] == 54
+        assert stats.overhead_cycles == 84
+        assert stats.cycles == 84
+
+    def test_unknown_bucket_rejected(self):
+        with pytest.raises(KeyError):
+            RunStats().charge("bogus", 1)
+
+    def test_all_buckets_initialised(self):
+        stats = RunStats()
+        assert set(stats.buckets) == set(OVERHEAD_BUCKETS)
+        assert all(v == 0 for v in stats.buckets.values())
+
+
+class TestDerived:
+    def test_overhead_percent(self):
+        stats = RunStats(baseline_cycles=1000)
+        stats.cycles = 1100
+        assert stats.overhead_percent() == pytest.approx(10.0)
+
+    def test_overhead_percent_explicit_baseline(self):
+        stats = RunStats()
+        stats.cycles = 150
+        assert stats.overhead_percent(100) == pytest.approx(50.0)
+
+    def test_overhead_without_baseline_rejected(self):
+        stats = RunStats()
+        stats.cycles = 1
+        with pytest.raises(ValueError):
+            stats.overhead_percent()
+
+    def test_bucket_percent(self):
+        stats = RunStats(baseline_cycles=200)
+        stats.charge("access_latency", 20)
+        assert stats.bucket_percent("access_latency") == pytest.approx(10.0)
+
+    def test_switches_per_second(self):
+        stats = RunStats(baseline_cycles=2.2e9)  # one second of baseline
+        stats.perm_switches = 1_000_000
+        assert stats.switches_per_second(2.2e9) == pytest.approx(1e6)
+
+    def test_seconds(self):
+        stats = RunStats()
+        stats.cycles = 4.4e9
+        assert stats.seconds(2.2e9) == pytest.approx(2.0)
+
+    def test_summary_mentions_scheme_and_overhead(self):
+        stats = RunStats(scheme="domain_virt", baseline_cycles=100)
+        stats.cycles = 120
+        stats.charge("access_latency", 5)
+        text = stats.summary()
+        assert "domain_virt" in text
+        assert "overhead" in text
+        assert "access_latency" in text

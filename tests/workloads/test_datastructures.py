@@ -1,0 +1,274 @@
+"""Property-based correctness tests for the persistent data structures.
+
+Each structure is exercised against a plain-Python model with randomized
+insert/delete/lookup mixes; tree invariants are checked at the end of
+every run.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.workloads.base import UnprotectedPolicy, Workspace
+from repro.workloads.datastructures import (PersistentAVL,
+                                            PersistentBPlusTree,
+                                            PersistentCritbitTree,
+                                            PersistentHashMap,
+                                            PersistentLinkedList,
+                                            PersistentRBTree,
+                                            PersistentStringArray)
+
+KEYED_STRUCTS = [PersistentAVL, PersistentRBTree, PersistentBPlusTree,
+                 PersistentCritbitTree]
+
+ops_strategy = st.lists(
+    st.tuples(st.sampled_from(["insert", "delete", "lookup"]),
+              st.integers(0, 120)),
+    min_size=1, max_size=120)
+
+
+def make_workspace(pools=3):
+    ws = Workspace(UnprotectedPolicy(), seed=3)
+    handles = [ws.create_and_attach(f"p{i}", 8 << 20) for i in range(pools)]
+    return ws, handles
+
+
+class TestKeyedStructuresAgainstModel:
+    @pytest.mark.parametrize("cls", KEYED_STRUCTS)
+    @settings(max_examples=15, deadline=None)
+    @given(ops=ops_strategy)
+    def test_matches_dict_model(self, cls, ops):
+        ws, handles = make_workspace()
+        struct = cls(ws, handles, spill=0.3)
+        model = {}
+        for op, key in ops:
+            key += 1  # keys are nonzero
+            if op == "insert":
+                struct.insert(key, key * 3)
+                model[key] = key * 3
+            elif op == "delete":
+                assert struct.delete(key) == (key in model)
+                model.pop(key, None)
+            else:
+                assert struct.lookup(key) == model.get(key)
+        assert struct.keys() == sorted(model)
+        assert len(struct) == len(model)
+        if hasattr(struct, "check_invariants"):
+            struct.check_invariants()
+
+    @pytest.mark.parametrize("cls", KEYED_STRUCTS)
+    def test_insert_overwrites_value(self, cls):
+        ws, handles = make_workspace()
+        struct = cls(ws, handles)
+        struct.insert(5, 1)
+        struct.insert(5, 2)
+        assert struct.lookup(5) == 2
+        assert len(struct) == 1
+
+    @pytest.mark.parametrize("cls", KEYED_STRUCTS)
+    def test_delete_missing_returns_false(self, cls):
+        ws, handles = make_workspace()
+        struct = cls(ws, handles)
+        assert not struct.delete(42)
+        struct.insert(1, 1)
+        assert not struct.delete(42)
+
+    @pytest.mark.parametrize("cls", KEYED_STRUCTS)
+    def test_empty_structure(self, cls):
+        ws, handles = make_workspace()
+        struct = cls(ws, handles)
+        assert struct.keys() == []
+        assert struct.lookup(9) is None
+        assert len(struct) == 0
+
+
+class TestAVLBalance:
+    def test_sequential_inserts_stay_balanced(self):
+        ws, handles = make_workspace()
+        avl = PersistentAVL(ws, handles)
+        for key in range(1, 200):
+            avl.insert(key, key)
+        height = avl.check_invariants()
+        assert height <= 12  # 1.44 * log2(200) ~ 11
+
+    def test_deletions_keep_balance(self):
+        ws, handles = make_workspace()
+        avl = PersistentAVL(ws, handles)
+        for key in range(1, 128):
+            avl.insert(key, key)
+        for key in range(1, 100):
+            avl.delete(key)
+        avl.check_invariants()
+
+
+class TestRBTreeProperties:
+    def test_sequential_inserts_keep_rb_invariants(self):
+        ws, handles = make_workspace()
+        rbt = PersistentRBTree(ws, handles)
+        for key in range(1, 200):
+            rbt.insert(key, key)
+        rbt.check_invariants()
+
+    def test_interleaved_delete_keeps_invariants(self):
+        ws, handles = make_workspace()
+        rbt = PersistentRBTree(ws, handles)
+        for key in range(1, 100):
+            rbt.insert(key, key)
+        for key in range(1, 100, 3):
+            rbt.delete(key)
+        rbt.check_invariants()
+
+
+class TestBPlusTree:
+    def test_node_split_chain(self):
+        """Enough inserts to split leaves and grow internal levels."""
+        ws, handles = make_workspace()
+        bt = PersistentBPlusTree(ws, handles)
+        n = 130 * 130 // 8  # a few thousand keys: at least two levels
+        for key in range(1, n):
+            bt.insert(key, key)
+        assert bt.check_invariants() >= 2
+        assert bt.keys() == list(range(1, n))
+
+    def test_reverse_order_inserts(self):
+        ws, handles = make_workspace()
+        bt = PersistentBPlusTree(ws, handles)
+        for key in range(300, 0, -1):
+            bt.insert(key, key)
+        assert bt.keys() == list(range(1, 301))
+        bt.check_invariants()
+
+    def test_nodes_are_page_aligned(self):
+        ws, handles = make_workspace()
+        bt = PersistentBPlusTree(ws, handles)
+        bt.insert(1, 1)
+        root = bt.ps.read_entry()
+        assert root.offset % 4096 == 0
+
+
+class TestLinkedList:
+    def test_positional_semantics(self):
+        ws, handles = make_workspace()
+        ll = PersistentLinkedList(ws, handles)
+        ll.insert_at(0, 10, 10)
+        ll.insert_at(0, 20, 20)
+        ll.insert_at(1, 30, 30)
+        assert ll.keys() == [20, 30, 10]
+        assert ll.delete_at(1) == 30
+        assert ll.keys() == [20, 10]
+
+    def test_insert_at_clamps_to_tail(self):
+        ws, handles = make_workspace()
+        ll = PersistentLinkedList(ws, handles)
+        ll.insert_at(99, 1, 1)
+        ll.insert_at(99, 2, 2)
+        assert ll.keys() == [1, 2]
+
+    def test_delete_at_empty_returns_none(self):
+        ws, handles = make_workspace()
+        ll = PersistentLinkedList(ws, handles)
+        assert ll.delete_at(0) is None
+
+    def test_sorted_insert_and_lookup(self):
+        ws, handles = make_workspace()
+        ll = PersistentLinkedList(ws, handles)
+        for key in (5, 1, 3, 9, 7):
+            ll.insert_sorted(key, key * 2)
+        assert ll.keys() == [1, 3, 5, 7, 9]
+        assert ll.lookup(7) == 14
+        assert ll.lookup(2) is None
+
+
+class TestStringArray:
+    def test_append_get_set(self):
+        ws, handles = make_workspace()
+        sa = PersistentStringArray(ws, handles, capacity=8)
+        index = sa.append(b"hello")
+        assert sa.get(index).rstrip(b"\x00") == b"hello"
+        sa.set(index, b"world")
+        assert sa.get(index).rstrip(b"\x00") == b"world"
+
+    def test_swap(self):
+        ws, handles = make_workspace()
+        sa = PersistentStringArray(ws, handles, capacity=4)
+        sa.append(b"a" * 64)
+        sa.append(b"b" * 64)
+        sa.swap(0, 1)
+        assert sa.get(0) == b"b" * 64
+        assert sa.get(1) == b"a" * 64
+
+    def test_swap_between_arrays(self):
+        ws, handles = make_workspace()
+        a = PersistentStringArray(ws, handles[:1], capacity=2)
+        b = PersistentStringArray(ws, handles[1:2], capacity=2)
+        a.append(b"from-a")
+        b.append(b"from-b")
+        PersistentStringArray.swap_between(a, 0, b, 0)
+        assert a.get(0).rstrip(b"\x00") == b"from-b"
+        assert b.get(0).rstrip(b"\x00") == b"from-a"
+
+    def test_capacity_enforced(self):
+        ws, handles = make_workspace()
+        sa = PersistentStringArray(ws, handles, capacity=1)
+        sa.append(b"x")
+        with pytest.raises(IndexError):
+            sa.append(b"y")
+
+    def test_oversized_string_rejected(self):
+        ws, handles = make_workspace()
+        sa = PersistentStringArray(ws, handles, capacity=1)
+        with pytest.raises(ValueError):
+            sa.append(b"z" * 65)
+
+    def test_out_of_range_index(self):
+        ws, handles = make_workspace()
+        sa = PersistentStringArray(ws, handles, capacity=4)
+        sa.append(b"x")
+        with pytest.raises(IndexError):
+            sa.get(1)
+
+
+class TestHashMap:
+    @settings(max_examples=15, deadline=None)
+    @given(ops=ops_strategy)
+    def test_matches_dict_model(self, ops):
+        ws, handles = make_workspace(pools=1)
+        hm = PersistentHashMap(ws, handles, n_buckets=16)
+        model = {}
+        for op, key in ops:
+            key += 1
+            if op == "insert":
+                hm.put(key, key + 7)
+                model[key] = key + 7
+            elif op == "delete":
+                assert hm.remove(key) == (key in model)
+                model.pop(key, None)
+            else:
+                assert hm.get(key) == model.get(key)
+        assert hm.keys() == sorted(model)
+
+    def test_collisions_resolved_by_chaining(self):
+        ws, handles = make_workspace(pools=1)
+        hm = PersistentHashMap(ws, handles, n_buckets=1)  # all collide
+        for key in range(1, 30):
+            hm.put(key, key)
+        assert all(hm.get(k) == k for k in range(1, 30))
+
+    def test_spill_nodes_land_in_other_pools(self):
+        ws, handles = make_workspace(pools=4)
+        from repro.workloads.datastructures.avl import PersistentAVL
+        avl = PersistentAVL(ws, handles, spill=1.0)
+        for key in range(1, 80):
+            avl.insert(key, key)
+        pools_used = set()
+        with ws.untraced():
+            def collect(node):
+                from repro.workloads.datastructures.common import is_null
+                from repro.workloads.datastructures import avl as avl_mod
+                if is_null(node):
+                    return
+                pools_used.add(node.pool_id)
+                collect(avl.mem.read_oid(node, avl_mod.OFF_LEFT))
+                collect(avl.mem.read_oid(node, avl_mod.OFF_RIGHT))
+            collect(avl.ps.read_entry())
+        assert len(pools_used) > 1

@@ -1,0 +1,108 @@
+"""Functional correctness of the WHISPER-style applications.
+
+The suites must compute real results (not just emit plausible traces):
+Echo's index reflects its log, TPCC's order counter advances monotonically,
+Redis's LRU list tracks recency, YCSB's records stay consistent.
+"""
+
+import pytest
+
+from repro.permissions import Perm
+from repro.workloads.base import PerAccessPolicy, Workspace
+from repro.workloads.whisper import (_EchoApp, _RedisApp, _TPCCApp,
+                                     _YCSBApp, WhisperParams)
+
+
+def make_app(cls, **params):
+    ws = Workspace(PerAccessPolicy(), seed=13)
+    pool = ws.create_and_attach("w", 1 << 26)
+    app = cls(ws, pool, WhisperParams(benchmark="echo", **params))
+    return ws, pool, app
+
+
+class TestEcho:
+    def test_log_records_match_index(self):
+        ws, pool, app = make_app(_EchoApp, records=32)
+        for _ in range(50):
+            app.txn()
+        # Replay the log into a dict; the index must agree on every key's
+        # latest value.
+        with ws.untraced():
+            latest = {}
+            for entry in range(app.log_pos):
+                key = ws.mem.read_u64(app.log, entry * 24)
+                value = ws.mem.read_u64(app.log, entry * 24 + 8)
+                latest[key] = value
+            for key, value in latest.items():
+                assert app.index.get(key) == value
+
+    def test_log_position_advances(self):
+        ws, pool, app = make_app(_EchoApp, records=32)
+        before = app.log_pos
+        app.txn()
+        assert app.log_pos == before + 1
+
+
+class TestTPCC:
+    def test_order_ids_monotonic(self):
+        ws, pool, app = make_app(_TPCCApp, records=64)
+        for _ in range(20):
+            app.txn()
+        with ws.untraced():
+            next_order = ws.mem.read_u64(app.district, 0)
+        assert next_order == 21  # started at 1, one order per txn
+
+    def test_stock_quantities_increase(self):
+        ws, pool, app = make_app(_TPCCApp, records=8)
+        for _ in range(40):
+            app.txn()
+        with ws.untraced():
+            total = sum(ws.mem.read_u64(app.stock, item * 64)
+                        for item in range(8))
+        assert total == 40 * app.ITEMS_PER_ORDER
+
+
+class TestYCSB:
+    def test_records_preloaded_and_updatable(self):
+        ws, pool, app = make_app(_YCSBApp, records=64)
+        with ws.untraced():
+            assert app.map.get(1) == 1
+            assert app.map.get(64) == 64
+        for _ in range(100):
+            app.txn()
+        with ws.untraced():
+            assert len(app.map) == 64  # updates, never inserts
+
+
+class TestRedis:
+    def test_lru_head_is_most_recent(self):
+        ws, pool, app = make_app(_RedisApp, records=16)
+        for _ in range(100):
+            app.txn()
+        with ws.untraced():
+            head = ws.mem.read_oid(app.lru_anchor, 0)
+            head_key = ws.mem.read_u64(head, 0)
+        # Find the key the last txn touched by replaying its RNG draw
+        # indirectly: the head must at least be a known node.
+        assert head_key in app.node_of
+        assert app.node_of[head_key] == head
+
+    def test_lru_list_is_consistent(self):
+        ws, pool, app = make_app(_RedisApp, records=12)
+        for _ in range(80):
+            app.txn()
+        with ws.untraced():
+            seen = []
+            cur = ws.mem.read_oid(app.lru_anchor, 0)
+            prev = None
+            while not cur.is_null():
+                seen.append(ws.mem.read_u64(cur, 0))
+                back = ws.mem.read_oid(cur, app.OFF_PREV)
+                if prev is None:
+                    assert back.is_null()
+                else:
+                    assert back == prev
+                prev = cur
+                cur = ws.mem.read_oid(cur, app.OFF_NEXT_LRU)
+        assert sorted(seen) == sorted(app.node_of)
+        assert len(seen) == len(set(seen))  # no duplicates/cycles

@@ -4,17 +4,26 @@ Unlike the table/figure benches (one-shot experiment regeneration), these
 use pytest-benchmark's statistics to track the replay engine's and trace
 generator's throughput — the quantities that bound how large a
 configuration the reproduction can simulate.
+
+Besides the human-readable pytest-benchmark output, the module collects
+every timing into ``benchmarks/out/BENCH_engine.json`` (events per
+benchmark, mean seconds, derived events/second) so CI and tooling can
+track throughput without parsing terminal output.
 """
+
+import json
+import pathlib
 
 import pytest
 
-from repro.core.schemes import scheme_by_name
-from repro.cpu.timing import ReplayEngine
-from repro.sim.config import DEFAULT_CONFIG
+from repro.engine import replay_one
 from repro.workloads.micro import MicroParams, generate_micro_trace
 
 PARAMS = MicroParams(benchmark="rbt", n_pools=32, initial_nodes=48,
                      operations=300)
+
+#: Accumulated machine-readable results, flushed by the module fixture.
+_RESULTS = {}
 
 
 @pytest.fixture(scope="module")
@@ -22,22 +31,49 @@ def generated():
     return generate_micro_trace(PARAMS)
 
 
+@pytest.fixture(scope="module", autouse=True)
+def _emit_json():
+    """Write BENCH_engine.json after all benches in this module ran."""
+    yield
+    out_dir = pathlib.Path(__file__).parent / "out"
+    out_dir.mkdir(exist_ok=True)
+    path = out_dir / "BENCH_engine.json"
+    path.write_text(json.dumps(
+        {"params": {"benchmark": PARAMS.benchmark,
+                    "n_pools": PARAMS.n_pools,
+                    "operations": PARAMS.operations},
+         "results": _RESULTS}, indent=2, sort_keys=True) + "\n")
+    print(f"\n[machine-readable results saved to {path}]")
+
+
+def _record(name: str, benchmark, events: int) -> None:
+    stats = getattr(getattr(benchmark, "stats", None), "stats", None)
+    mean_s = getattr(stats, "mean", None) if stats is not None else None
+    _RESULTS[name] = {
+        "events": events,
+        "mean_s": mean_s,
+        "events_per_s": (events / mean_s if mean_s else None),
+    }
+
+
 @pytest.mark.parametrize("scheme", ["baseline", "mpk_virt", "domain_virt",
                                     "libmpk"])
 def test_replay_throughput(benchmark, generated, scheme):
-    trace, ws = generated
-    cls = scheme_by_name(scheme)
+    trace, _ws = generated
 
     def replay():
-        return ReplayEngine(DEFAULT_CONFIG, ws.kernel, ws.process, cls) \
-            .run(trace)
+        # Isolated-context replay: the same path the experiment engine
+        # and its parallel workers execute.
+        return replay_one(trace, scheme)
 
     stats = benchmark.pedantic(replay, rounds=3, iterations=1)
     assert stats.instructions > 0
     benchmark.extra_info["events"] = len(trace)
+    _record(f"replay:{scheme}", benchmark, len(trace))
 
 
 def test_trace_generation_throughput(benchmark):
     trace, _ws = benchmark.pedantic(
         lambda: generate_micro_trace(PARAMS), rounds=3, iterations=1)
     assert len(trace) > 0
+    _record("generate:micro-rbt", benchmark, len(trace))

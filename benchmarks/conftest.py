@@ -4,6 +4,12 @@ Each ``bench_*`` module regenerates one of the paper's tables/figures,
 prints it, and writes it under ``benchmarks/out/`` so the results survive
 the run.  Operation counts follow the package defaults; set ``REPRO_OPS``
 (e.g. ``REPRO_OPS=5``) for higher-fidelity sweeps.
+
+The session runner is backed by one shared experiment engine, so the
+whole harness benefits from the persistent trace cache
+(``REPRO_TRACE_CACHE``) and replays fan out over ``REPRO_JOBS`` worker
+processes.  The engine's cache statistics print at the end of the
+session — a fully warm run reports zero generations.
 """
 
 from __future__ import annotations
@@ -12,14 +18,24 @@ import pathlib
 
 import pytest
 
+from repro.engine import Engine
 from repro.experiments.runner import ExperimentRunner
 
 OUT_DIR = pathlib.Path(__file__).parent / "out"
 
 
 @pytest.fixture(scope="session")
-def runner():
-    return ExperimentRunner()
+def engine():
+    engine = Engine()
+    yield engine
+    stats = engine.cache_stats
+    print(f"\n[trace cache: {stats.generations} generated, "
+          f"{stats.disk_hits} disk hits, {stats.memory_hits} memory hits]")
+
+
+@pytest.fixture(scope="session")
+def runner(engine):
+    return ExperimentRunner(engine=engine)
 
 
 @pytest.fixture(scope="session")

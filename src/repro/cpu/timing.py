@@ -17,7 +17,7 @@ the paper's methodology (Section V).
 
 from __future__ import annotations
 
-from typing import Type
+from typing import Dict, Optional, Tuple, Type
 
 from ..permissions import Perm
 from ..core.schemes import ProtectionScheme
@@ -36,10 +36,16 @@ class ReplayEngine:
     """Replays one trace under one protection scheme."""
 
     def __init__(self, config: SimConfig, kernel: Kernel, process: Process,
-                 scheme_class: Type[ProtectionScheme]):
+                 scheme_class: Type[ProtectionScheme], *,
+                 attach_info: Optional[Dict[int, Tuple]] = None):
         self.config = config
         self.kernel = kernel
         self.process = process
+        #: Engine-local attach table (domain -> (vma, intent)).  When set,
+        #: ATTACH events resolve here instead of ``trace.attach_info``, so
+        #: schemes that mutate their VMA (libmpk's pkey rewrites) touch a
+        #: replay-private copy, never the recorded trace's objects.
+        self.attach_info = attach_info
         tlb_cfg = config.tlb
         cache_cfg = config.cache
         self.tlb = TwoLevelTLB(
@@ -81,6 +87,9 @@ class ReplayEngine:
         LOAD, STORE, PERM = tr.LOAD, tr.STORE, tr.PERM
         INIT_PERM, CTXSW = tr.INIT_PERM, tr.CTXSW
         ATTACH, DETACH, FETCH = tr.ATTACH, tr.DETACH, tr.FETCH
+
+        attach_table = (self.attach_info if self.attach_info is not None
+                        else trace.attach_info)
 
         for kind, tid, icount, a, b in trace.events:
             instructions += icount
@@ -146,7 +155,7 @@ class ReplayEngine:
                 stats.context_switches += 1
                 scheme.context_switch(tid, a)
             elif kind == ATTACH:
-                vma, intent = trace.attach_info[a]
+                vma, intent = attach_table[a]
                 # Replay against a process whose attachments may already
                 # exist (trace generation used the same process).
                 if a not in attachments and vma.pmo_id != a:

@@ -25,7 +25,7 @@ DETACH       a = domain ID
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from ..core.permissions import Perm
 from ..errors import TraceError
@@ -52,6 +52,28 @@ ICOUNT_PER_PERM = 1
 
 
 @dataclass
+class TraceLayout:
+    """The process image a replay needs, captured when recording finishes.
+
+    A trace's virtual addresses only make sense against the address space
+    that generated them.  The layout snapshots that state — every VMA, the
+    page-table contents (fault order preserved, so frame numbers are
+    reproducible), and the thread count — which lets a replay reconstruct
+    a *fresh* kernel/process instead of mutating the workload's, and lets
+    a trace loaded from the persistent cache replay with no workspace at
+    all.
+    """
+
+    #: Every VMA of the generating process (PMO and volatile regions).
+    vmas: List[VMA]
+    #: Leaf page-table entries as ``(vpn, pfn, perm, pkey, domain)``, in
+    #: fault order (insertion order of the generating page table).
+    ptes: List[Tuple[int, int, int, int, int]]
+    #: Threads the generating process had spawned.
+    n_threads: int = 1
+
+
+@dataclass
 class Trace:
     """An immutable recorded execution."""
 
@@ -60,6 +82,9 @@ class Trace:
     attach_info: Dict[int, Tuple[VMA, Perm]]
     total_instructions: int = 0
     label: str = ""
+    #: Process image for isolated replay; ``None`` for hand-built traces
+    #: (those replay against a live workspace instead).
+    layout: Optional[TraceLayout] = None
 
     def __len__(self) -> int:
         return len(self.events)

@@ -5,6 +5,13 @@ data-structure code); persisting traces lets a sweep be generated once
 and replayed under many configurations.  Events pack into five parallel
 numpy arrays; the attach side-table (VMAs and intents) is stored as
 structured metadata.
+
+Format version 2 also persists the :class:`~repro.cpu.trace.TraceLayout`
+— the generating process's VMAs, page-table contents and thread count —
+so a loaded trace is fully self-contained: the replay engine rebuilds a
+fresh kernel/process from the file alone, which is what makes the
+persistent trace cache (:mod:`repro.engine.cache`) work across
+processes.
 """
 
 from __future__ import annotations
@@ -18,13 +25,28 @@ import numpy as np
 from ..errors import TraceError
 from ..os.address_space import VMA
 from ..permissions import Perm
-from .trace import Trace
+from .trace import Trace, TraceLayout
 
-FORMAT_VERSION = 1
+FORMAT_VERSION = 2
+
+
+def _vma_meta(vma: VMA) -> dict:
+    return {
+        "base": vma.base, "reserved": vma.reserved, "size": vma.size,
+        "pmo_id": vma.pmo_id, "granule": vma.granule,
+        "is_nvm": vma.is_nvm, "pkey": vma.pkey,
+    }
+
+
+def _vma_from_meta(meta: dict) -> VMA:
+    return VMA(base=meta["base"], reserved=meta["reserved"],
+               size=meta["size"], pmo_id=meta["pmo_id"],
+               granule=meta["granule"], is_nvm=meta["is_nvm"],
+               pkey=meta.get("pkey", 0))
 
 
 def save_trace(trace: Trace, path: Union[str, pathlib.Path]) -> None:
-    """Write a trace to ``path`` (.npz)."""
+    """Write a trace (and its layout, if any) to ``path`` (.npz)."""
     events = trace.events
     n = len(events)
     kinds = np.empty(n, dtype=np.uint8)
@@ -40,11 +62,7 @@ def save_trace(trace: Trace, path: Union[str, pathlib.Path]) -> None:
         operand_b[i] = b
 
     attach_meta = {
-        str(domain): {
-            "base": vma.base, "reserved": vma.reserved, "size": vma.size,
-            "pmo_id": vma.pmo_id, "granule": vma.granule,
-            "is_nvm": vma.is_nvm, "intent": int(intent),
-        }
+        str(domain): dict(_vma_meta(vma), intent=int(intent))
         for domain, (vma, intent) in trace.attach_info.items()
     }
     header = {
@@ -53,19 +71,42 @@ def save_trace(trace: Trace, path: Union[str, pathlib.Path]) -> None:
         "total_instructions": trace.total_instructions,
         "attach_info": attach_meta,
     }
-    np.savez_compressed(
-        path, kinds=kinds, tids=tids, icounts=icounts,
-        operand_a=operand_a, operand_b=operand_b,
-        header=np.frombuffer(json.dumps(header).encode(), dtype=np.uint8))
+    arrays = {
+        "kinds": kinds, "tids": tids, "icounts": icounts,
+        "operand_a": operand_a, "operand_b": operand_b,
+    }
+
+    layout = trace.layout
+    if layout is not None:
+        header["n_threads"] = layout.n_threads
+        header["vmas"] = [_vma_meta(vma) for vma in layout.vmas]
+        m = len(layout.ptes)
+        pte_vpn = np.empty(m, dtype=np.uint64)
+        pte_pfn = np.empty(m, dtype=np.uint64)
+        pte_perm = np.empty(m, dtype=np.uint8)
+        pte_pkey = np.empty(m, dtype=np.uint8)
+        pte_domain = np.empty(m, dtype=np.uint32)
+        for i, (vpn, pfn, perm, pkey, domain) in enumerate(layout.ptes):
+            pte_vpn[i] = vpn
+            pte_pfn[i] = pfn
+            pte_perm[i] = perm
+            pte_pkey[i] = pkey
+            pte_domain[i] = domain
+        arrays.update(pte_vpn=pte_vpn, pte_pfn=pte_pfn, pte_perm=pte_perm,
+                      pte_pkey=pte_pkey, pte_domain=pte_domain)
+
+    arrays["header"] = np.frombuffer(
+        json.dumps(header).encode(), dtype=np.uint8)
+    np.savez_compressed(path, **arrays)
 
 
 def load_trace(path: Union[str, pathlib.Path]) -> Trace:
     """Read a trace written by :func:`save_trace`.
 
-    The VMAs in the attach table are reconstructed as free-standing
-    objects; replaying against a live process requires that process's
-    address space to match (same seed and build path), which is the
-    normal generate-once / replay-many workflow.
+    Version-2 files carry the full process layout, so the returned trace
+    replays standalone (the engine reconstructs a fresh kernel/process
+    from it).  Older versions are rejected with :class:`TraceError` —
+    the cache treats that as a miss and regenerates.
     """
     with np.load(path) as data:
         header = json.loads(bytes(data["header"].tobytes()).decode())
@@ -76,12 +117,22 @@ def load_trace(path: Union[str, pathlib.Path]) -> Trace:
             data["kinds"].tolist(), data["tids"].tolist(),
             data["icounts"].tolist(), data["operand_a"].tolist(),
             data["operand_b"].tolist()))
+        layout = None
+        if "vmas" in header:
+            if "pte_vpn" not in data.files:
+                raise TraceError("trace layout header without PTE arrays")
+            ptes = list(zip(
+                data["pte_vpn"].tolist(), data["pte_pfn"].tolist(),
+                data["pte_perm"].tolist(), data["pte_pkey"].tolist(),
+                data["pte_domain"].tolist()))
+            layout = TraceLayout(
+                vmas=[_vma_from_meta(meta) for meta in header["vmas"]],
+                ptes=ptes,
+                n_threads=header.get("n_threads", 1))
     attach_info = {}
     for domain, meta in header["attach_info"].items():
-        vma = VMA(base=meta["base"], reserved=meta["reserved"],
-                  size=meta["size"], pmo_id=meta["pmo_id"],
-                  granule=meta["granule"], is_nvm=meta["is_nvm"])
-        attach_info[int(domain)] = (vma, Perm(meta["intent"]))
+        attach_info[int(domain)] = (_vma_from_meta(meta),
+                                    Perm(meta["intent"]))
     return Trace(events=events, attach_info=attach_info,
                  total_instructions=header["total_instructions"],
-                 label=header["label"])
+                 label=header["label"], layout=layout)

@@ -1,0 +1,174 @@
+"""Persistent trace cache keyed by workload content hashes.
+
+Trace generation dominates sweep cost (the workloads run real
+data-structure code); replay per scheme is comparatively cheap.  This
+cache keys each generated trace by its :meth:`WorkloadSpec.cache_key`
+— which covers suite, benchmark, every parameter (including the
+``REPRO_OPS`` scale folded into the params) and the trace-format
+version — so a warm rerun performs **zero** generations.
+
+Two layers:
+
+* an in-process memory layer (module-level, so ``fork``-started workers
+  inherit traces the parent already warmed even when the disk layer is
+  disabled), and
+* a disk layer of ``.npz`` files under ``REPRO_TRACE_CACHE`` (default
+  ``~/.cache/repro-traces``; set to ``0`` to disable).
+
+Disk entries that fail to load for any reason — version mismatch after
+a format bump, truncated or corrupt file, layout-less legacy trace —
+are deleted and treated as misses: the trace is simply regenerated.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple, Union
+
+from ..cpu.trace import Trace
+from ..cpu.tracefile import load_trace, save_trace
+from .job import WorkloadSpec
+
+ENV_CACHE = "REPRO_TRACE_CACHE"
+DEFAULT_CACHE_DIR = "~/.cache/repro-traces"
+
+#: Values of ``REPRO_TRACE_CACHE`` that disable the disk layer.
+_DISABLED = ("", "0", "off", "none", "disabled")
+
+#: In-process trace store, shared by every ``TraceCache`` instance.
+#: Module-level so traces warmed before a ``fork`` are visible in the
+#: children without any disk traffic.
+_MEMORY: Dict[str, Trace] = {}
+
+
+def _try_unlink(path: pathlib.Path) -> None:
+    """Best-effort delete; a cache dir we cannot write must not fail runs."""
+    try:
+        path.unlink(missing_ok=True)
+    except OSError:
+        pass
+
+
+def trace_cache_root(
+        override: Optional[Union[str, pathlib.Path]] = None,
+) -> Optional[pathlib.Path]:
+    """Resolve the disk-cache root; ``None`` means the disk layer is off."""
+    raw = os.environ.get(ENV_CACHE, DEFAULT_CACHE_DIR) \
+        if override is None else str(override)
+    if raw.strip().lower() in _DISABLED:
+        return None
+    return pathlib.Path(raw).expanduser()
+
+
+@dataclass
+class CacheStats:
+    """Where each trace request was satisfied from."""
+
+    memory_hits: int = 0
+    disk_hits: int = 0
+    generations: int = 0
+
+    def merge(self, other: "CacheStats") -> None:
+        self.memory_hits += other.memory_hits
+        self.disk_hits += other.disk_hits
+        self.generations += other.generations
+
+
+class TraceCache:
+    """Memory + disk trace store keyed by workload content hashes."""
+
+    def __init__(self, root: Optional[Union[str, pathlib.Path]] = None):
+        self.root = trace_cache_root(root)
+        self.stats = CacheStats()
+
+    @property
+    def enabled(self) -> bool:
+        """Whether the persistent (disk) layer is active."""
+        return self.root is not None
+
+    # -- disk layer --------------------------------------------------------------
+
+    def path_for(self, spec: WorkloadSpec) -> pathlib.Path:
+        if self.root is None:
+            raise ValueError("disk cache disabled")
+        return self.root / f"{spec.suite}-{spec.cache_key()}.npz"
+
+    def load(self, spec: WorkloadSpec) -> Optional[Trace]:
+        """Load a cached trace from disk; ``None`` on any miss.
+
+        Unreadable entries (corrupt file, stale format, missing layout)
+        are removed so the slot regenerates cleanly.
+        """
+        if self.root is None:
+            return None
+        path = self.path_for(spec)
+        if not path.exists():
+            return None
+        try:
+            trace = load_trace(path)
+        except Exception:
+            _try_unlink(path)
+            return None
+        if trace.layout is None:
+            # Not self-contained — useless for fresh-context replay.
+            _try_unlink(path)
+            return None
+        return trace
+
+    def store(self, spec: WorkloadSpec, trace: Trace) -> None:
+        """Persist a trace to disk (atomic rename; no-op when disabled)."""
+        if self.root is None:
+            return
+        path = self.path_for(spec)
+        # np.savez appends ".npz" when missing, so the temp name must
+        # already end with it for the rename below to see the real file.
+        tmp = path.with_name(f".{path.stem}.{os.getpid()}.tmp.npz")
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            save_trace(trace, tmp)
+            os.replace(tmp, path)
+        except OSError:
+            pass  # an unwritable cache dir must not fail the run
+        finally:
+            _try_unlink(tmp)
+
+    # -- combined lookup ---------------------------------------------------------
+
+    def get_or_generate(self, spec: WorkloadSpec, *,
+                        generate: bool = True) -> Optional[Trace]:
+        """Fetch a trace: memory, then disk, then (optionally) generate."""
+        key = spec.cache_key()
+        trace = _MEMORY.get(key)
+        if trace is not None:
+            self.stats.memory_hits += 1
+            return trace
+        trace = self.load(spec)
+        if trace is not None:
+            self.stats.disk_hits += 1
+            _MEMORY[key] = trace
+            return trace
+        if not generate:
+            return None
+        trace, _workspace = spec.generate()
+        self.stats.generations += 1
+        _MEMORY[key] = trace
+        self.store(spec, trace)
+        return trace
+
+    def seed(self, spec: WorkloadSpec, trace: Trace) -> None:
+        """Install an externally produced trace into the memory layer."""
+        _MEMORY[spec.cache_key()] = trace
+
+    # -- memory-layer maintenance ------------------------------------------------
+
+    @staticmethod
+    def drop_memory(spec: WorkloadSpec) -> None:
+        """Forget one spec's in-process trace (disk copy stays)."""
+        _MEMORY.pop(spec.cache_key(), None)
+
+    @staticmethod
+    def clear_memory() -> None:
+        """Forget every in-process trace (disk copies stay)."""
+        _MEMORY.clear()

@@ -1,0 +1,193 @@
+"""The experiment engine: jobs in, statistics out.
+
+:class:`Engine` is the facade the experiment drivers run on.  It ties
+the three layers together:
+
+* the declarative job model (:mod:`repro.engine.job`),
+* the persistent trace cache (:mod:`repro.engine.cache`), and
+* the parallel executor (:mod:`repro.engine.executor`).
+
+A driver describes what it wants as :class:`WorkloadSpec`s and scheme
+names; the engine warms the trace cache (generating only what no cache
+layer has), fans the resulting :class:`ReplayJob` grid over workers, and
+regroups the :class:`RunStats` per spec with ``baseline_cycles`` wired
+up — exactly the shape :func:`repro.sim.simulator.replay_trace` returns.
+
+The engine also hosts a small result-memoization table
+(:meth:`memoize`) so expensive derived results (the Figure 6 sweep) can
+be shared between drivers without private-attribute hacks.
+"""
+
+from __future__ import annotations
+
+from typing import (Callable, Dict, Hashable, Iterable, List, Optional,
+                    Sequence, Tuple)
+
+from ..cpu.trace import Trace
+from ..sim.config import DEFAULT_CONFIG, SimConfig
+from ..sim.stats import RunStats
+from .cache import CacheStats, TraceCache
+from .executor import parallel_map, replay_jobs, worker_count
+from .job import ReplayJob, WorkloadSpec
+
+BASELINE = "baseline"
+
+
+def _warm_spec(item: Tuple[WorkloadSpec, Optional[str]]):
+    """Worker entry point: materialize one spec's trace into the cache."""
+    spec, root = item
+    cache = TraceCache(root)
+    trace = cache.get_or_generate(spec)
+    return trace, cache.stats.generations
+
+
+class Engine:
+    """Generates traces through the cache and replays scheme grids."""
+
+    def __init__(self, config: Optional[SimConfig] = None, *,
+                 cache: Optional[TraceCache] = None,
+                 jobs: Optional[int] = None):
+        self.config = config or DEFAULT_CONFIG
+        self.cache = cache if cache is not None else TraceCache()
+        self.jobs = jobs  # None -> REPRO_JOBS at call time
+        #: Traces this engine currently holds alive (spec key -> Trace).
+        self._live: Dict[str, Trace] = {}
+        #: Derived-result memo table (see :meth:`memoize`).
+        self._memo: Dict[Hashable, object] = {}
+
+    # -- cache plumbing ---------------------------------------------------------
+
+    @property
+    def cache_stats(self) -> CacheStats:
+        return self.cache.stats
+
+    @property
+    def trace_generations(self) -> int:
+        """Traces actually generated (not served from a cache layer)."""
+        return self.cache.stats.generations
+
+    def _root_token(self) -> str:
+        """Cache root to embed in jobs shipped to workers."""
+        return str(self.cache.root) if self.cache.enabled else "0"
+
+    # -- traces ---------------------------------------------------------------------
+
+    def trace_for(self, spec: WorkloadSpec) -> Trace:
+        """The trace for ``spec`` — cached layers first, generated last.
+
+        Repeated calls return the identical object until
+        :meth:`release`.
+        """
+        key = spec.cache_key()
+        trace = self._live.get(key)
+        if trace is None:
+            trace = self.cache.get_or_generate(spec)
+            self._live[key] = trace
+        return trace
+
+    def release(self, spec: WorkloadSpec) -> None:
+        """Drop a trace from the in-process layers (disk copy stays)."""
+        self._live.pop(spec.cache_key(), None)
+        TraceCache.drop_memory(spec)
+
+    def warm(self, specs: Sequence[WorkloadSpec]) -> None:
+        """Ensure every spec's trace is in the in-process cache.
+
+        Missing traces are generated — in parallel across specs when the
+        disk layer is on and ``REPRO_JOBS`` allows it (workers inherit
+        the results back through pickling), serially otherwise.
+        """
+        unique: Dict[str, WorkloadSpec] = {}
+        for spec in specs:
+            unique.setdefault(spec.cache_key(), spec)
+        missing = [spec for spec in unique.values()
+                   if self.cache.get_or_generate(spec, generate=False) is None]
+        if not missing:
+            return
+        n = worker_count(self.jobs)
+        if n > 1 and len(missing) > 1:
+            root = self._root_token()
+            warmed = parallel_map(_warm_spec,
+                                  [(spec, root) for spec in missing], jobs=n)
+            for spec, (trace, generations) in zip(missing, warmed):
+                self.cache.seed(spec, trace)
+                self.cache.stats.generations += generations
+        else:
+            for spec in missing:
+                self.cache.get_or_generate(spec)
+
+    # -- replay --------------------------------------------------------------------
+
+    def replay_grid(self, cells: Sequence[Tuple[WorkloadSpec, SimConfig]],
+                    schemes: Iterable[str], *,
+                    include_baseline: bool = True
+                    ) -> List[Dict[str, RunStats]]:
+        """Replay every (spec, config) cell under the baseline + schemes.
+
+        Returns one ``scheme -> RunStats`` dict per cell, in order; the
+        whole (cell x scheme) job grid fans out over the executor.
+        """
+        names = [name for name in dict.fromkeys(schemes) if name != BASELINE]
+        self.warm([spec for spec, _ in cells])
+        root = self._root_token()
+        grid = [ReplayJob(spec=spec, scheme=name, config=config,
+                          cache_root=root)
+                for spec, config in cells
+                for name in (BASELINE, *names)]
+        stats = replay_jobs(grid, jobs=self.jobs)
+        stride = 1 + len(names)
+        results: List[Dict[str, RunStats]] = []
+        for i in range(len(cells)):
+            chunk = stats[i * stride:(i + 1) * stride]
+            baseline = chunk[0]
+            cell: Dict[str, RunStats] = {}
+            if include_baseline:
+                cell[BASELINE] = baseline
+            for name, stat in zip(names, chunk[1:]):
+                stat.baseline_cycles = baseline.cycles
+                cell[name] = stat
+            results.append(cell)
+        return results
+
+    def replay(self, spec: WorkloadSpec, schemes: Iterable[str],
+               config: Optional[SimConfig] = None, *,
+               include_baseline: bool = True) -> Dict[str, RunStats]:
+        """Replay one spec under the baseline plus each named scheme."""
+        return self.replay_grid([(spec, config or self.config)], schemes,
+                                include_baseline=include_baseline)[0]
+
+    def replay_many(self, specs: Sequence[WorkloadSpec],
+                    schemes: Iterable[str], *,
+                    config: Optional[SimConfig] = None,
+                    include_baseline: bool = True,
+                    release: bool = False) -> List[Dict[str, RunStats]]:
+        """Replay several specs under one config (one result per spec)."""
+        config = config or self.config
+        results = self.replay_grid([(spec, config) for spec in specs],
+                                   schemes, include_baseline=include_baseline)
+        if release:
+            for spec in specs:
+                self.release(spec)
+        return results
+
+    def replay_configs(self, spec: WorkloadSpec,
+                       configs: Sequence[SimConfig],
+                       schemes: Iterable[str], *,
+                       include_baseline: bool = True
+                       ) -> List[Dict[str, RunStats]]:
+        """Replay one spec under several configs (sensitivity sweeps)."""
+        return self.replay_grid([(spec, config) for config in configs],
+                                schemes, include_baseline=include_baseline)
+
+    # -- derived-result memoization ---------------------------------------------------
+
+    def memoize(self, key: Hashable, producer: Callable[[], object]):
+        """Compute-once storage for expensive derived results.
+
+        ``producer()`` runs only the first time ``key`` is seen on this
+        engine; later calls return the stored value.  Used by the
+        Figure 6 sweep so Figure 7 / Table VII reuse its data.
+        """
+        if key not in self._memo:
+            self._memo[key] = producer()
+        return self._memo[key]

@@ -1,0 +1,79 @@
+"""Parallel execution of replay jobs over ``multiprocessing`` workers.
+
+Scheme replays are embarrassingly parallel once contexts are isolated
+(:mod:`repro.engine.context`): each worker rebuilds private state from
+the trace layout, so serial and parallel execution produce bit-identical
+:class:`~repro.sim.stats.RunStats`.
+
+Worker count comes from ``REPRO_JOBS`` (default 1 = serial).  Workers
+are started with the ``fork`` method so they inherit the parent's warm
+in-memory trace cache; platforms without ``fork`` fall back to serial
+execution rather than re-shipping traces.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from typing import Callable, List, Optional, Sequence, TypeVar
+
+from ..sim.stats import RunStats
+from .job import ReplayJob
+
+ENV_JOBS = "REPRO_JOBS"
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+
+def worker_count(override: Optional[int] = None) -> int:
+    """Resolve the replay worker count (``REPRO_JOBS``, default 1)."""
+    if override is not None:
+        return max(1, int(override))
+    raw = os.environ.get(ENV_JOBS, "").strip()
+    if not raw:
+        return 1
+    try:
+        return max(1, int(raw))
+    except ValueError:
+        return 1
+
+
+def _fork_available() -> bool:
+    try:
+        return "fork" in multiprocessing.get_all_start_methods()
+    except Exception:  # pragma: no cover - exotic platforms
+        return False
+
+
+def parallel_map(fn: Callable[[T], R], items: Sequence[T], *,
+                 jobs: Optional[int] = None) -> List[R]:
+    """``map(fn, items)`` over ``jobs`` forked workers (serial if 1)."""
+    items = list(items)
+    n = worker_count(jobs)
+    if n <= 1 or len(items) <= 1 or not _fork_available():
+        return [fn(item) for item in items]
+    ctx = multiprocessing.get_context("fork")
+    with ctx.Pool(processes=min(n, len(items))) as pool:
+        return pool.map(fn, items)
+
+
+def _run_job(job: ReplayJob) -> RunStats:
+    """Execute one replay job (used as the worker entry point)."""
+    from .cache import TraceCache
+    from .context import replay_one
+    trace = TraceCache(job.cache_root).get_or_generate(job.spec)
+    return replay_one(trace, job.scheme, job.config)
+
+
+def replay_jobs(jobs_list: Sequence[ReplayJob], *,
+                jobs: Optional[int] = None) -> List[RunStats]:
+    """Run a batch of replay jobs, fanning out over workers.
+
+    Results come back in job order.  Jobs should reference traces the
+    parent has already warmed (via :meth:`repro.engine.core.Engine.warm`)
+    so workers only replay; a cold job still works — the worker
+    generates the trace itself — it just duplicates generation effort
+    when several cold jobs share a spec.
+    """
+    return parallel_map(_run_job, list(jobs_list), jobs=jobs)

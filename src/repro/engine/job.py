@@ -1,0 +1,115 @@
+"""The declarative job model: what to generate and what to replay.
+
+A :class:`WorkloadSpec` names one traceable execution (suite + fully
+resolved parameters); a :class:`ReplayJob` is one replay of that
+execution under one protection scheme and one :class:`SimConfig`.  Both
+are pure picklable data with stable content hashes, so they can be
+
+* used as keys of the persistent trace cache (the spec hash covers every
+  parameter plus the trace-format version — any change regenerates),
+* shipped to ``multiprocessing`` workers by the parallel executor, and
+* deduplicated/memoized by result consumers.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+from typing import Optional, Tuple
+
+from ..cpu.trace import Trace
+from ..errors import EngineError
+from ..sim.config import DEFAULT_CONFIG, SimConfig
+from ..workloads.base import Workspace
+from ..workloads.micro import MicroParams, generate_micro_trace
+from ..workloads.whisper import WhisperParams, generate_whisper_trace
+
+#: Suites the engine knows how to generate.
+SUITES = ("micro", "whisper")
+
+
+def _canonical(document) -> bytes:
+    """Deterministic JSON encoding (the hashing substrate)."""
+    return json.dumps(document, sort_keys=True,
+                      separators=(",", ":")).encode()
+
+
+def _digest(document) -> str:
+    return hashlib.sha256(_canonical(document)).hexdigest()[:32]
+
+
+@dataclasses.dataclass(frozen=True)
+class WorkloadSpec:
+    """One traceable execution: a suite plus its full parameter set."""
+
+    suite: str
+    params: object  # MicroParams | WhisperParams (frozen dataclasses)
+
+    @classmethod
+    def micro(cls, benchmark: str, n_pools: int, *, scale: float = 1.0,
+              **overrides) -> "WorkloadSpec":
+        params = MicroParams(benchmark=benchmark, n_pools=n_pools,
+                             **overrides).scaled(scale)
+        return cls(suite="micro", params=params)
+
+    @classmethod
+    def whisper(cls, benchmark: str, *, scale: float = 1.0,
+                **overrides) -> "WorkloadSpec":
+        params = WhisperParams(benchmark=benchmark,
+                               **overrides).scaled(scale)
+        return cls(suite="whisper", params=params)
+
+    # -- identity ---------------------------------------------------------------
+
+    def describe(self) -> dict:
+        """JSON-safe identity document (everything that shapes the trace)."""
+        from ..cpu.tracefile import FORMAT_VERSION
+        return {"suite": self.suite,
+                "format": FORMAT_VERSION,
+                "params": dataclasses.asdict(self.params)}
+
+    def cache_key(self) -> str:
+        """Stable content hash — the persistent trace cache's file key."""
+        return _digest(self.describe())
+
+    @property
+    def label(self) -> str:
+        benchmark = getattr(self.params, "benchmark", "?")
+        if self.suite == "micro":
+            return f"micro-{benchmark}-{getattr(self.params, 'n_pools', 0)}"
+        return f"{self.suite}-{benchmark}"
+
+    # -- generation --------------------------------------------------------------
+
+    def generate(self) -> Tuple[Trace, Workspace]:
+        """Run the instrumented workload; returns its trace + workspace."""
+        if self.suite == "micro":
+            return generate_micro_trace(self.params)
+        if self.suite == "whisper":
+            return generate_whisper_trace(self.params)
+        raise EngineError(
+            f"unknown workload suite {self.suite!r}; known: {SUITES}")
+
+
+@dataclasses.dataclass(frozen=True)
+class ReplayJob:
+    """One scheme replay of one spec — pure data, safe to pickle.
+
+    ``cache_root`` is placement, not content (same job, different cache
+    directory), so it is excluded from :meth:`content_hash`.
+    """
+
+    spec: WorkloadSpec
+    scheme: str
+    config: SimConfig = DEFAULT_CONFIG
+    #: Trace-cache root for the executing worker; ``None`` = environment
+    #: default, ``"0"`` = disabled (the worker then relies on the
+    #: fork-inherited in-memory cache).
+    cache_root: Optional[str] = None
+
+    def content_hash(self) -> str:
+        """Stable identity over spec + scheme + full configuration."""
+        return _digest({"spec": self.spec.describe(),
+                        "scheme": self.scheme,
+                        "config": dataclasses.asdict(self.config)})

@@ -128,3 +128,7 @@ class SimulationError(ReproError):
 
 class TraceError(SimulationError):
     """A trace buffer was malformed or replayed inconsistently."""
+
+
+class EngineError(SimulationError):
+    """The experiment engine was misused (unknown suite, missing layout)."""

@@ -31,30 +31,31 @@ def run_figure6(runner: Optional[ExperimentRunner] = None,
     """Sweep the PMO count; returns benchmark → scheme → {n: overhead%}.
 
     The sweep is the most expensive experiment, so results are memoised
-    on the runner (Figure 7 and Table VII consumers reuse them).
+    on the runner's engine (Figure 7 and Table VII consumers reuse
+    them).  Each benchmark's sweep points replay as one engine batch, so
+    with ``REPRO_JOBS`` > 1 the points (and their per-scheme replays)
+    fan out over worker processes.
     """
     runner = runner or ExperimentRunner()
     points = tuple(points) if points is not None else sweep_points()
-    cache_key = (tuple(benchmarks), points)
-    cache = getattr(runner, "_figure6_cache", None)
-    if cache is None:
-        cache = runner._figure6_cache = {}
-    if cache_key in cache:
-        return cache[cache_key]
-    data: Dict[str, Dict[str, Dict[int, float]]] = {}
-    for benchmark in benchmarks:
-        series: Dict[str, Dict[int, float]] = {
-            scheme: {} for scheme in FIGURE6_SCHEMES}
-        for n_pools in points:
-            results = runner.replay_micro(benchmark, n_pools,
-                                          MULTI_PMO_SCHEMES)
-            for scheme in FIGURE6_SCHEMES:
-                series[scheme][n_pools] = overhead_over_lowerbound(
-                    results, scheme)
-            runner.drop_micro_trace(benchmark, n_pools)
-        data[benchmark] = series
-    cache[cache_key] = data
-    return data
+    benchmarks = tuple(benchmarks)
+
+    def compute() -> Dict[str, Dict[str, Dict[int, float]]]:
+        data: Dict[str, Dict[str, Dict[int, float]]] = {}
+        for benchmark in benchmarks:
+            grid = [(benchmark, n_pools) for n_pools in points]
+            batch = runner.replay_micro_batch(grid, MULTI_PMO_SCHEMES,
+                                              release=True)
+            series: Dict[str, Dict[int, float]] = {
+                scheme: {} for scheme in FIGURE6_SCHEMES}
+            for n_pools, results in zip(points, batch):
+                for scheme in FIGURE6_SCHEMES:
+                    series[scheme][n_pools] = overhead_over_lowerbound(
+                        results, scheme)
+            data[benchmark] = series
+        return data
+
+    return runner.memoize(("figure6", benchmarks, points), compute)
 
 
 def report_figure6(runner: Optional[ExperimentRunner] = None,

@@ -1,26 +1,31 @@
-"""Shared experiment plumbing: scaling knobs and trace caching.
+"""Shared experiment plumbing on top of the replay engine.
 
 Every experiment driver goes through :class:`ExperimentRunner`, which
 
 * scales operation counts via the ``REPRO_OPS`` environment variable
-  (a float multiplier; 1.0 = the defaults used in CI-sized runs), and
-* caches generated traces per (suite, benchmark, n_pools) so the sweep of
-  Figure 6/7 and the breakdown of Table VII reuse each trace instead of
-  regenerating it.
+  (a float multiplier; 1.0 = the defaults used in CI-sized runs),
+* turns (suite, benchmark, parameters) into
+  :class:`~repro.engine.job.WorkloadSpec`s and hands them to an
+  :class:`~repro.engine.core.Engine`, which serves traces from the
+  persistent cache (``REPRO_TRACE_CACHE``) and fans scheme replays over
+  ``REPRO_JOBS`` workers, and
+* exposes the engine's result-memoization table so expensive derived
+  results (the Figure 6 sweep) are shared between drivers.
+
+Parameter overrides are folded into the spec — and therefore into the
+cache key — so ``micro_trace("avl", 64, operations=120)`` and the
+unoverridden trace can never alias each other.
 """
 
 from __future__ import annotations
 
 import os
-from typing import Dict, Iterable, Optional, Tuple
+from typing import Callable, Dict, Hashable, Iterable, List, Optional, Tuple
 
 from ..cpu.trace import Trace
+from ..engine import Engine, WorkloadSpec
 from ..sim.config import DEFAULT_CONFIG, SimConfig
-from ..sim.simulator import replay_trace
 from ..sim.stats import RunStats
-from ..workloads.base import Workspace
-from ..workloads.micro import MicroParams, generate_micro_trace
-from ..workloads.whisper import WhisperParams, generate_whisper_trace
 
 #: PMO counts of the Figure 6/7 sweep (the paper uses stride 16 from 16
 #: to 1024; powers of two keep runtimes sane while preserving the shape).
@@ -41,52 +46,81 @@ def sweep_points() -> Tuple[int, ...]:
 
 
 class ExperimentRunner:
-    """Generates, caches, and replays benchmark traces."""
+    """Describes benchmark runs as engine jobs and replays them."""
 
     def __init__(self, config: Optional[SimConfig] = None,
-                 *, scale: Optional[float] = None):
+                 *, scale: Optional[float] = None,
+                 engine: Optional[Engine] = None):
         self.config = config or DEFAULT_CONFIG
         self.scale = ops_scale() if scale is None else scale
-        self._micro_cache: Dict[Tuple[str, int], Tuple[Trace, Workspace]] = {}
-        self._whisper_cache: Dict[str, Tuple[Trace, Workspace]] = {}
+        self.engine = engine if engine is not None else Engine(self.config)
+
+    # -- specs -------------------------------------------------------------------
+
+    def micro_spec(self, benchmark: str, n_pools: int,
+                   **overrides) -> WorkloadSpec:
+        return WorkloadSpec.micro(benchmark, n_pools, scale=self.scale,
+                                  **overrides)
+
+    def whisper_spec(self, benchmark: str, **overrides) -> WorkloadSpec:
+        return WorkloadSpec.whisper(benchmark, scale=self.scale, **overrides)
 
     # -- trace generation ---------------------------------------------------------
 
     def micro_trace(self, benchmark: str, n_pools: int,
-                    **overrides) -> Tuple[Trace, Workspace]:
-        key = (benchmark, n_pools)
-        if key not in self._micro_cache or overrides:
-            params = MicroParams(benchmark=benchmark, n_pools=n_pools,
-                                 **overrides).scaled(self.scale)
-            generated = generate_micro_trace(params)
-            if overrides:
-                return generated
-            self._micro_cache[key] = generated
-        return self._micro_cache[key]
+                    **overrides) -> Tuple[Trace, WorkloadSpec]:
+        """The (cached) trace for one microbenchmark point.
+
+        Returns ``(trace, spec)``; the spec is the trace's cache
+        identity.  Overrides are part of it, so overridden traces get
+        their own cache slots instead of bypassing the cache.
+        """
+        spec = self.micro_spec(benchmark, n_pools, **overrides)
+        return self.engine.trace_for(spec), spec
 
     def whisper_trace(self, benchmark: str,
-                      **overrides) -> Tuple[Trace, Workspace]:
-        if benchmark not in self._whisper_cache or overrides:
-            params = WhisperParams(benchmark=benchmark,
-                                   **overrides).scaled(self.scale)
-            generated = generate_whisper_trace(params)
-            if overrides:
-                return generated
-            self._whisper_cache[benchmark] = generated
-        return self._whisper_cache[benchmark]
+                      **overrides) -> Tuple[Trace, WorkloadSpec]:
+        spec = self.whisper_spec(benchmark, **overrides)
+        return self.engine.trace_for(spec), spec
 
     # -- replay ------------------------------------------------------------------------
 
     def replay_micro(self, benchmark: str, n_pools: int,
                      schemes: Iterable[str]) -> Dict[str, RunStats]:
-        trace, ws = self.micro_trace(benchmark, n_pools)
-        return replay_trace(trace, ws, schemes, self.config)
+        return self.engine.replay(self.micro_spec(benchmark, n_pools),
+                                  schemes, self.config)
 
     def replay_whisper(self, benchmark: str,
                        schemes: Iterable[str]) -> Dict[str, RunStats]:
-        trace, ws = self.whisper_trace(benchmark)
-        return replay_trace(trace, ws, schemes, self.config)
+        return self.engine.replay(self.whisper_spec(benchmark), schemes,
+                                  self.config)
+
+    def replay_micro_batch(self, points: Iterable[Tuple[str, int]],
+                           schemes: Iterable[str], *,
+                           release: bool = False
+                           ) -> List[Dict[str, RunStats]]:
+        """Replay many (benchmark, n_pools) points as one job batch.
+
+        The engine fans the whole (point x scheme) grid over its
+        workers, so this is the parallel entry point for sweeps.
+        """
+        specs = [self.micro_spec(benchmark, n_pools)
+                 for benchmark, n_pools in points]
+        return self.engine.replay_many(specs, schemes, config=self.config,
+                                       release=release)
+
+    def replay_whisper_batch(self, benchmarks: Iterable[str],
+                             schemes: Iterable[str]
+                             ) -> List[Dict[str, RunStats]]:
+        specs = [self.whisper_spec(benchmark) for benchmark in benchmarks]
+        return self.engine.replay_many(specs, schemes, config=self.config)
 
     def drop_micro_trace(self, benchmark: str, n_pools: int) -> None:
-        """Free a cached trace (the 1024-PMO workspaces are large)."""
-        self._micro_cache.pop((benchmark, n_pools), None)
+        """Free a cached trace (the 1024-PMO traces are large)."""
+        self.engine.release(self.micro_spec(benchmark, n_pools))
+
+    # -- derived results ---------------------------------------------------------------
+
+    def memoize(self, key: Hashable, producer: Callable[[], object]):
+        """Compute-once storage for derived results (Figure 6 sweep)."""
+        return self.engine.memoize(key, producer)

@@ -19,10 +19,9 @@ from __future__ import annotations
 from dataclasses import replace
 from typing import List, Optional, Sequence
 
+from ..engine import Engine, WorkloadSpec
 from ..sim.config import DEFAULT_CONFIG, SimConfig
-from ..sim.simulator import (MULTI_PMO_SCHEMES, overhead_over_lowerbound,
-                             replay_trace)
-from ..workloads.micro import MicroParams, generate_micro_trace
+from ..sim.simulator import MULTI_PMO_SCHEMES, overhead_over_lowerbound
 from .reporting import format_table
 
 SWEPT_SCHEMES = ("libmpk", "mpk_virt", "domain_virt")
@@ -52,18 +51,22 @@ def sweep_config(field_path: str, values: Sequence,
                  operations: int = 1200,
                  base_config: Optional[SimConfig] = None
                  ) -> List[List[object]]:
-    """Sweep one field; returns rows [label, libmpk%, mpk_virt%, dv%]."""
+    """Sweep one field; returns rows [label, libmpk%, mpk_virt%, dv%].
+
+    The trace is generated (or served from the trace cache) once; the
+    per-value replays run as one engine batch, so with ``REPRO_JOBS``
+    > 1 the sweep's (value x scheme) grid fans out over workers.
+    """
     base_config = base_config or DEFAULT_CONFIG
-    trace, ws = generate_micro_trace(MicroParams(
-        benchmark=benchmark, n_pools=n_pools, operations=operations))
-    rows: List[List[object]] = []
-    for value in values:
-        config = apply_override(base_config, field_path, value)
-        results = replay_trace(trace, ws, MULTI_PMO_SCHEMES, config)
-        rows.append([f"{field_path}={value}"]
-                    + [overhead_over_lowerbound(results, scheme)
-                       for scheme in SWEPT_SCHEMES])
-    return rows
+    spec = WorkloadSpec.micro(benchmark, n_pools, operations=operations)
+    configs = [apply_override(base_config, field_path, value)
+               for value in values]
+    cells = Engine(base_config).replay_configs(spec, configs,
+                                               MULTI_PMO_SCHEMES)
+    return [[f"{field_path}={value}"]
+            + [overhead_over_lowerbound(results, scheme)
+               for scheme in SWEPT_SCHEMES]
+            for value, results in zip(values, cells)]
 
 
 def report_sweep(field_path: str, values: Sequence, **kwargs) -> str:

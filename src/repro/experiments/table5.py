@@ -31,8 +31,8 @@ def run_table5(runner: Optional[ExperimentRunner] = None,
     frequency = runner.config.processor.frequency_hz
     rows: List[List[object]] = []
     sums = [0.0, 0.0, 0.0, 0.0]
-    for benchmark in benchmarks:
-        results = runner.replay_whisper(benchmark, SINGLE_PMO_SCHEMES)
+    batch = runner.replay_whisper_batch(benchmarks, SINGLE_PMO_SCHEMES)
+    for benchmark, results in zip(benchmarks, batch):
         base = results["baseline"].cycles
         switches_per_sec = results["mpk"].switches_per_second(frequency, base)
         row = [WHISPER_LABELS[benchmark], switches_per_sec]

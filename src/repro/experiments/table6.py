@@ -25,8 +25,9 @@ def run_table6(runner: Optional[ExperimentRunner] = None,
     runner = runner or ExperimentRunner()
     frequency = runner.config.processor.frequency_hz
     rows: List[List[object]] = []
-    for benchmark in benchmarks:
-        results = runner.replay_micro(benchmark, n_pools, ("lowerbound",))
+    batch = runner.replay_micro_batch(
+        [(benchmark, n_pools) for benchmark in benchmarks], ("lowerbound",))
+    for benchmark, results in zip(benchmarks, batch):
         base = results["baseline"].cycles
         stats = results["lowerbound"]
         rows.append([MICRO_LABELS[benchmark],

@@ -52,16 +52,16 @@ def run_table7(runner: Optional[ExperimentRunner] = None,
     runner = runner or ExperimentRunner()
     out: Dict[str, Dict[str, Dict[str, float]]] = {
         "mpk_virt": {}, "domain_virt": {}}
-    for benchmark in benchmarks:
-        results = runner.replay_micro(
-            benchmark, n_pools, ("mpk_virt", "domain_virt"))
+    batch = runner.replay_micro_batch(
+        [(benchmark, n_pools) for benchmark in benchmarks],
+        ("mpk_virt", "domain_virt"), release=True)
+    for benchmark, results in zip(benchmarks, batch):
         out["mpk_virt"][benchmark] = _breakdown(
             results["mpk_virt"], MPKV_ROWS,
             residual_row="TLB invalidations (%)")
         out["domain_virt"][benchmark] = _breakdown(
             results["domain_virt"], DV_ROWS,
             residual_row="PTLB misses (%)")
-        runner.drop_micro_trace(benchmark, n_pools)
     return out
 
 

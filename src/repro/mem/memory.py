@@ -52,6 +52,16 @@ class PhysicalMemory:
         self.nvm_frames_allocated += 1
         return pfn
 
+    def advance_to(self, next_dram: int, next_nvm: int) -> None:
+        """Skip the allocators ahead of externally reconstructed frames.
+
+        Replay contexts install a recorded page table directly; advancing
+        keeps any replay-time demand paging (pages unmapped mid-trace by
+        a detach) from re-issuing frame numbers the snapshot already uses.
+        """
+        self._next_dram = max(self._next_dram, next_dram)
+        self._next_nvm = max(self._next_nvm, max(next_nvm, NVM_FRAME_BASE))
+
     # -- classification / latency ----------------------------------------------
 
     @staticmethod

@@ -111,6 +111,23 @@ class AddressSpace:
         self._next_volatile = base + reserved
         return vma
 
+    def adopt(self, vma: VMA) -> VMA:
+        """Insert a pre-built VMA at its recorded base (trace replay).
+
+        Replay contexts reconstruct an address space from a trace's
+        layout; the VMAs must land at the exact recorded bases for the
+        trace's virtual addresses to resolve.
+        """
+        if vma.base in self._by_base:
+            raise AddressSpaceError(
+                f"VMA base {vma.base:#x} already occupied")
+        self._insert(vma)
+        if vma.base >= VOLATILE_AREA_BASE:
+            self._next_volatile = max(self._next_volatile, vma.end)
+        else:
+            self._next_pmo = max(self._next_pmo, vma.end)
+        return vma
+
     def release(self, base: int) -> VMA:
         vma = self._by_base.pop(base, None)
         if vma is None:

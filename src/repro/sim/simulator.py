@@ -5,6 +5,14 @@ the instrumented program, then re-execute it in the simulator once per
 evaluated scheme.  :func:`replay_trace` mirrors that: the baseline
 (unprotected) replay establishes the denominator, then each scheme replays
 the *same* trace and records its overhead buckets.
+
+Traces that carry a recorded layout (every trace produced by
+``Workspace.finish`` since format v2) replay in **isolated contexts**:
+each scheme gets a private kernel/process/page-table rebuilt from the
+layout (:mod:`repro.engine.context`), so replays are order-independent
+and can fan out over ``REPRO_JOBS`` worker processes.  Layout-less
+traces (hand-built or legacy) fall back to the historical shared-
+workspace replay.
 """
 
 from __future__ import annotations
@@ -24,26 +32,53 @@ MULTI_PMO_SCHEMES = ("lowerbound", "libmpk", "mpk_virt", "domain_virt")
 SINGLE_PMO_SCHEMES = ("mpk", "mpk_virt", "domain_virt")
 
 
-def replay_trace(trace: Trace, workspace: Workspace,
+def _replay_shared(trace: Trace, workspace: Workspace, names, config,
+                   include_baseline: bool) -> Dict[str, RunStats]:
+    """Legacy path: replay sequentially against the generating workspace."""
+    kernel, process = workspace.kernel, workspace.process
+    results: Dict[str, RunStats] = {}
+    baseline = ReplayEngine(config, kernel, process, NullProtection).run(trace)
+    if include_baseline:
+        results["baseline"] = baseline
+    for name in names:
+        engine = ReplayEngine(config, kernel, process, scheme_by_name(name))
+        stats = engine.run(trace)
+        stats.baseline_cycles = baseline.cycles
+        results[name] = stats
+    return results
+
+
+def replay_trace(trace: Trace, workspace: Optional[Workspace] = None,
                  schemes: Iterable[str] = MULTI_PMO_SCHEMES,
                  config: Optional[SimConfig] = None,
-                 *, include_baseline: bool = True) -> Dict[str, RunStats]:
+                 *, include_baseline: bool = True,
+                 jobs: Optional[int] = None) -> Dict[str, RunStats]:
     """Replay one trace under the baseline plus each named scheme.
 
     Returns scheme name → :class:`RunStats`; every non-baseline result has
     ``baseline_cycles`` filled in so ``overhead_percent()`` works.
+
+    ``workspace`` is only consulted for traces without a recorded layout;
+    layout-bearing traces rebuild fresh state per scheme, and ``jobs``
+    (default: ``REPRO_JOBS``) schemes replay concurrently.
     """
     config = config or DEFAULT_CONFIG
-    kernel, process = workspace.kernel, workspace.process
-    results: Dict[str, RunStats] = {}
+    names = [name for name in dict.fromkeys(schemes) if name != "baseline"]
 
-    baseline = ReplayEngine(config, kernel, process, NullProtection).run(trace)
+    if trace.layout is None:
+        if workspace is None:
+            raise ValueError(
+                "trace has no layout; pass its generating workspace")
+        return _replay_shared(trace, workspace, names, config,
+                              include_baseline)
+
+    from ..engine.context import replay_items
+    stats_list = replay_items(trace, ["baseline", *names], config, jobs=jobs)
+    baseline = stats_list[0]
+    results: Dict[str, RunStats] = {}
     if include_baseline:
         results["baseline"] = baseline
-
-    for name in schemes:
-        engine = ReplayEngine(config, kernel, process, scheme_by_name(name))
-        stats = engine.run(trace)
+    for name, stats in zip(names, stats_list[1:]):
         stats.baseline_cycles = baseline.cycles
         results[name] = stats
     return results

@@ -25,10 +25,11 @@ from __future__ import annotations
 
 import random
 from contextlib import contextmanager
+from dataclasses import replace as _vma_copy
 from typing import Dict, Optional, Set, Tuple
 
 from ..permissions import Perm
-from ..cpu.trace import Trace, TraceRecorder
+from ..cpu.trace import Trace, TraceLayout, TraceRecorder
 from ..errors import SimulationError
 from ..os.kernel import Kernel
 from ..os.process import Attachment, Thread
@@ -234,7 +235,16 @@ class Workspace:
             self.recorder.context_switch(old.tid, new.tid)
 
     def finish(self) -> Trace:
-        return self.recorder.finish()
+        """Finalize the trace, embedding the process image it replays
+        against (so replays reconstruct fresh, isolated contexts)."""
+        trace = self.recorder.finish()
+        vmas = [_vma_copy(vma) for vma in self.process.address_space.vmas()]
+        trace.layout = TraceLayout(
+            vmas=vmas,
+            ptes=[(vpn, pte.pfn, int(pte.perm), pte.pkey, pte.domain)
+                  for vpn, pte in self.process.page_table.entries()],
+            n_threads=len(self.process.threads))
+        return trace
 
 
 class PMem:

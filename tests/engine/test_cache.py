@@ -1,0 +1,163 @@
+"""Trace-cache tests: round trips, key invalidation, corruption recovery."""
+
+import numpy as np
+import pytest
+
+from repro.engine import TraceCache, WorkloadSpec, trace_cache_root
+from repro.engine.cache import ENV_CACHE
+
+TINY = dict(operations=40, initial_nodes=10, pool_size=1 << 20)
+
+
+@pytest.fixture
+def spec():
+    return WorkloadSpec.micro("ll", 8, **TINY)
+
+
+@pytest.fixture
+def cache(tmp_path):
+    cache = TraceCache(tmp_path / "traces")
+    yield cache
+    TraceCache.clear_memory()
+
+
+class TestRootResolution:
+    def test_default_root_from_env(self, monkeypatch, tmp_path):
+        monkeypatch.setenv(ENV_CACHE, str(tmp_path / "from-env"))
+        assert trace_cache_root() == tmp_path / "from-env"
+
+    def test_zero_disables(self, monkeypatch):
+        monkeypatch.setenv(ENV_CACHE, "0")
+        assert trace_cache_root() is None
+        assert not TraceCache().enabled
+
+    def test_explicit_override_beats_env(self, monkeypatch, tmp_path):
+        monkeypatch.setenv(ENV_CACHE, "0")
+        assert trace_cache_root(tmp_path) == tmp_path
+
+    def test_default_is_home_cache(self, monkeypatch):
+        monkeypatch.delenv(ENV_CACHE, raising=False)
+        root = trace_cache_root()
+        assert root is not None
+        assert root.name == "repro-traces"
+
+
+class TestRoundTrip:
+    def test_store_then_load_hits_disk(self, cache, spec):
+        first = cache.get_or_generate(spec)
+        assert cache.stats.generations == 1
+        assert cache.path_for(spec).exists()
+
+        TraceCache.clear_memory()
+        again = cache.get_or_generate(spec)
+        assert cache.stats.disk_hits == 1
+        assert cache.stats.generations == 1  # no regeneration
+        assert again.events == first.events
+        assert again.total_instructions == first.total_instructions
+        assert len(again.layout.ptes) == len(first.layout.ptes)
+
+    def test_memory_layer_hits_before_disk(self, cache, spec):
+        first = cache.get_or_generate(spec)
+        assert cache.get_or_generate(spec) is first
+        assert cache.stats.memory_hits == 1
+        assert cache.stats.disk_hits == 0
+
+    def test_probe_without_generation(self, cache, spec):
+        assert cache.get_or_generate(spec, generate=False) is None
+        assert cache.stats.generations == 0
+
+    def test_disabled_cache_writes_nothing(self, tmp_path, spec):
+        disabled = TraceCache("0")
+        try:
+            assert not disabled.enabled
+            disabled.get_or_generate(spec)
+            assert disabled.stats.generations == 1
+            # Memory layer still works.
+            disabled.get_or_generate(spec)
+            assert disabled.stats.memory_hits == 1
+        finally:
+            TraceCache.clear_memory()
+
+    def test_unwritable_root_does_not_fail_the_run(self, tmp_path, spec):
+        # A root that can never be created (its parent is a file) must
+        # degrade to cache-less operation, not crash mid-experiment.
+        blocker = tmp_path / "blocker"
+        blocker.write_text("not a directory")
+        broken = TraceCache(blocker / "traces")
+        try:
+            trace = broken.get_or_generate(spec)
+            assert trace is not None
+            assert broken.stats.generations == 1
+        finally:
+            TraceCache.clear_memory()
+
+
+class TestInvalidation:
+    def test_param_change_misses(self, cache, spec):
+        cache.get_or_generate(spec)
+        other = WorkloadSpec.micro("ll", 8, **dict(TINY, operations=41))
+        cache.get_or_generate(other)
+        assert cache.stats.generations == 2
+
+    def test_scale_change_misses(self, cache):
+        # REPRO_OPS enters the key through the scaled params.
+        cache.get_or_generate(WorkloadSpec.micro("ll", 8, **TINY))
+        cache.get_or_generate(WorkloadSpec.micro("ll", 8, scale=0.5, **TINY))
+        assert cache.stats.generations == 2
+
+    def test_format_version_mismatch_regenerates(self, cache, spec,
+                                                 monkeypatch):
+        cache.get_or_generate(spec)
+        old_path = cache.path_for(spec)
+        assert old_path.exists()
+        TraceCache.clear_memory()
+
+        import repro.cpu.tracefile as tracefile
+        monkeypatch.setattr(tracefile, "FORMAT_VERSION", 999)
+        # The key changes with the version, so the old file is simply
+        # never consulted; the trace regenerates.
+        cache.get_or_generate(spec)
+        assert cache.stats.generations == 2
+
+    def test_stale_version_on_disk_regenerates(self, cache, spec):
+        """A file whose *content* predates the current format is purged."""
+        cache.get_or_generate(spec)
+        path = cache.path_for(spec)
+        TraceCache.clear_memory()
+
+        # Rewrite the stored header with a bogus version, keeping the key.
+        import json
+        with np.load(path) as data:
+            arrays = {name: data[name] for name in data.files}
+        header = json.loads(bytes(arrays["header"].tobytes()).decode())
+        header["version"] = 1
+        arrays["header"] = np.frombuffer(json.dumps(header).encode(),
+                                         dtype=np.uint8)
+        np.savez_compressed(path, **arrays)
+
+        cache.get_or_generate(spec)
+        assert cache.stats.generations == 2
+        assert cache.stats.disk_hits == 0
+
+    def test_corrupt_file_regenerates(self, cache, spec):
+        cache.get_or_generate(spec)
+        path = cache.path_for(spec)
+        TraceCache.clear_memory()
+
+        path.write_bytes(b"not an npz file")
+        cache.get_or_generate(spec)
+        assert cache.stats.generations == 2
+        # The corrupt entry was replaced by a loadable one.
+        TraceCache.clear_memory()
+        cache.get_or_generate(spec)
+        assert cache.stats.disk_hits == 1
+
+    def test_truncated_file_regenerates(self, cache, spec):
+        cache.get_or_generate(spec)
+        path = cache.path_for(spec)
+        TraceCache.clear_memory()
+
+        blob = path.read_bytes()
+        path.write_bytes(blob[:len(blob) // 2])
+        cache.get_or_generate(spec)
+        assert cache.stats.generations == 2

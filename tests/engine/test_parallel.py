@@ -1,0 +1,83 @@
+"""Parallel-replay tests: REPRO_JOBS fan-out must not change results."""
+
+import pytest
+
+from repro.engine import TraceCache, parallel_map, worker_count
+from repro.engine.executor import _fork_available
+from repro.experiments.figure6 import FIGURE6_SCHEMES, run_figure6
+from repro.experiments.runner import ExperimentRunner
+from repro.sim.simulator import MULTI_PMO_SCHEMES
+
+
+class TestWorkerCount:
+    def test_default_is_serial(self, monkeypatch):
+        monkeypatch.delenv("REPRO_JOBS", raising=False)
+        assert worker_count() == 1
+
+    def test_env_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "4")
+        assert worker_count() == 4
+
+    def test_explicit_beats_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "4")
+        assert worker_count(2) == 2
+
+    def test_garbage_falls_back_to_serial(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "many")
+        assert worker_count() == 1
+        monkeypatch.setenv("REPRO_JOBS", "-3")
+        assert worker_count() == 1
+
+
+class TestParallelMap:
+    def test_serial_path(self):
+        assert parallel_map(lambda x: x * x, [1, 2, 3], jobs=1) == [1, 4, 9]
+
+    @pytest.mark.skipif(not _fork_available(), reason="requires fork")
+    def test_parallel_path_preserves_order(self):
+        assert parallel_map(_square, list(range(8)), jobs=4) == \
+            [x * x for x in range(8)]
+
+
+def _square(x):
+    return x * x
+
+
+@pytest.mark.skipif(not _fork_available(), reason="requires fork")
+class TestParallelReplayEquivalence:
+    """Acceptance criterion: with REPRO_JOBS > 1, per-scheme RunStats
+    match the serial replay exactly."""
+
+    def test_figure6_point_bitwise_identical(self, monkeypatch, tmp_path):
+        def run(jobs):
+            monkeypatch.setenv("REPRO_JOBS", str(jobs))
+            monkeypatch.setenv("REPRO_TRACE_CACHE",
+                               str(tmp_path / f"cache-{jobs}"))
+            TraceCache.clear_memory()
+            runner = ExperimentRunner(scale=0.02)
+            return runner.replay_micro("avl", 16, MULTI_PMO_SCHEMES)
+
+        serial = run(1)
+        parallel = run(4)
+        assert serial.keys() == parallel.keys()
+        for scheme in serial:
+            assert serial[scheme].to_dict() == parallel[scheme].to_dict(), \
+                scheme
+        # The figure's derived quantities follow: identical cycles give
+        # identical overhead percentages.
+        for scheme in ("libmpk", "mpk_virt", "domain_virt"):
+            assert serial[scheme].cycles == parallel[scheme].cycles
+
+    def test_figure6_sweep_identical(self, monkeypatch, tmp_path):
+        def run(jobs):
+            monkeypatch.setenv("REPRO_JOBS", str(jobs))
+            monkeypatch.setenv("REPRO_TRACE_CACHE",
+                               str(tmp_path / f"sweep-{jobs}"))
+            TraceCache.clear_memory()
+            runner = ExperimentRunner(scale=0.02)
+            return run_figure6(runner, benchmarks=("ll",), points=(16, 32))
+
+        serial = run(1)
+        parallel = run(4)
+        for scheme in FIGURE6_SCHEMES:
+            assert serial["ll"][scheme] == parallel["ll"][scheme]

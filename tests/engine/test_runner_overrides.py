@@ -1,0 +1,45 @@
+"""Runner override handling: overrides are cache identity, not bypasses."""
+
+import pytest
+
+from repro.engine import Engine, TraceCache
+from repro.experiments.runner import ExperimentRunner
+
+
+@pytest.fixture
+def runner(tmp_path):
+    engine = Engine(cache=TraceCache(tmp_path / "traces"))
+    yield ExperimentRunner(scale=0.02, engine=engine)
+    TraceCache.clear_memory()
+
+
+class TestOverrideCaching:
+    def test_overridden_micro_trace_is_cached(self, runner):
+        t1, _ = runner.micro_trace("ll", 8, operations=900)
+        t2, _ = runner.micro_trace("ll", 8, operations=900)
+        assert t1 is t2
+        assert runner.engine.trace_generations == 1
+
+    def test_override_gets_its_own_cache_slot(self, runner):
+        plain, _ = runner.micro_trace("ll", 8)
+        overridden, _ = runner.micro_trace("ll", 8, operations=900)
+        assert overridden is not plain
+        assert runner.engine.trace_generations == 2
+        # And the plain trace was not evicted or replaced.
+        again, _ = runner.micro_trace("ll", 8)
+        assert again is plain
+
+    def test_distinct_overrides_distinct_slots(self, runner):
+        a, _ = runner.micro_trace("ll", 8, operations=900)
+        b, _ = runner.micro_trace("ll", 8, operations=1800)
+        assert a is not b
+
+    def test_overridden_whisper_trace_is_cached(self, runner):
+        t1, _ = runner.whisper_trace("echo", transactions=700)
+        t2, _ = runner.whisper_trace("echo", transactions=700)
+        assert t1 is t2
+        assert runner.engine.trace_generations == 1
+
+    def test_spec_identity_returned(self, runner):
+        _, spec = runner.micro_trace("ll", 8, operations=900)
+        assert spec.params.operations == int(900 * runner.scale)

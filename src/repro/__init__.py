@@ -11,6 +11,7 @@ Public API layers:
 * :mod:`repro.cpu` — traces and the cycle-approximate replay engine
 * :mod:`repro.workloads` — instrumented WHISPER / multi-PMO benchmarks
 * :mod:`repro.sim` — configuration (Table II), statistics, area model
+* :mod:`repro.obs` — observability: metrics registry + event tracing
 * :mod:`repro.experiments` — drivers regenerating each table and figure
 """
 

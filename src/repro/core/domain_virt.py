@@ -71,6 +71,8 @@ class DomainVirtScheme(ProtectionScheme):
             return cached
         self.stats.charge("ptlb_misses", cfg.ptlb_miss_cycles)
         self.stats.ptlb_misses_count += 1
+        if self._ev is not None:
+            self._ev.emit("pt_walk", domain=domain)
         cached = PTLBEntry(domain=domain, perm=self.pt.get(domain, tid))
         victim = self.ptlb.insert(cached)
         if victim is not None and victim.dirty:
@@ -109,6 +111,8 @@ class DomainVirtScheme(ProtectionScheme):
         else:
             self.stats.charge("ptlb_misses", cfg.ptlb_miss_cycles)
             self.stats.ptlb_misses_count += 1
+            if self._ev is not None:
+                self._ev.emit("pt_walk", domain=entry.domain)
             cached = PTLBEntry(domain=entry.domain,
                                perm=self.pt.get(entry.domain, tid))
             victim = self.ptlb.insert(cached)
@@ -128,3 +132,7 @@ class DomainVirtScheme(ProtectionScheme):
             self.stats.charge("entry_changes",
                               cfg.ptlb_entry_change_cycles)
         self._current_tid = new_tid
+
+    def report_metrics(self, registry) -> None:
+        self.ptlb.report_metrics(registry)
+        self.pt.report_metrics(registry)

@@ -106,6 +106,13 @@ class DTTLB:
     def __contains__(self, domain: int) -> bool:
         return domain in self._slot_of
 
+    def report_metrics(self, registry) -> None:
+        """Report hit/miss/writeback counters into an obs MetricsRegistry
+        (names are part of the ``docs/OBSERVABILITY.md`` contract)."""
+        registry.counter("dttlb.hits").inc(self.hits)
+        registry.counter("dttlb.misses").inc(self.misses)
+        registry.counter("dttlb.writebacks").inc(self.writebacks)
+
 
 def writeback(entry: DTTLBEntry) -> None:
     """Write a dirty DTTLB entry's state back into its DTT root entry."""

@@ -91,10 +91,15 @@ class LibmpkScheme(ProtectionScheme):
             killed += self.tlb.domain_flush(victim_vma.pmo_id)
             self.stats.evictions += 1
             self.evictions += 1
+            if self._ev is not None:
+                self._ev.emit("eviction", victim=victim_vma.pmo_id, key=key)
         n_threads = len(self.process.threads)
         self.stats.charge("tlb_invalidations",
                           cfg.tlb_invalidation_cycles * n_threads)
         self.stats.tlb_entries_invalidated += killed
+        if self._ev is not None:
+            self._ev.emit("shootdown", domain=domain, killed=killed,
+                          threads=n_threads)
         self._key_of[domain] = key
         # Restore the new domain's per-thread permission into the PKRU.
         self.pkru.set(tid, key, self._perms[domain].get(tid, Perm.NONE))
@@ -140,3 +145,7 @@ class LibmpkScheme(ProtectionScheme):
 
     def context_switch(self, old_tid: int, new_tid: int) -> None:
         """libmpk reloads the PKRU for the incoming thread (thread state)."""
+
+    def report_metrics(self, registry) -> None:
+        registry.counter("libmpk.evictions").inc(self.evictions)
+        registry.counter("libmpk.pte_rewrites").inc(self.stats.pte_rewrites)

@@ -126,6 +126,10 @@ class MPKVirtScheme(ProtectionScheme):
         self.stats.tlb_entries_invalidated += killed
         self.stats.evictions += 1
         self.key_of_slot[key] = None
+        if self._ev is not None:
+            self._ev.emit("eviction", victim=victim_domain, key=key)
+            self._ev.emit("shootdown", domain=victim_domain, killed=killed,
+                          threads=n_threads)
 
     def _dttlb_fetch(self, domain: int, tid: int) -> DTTLBEntry:
         """DTTLB lookup; on miss, walk the DTT and install the entry."""
@@ -135,6 +139,8 @@ class MPKVirtScheme(ProtectionScheme):
             return cached
         self.stats.charge("dtt_misses", cfg.dttlb_miss_cycles)
         self.stats.dttlb_misses += 1
+        if self._ev is not None:
+            self._ev.emit("dtt_walk", domain=domain)
         dtt_entry = self.dtt.by_domain(domain)
         self.dtt.walk_count += 1
         cached = DTTLBEntry(domain=domain, key=dtt_entry.key,
@@ -209,3 +215,8 @@ class MPKVirtScheme(ProtectionScheme):
             if domain is not None:
                 self.pkru.set(new_tid, key,
                               self.dtt.by_domain(domain).perm_for(new_tid))
+
+    def report_metrics(self, registry) -> None:
+        self.dttlb.report_metrics(registry)
+        registry.counter("dtt.walks").inc(self.dtt.walk_count)
+        registry.counter("mpkv.key_remaps").inc(self.key_remaps)

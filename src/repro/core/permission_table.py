@@ -43,6 +43,11 @@ class PermissionTable:
     def domains(self) -> List[int]:
         return sorted(self._perms)
 
+    def report_metrics(self, registry) -> None:
+        """Report the lookup counter into an obs MetricsRegistry
+        (names are part of the ``docs/OBSERVABILITY.md`` contract)."""
+        registry.counter("pt.lookups").inc(self.lookups)
+
 
 @dataclass
 class PTLBEntry:
@@ -121,3 +126,10 @@ class PTLB:
 
     def __contains__(self, domain: int) -> bool:
         return domain in self._slot_of
+
+    def report_metrics(self, registry) -> None:
+        """Report hit/miss/writeback counters into an obs MetricsRegistry
+        (names are part of the ``docs/OBSERVABILITY.md`` contract)."""
+        registry.counter("ptlb.hits").inc(self.hits)
+        registry.counter("ptlb.misses").inc(self.misses)
+        registry.counter("ptlb.writebacks").inc(self.writebacks)

@@ -23,6 +23,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Dict, List, Type
 
+from .. import obs
 from ..permissions import Perm
 from ..mem.tlb import TLBEntry, TwoLevelTLB
 from ..os.address_space import VMA
@@ -45,6 +46,9 @@ class ProtectionScheme:
         self.tlb = tlb
         self.stats = stats
         stats.scheme = self.name
+        #: Active event trace or None; schemes emit walk/eviction events
+        #: through it behind a None check (free when tracing is off).
+        self._ev = obs.active_events()
 
     # -- setup hooks (attach/detach system calls; not part of measured cost) --
 
@@ -73,6 +77,17 @@ class ProtectionScheme:
 
     def context_switch(self, old_tid: int, new_tid: int) -> None:
         """The core switched threads; flush thread-specific state."""
+
+    # -- observability (never part of measured cost) -----------------------------
+
+    def report_metrics(self, registry) -> None:
+        """Report scheme-component counters into an obs MetricsRegistry.
+
+        Called once at the end of a replay, and only when observability
+        is enabled (``REPRO_METRICS``/``REPRO_EVENTS``); implementations
+        harvest existing counters and must not perturb cycle accounting.
+        The metric names are the ``docs/OBSERVABILITY.md`` contract.
+        """
 
 
 class NullProtection(ProtectionScheme):

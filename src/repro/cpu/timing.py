@@ -19,6 +19,7 @@ from __future__ import annotations
 
 from typing import Dict, Optional, Tuple, Type
 
+from .. import obs
 from ..permissions import Perm
 from ..core.schemes import ProtectionScheme
 from ..errors import ProtectionFault, SimulationError
@@ -91,6 +92,15 @@ class ReplayEngine:
         attach_table = (self.attach_info if self.attach_info is not None
                         else trace.attach_info)
 
+        # Observability: `ev` is None when tracing is off; every use below
+        # sits on a cold path (full TLB miss, PERM/CTXSW/ATTACH/DETACH) so
+        # the hot load/store path is untouched.  Nothing here charges
+        # cycles — RunStats stays bit-identical with obs on or off.
+        ev = obs.active_events()
+        if ev is not None:
+            ev.begin_replay(scheme.name, trace.label)
+            ev.emit("replay.start")
+
         for kind, tid, icount, a, b in trace.events:
             instructions += icount
             cycles += icount * cpi
@@ -111,6 +121,8 @@ class ReplayEngine:
                         # parallel), then the scheme supplies the tags.
                         stats.tlb_misses += 1
                         cycles += tlb_miss_penalty
+                        if ev is not None:
+                            ev.cycle = cycles + stats.cycles
                         pte = page_table.get(vpn)
                         if pte is None:
                             pte = self.kernel.handle_page_fault(
@@ -148,11 +160,17 @@ class ReplayEngine:
                 cycles += (latency - l1_hit_latency) * overlap
             elif kind == PERM:
                 stats.perm_switches += 1
+                if ev is not None:
+                    ev.cycle = cycles + stats.cycles
+                    ev.emit("perm_switch", tid=tid, domain=a, perm=b)
                 scheme.perm_switch(tid, a, Perm(b))
             elif kind == INIT_PERM:
                 scheme.set_initial_perm(a, tid, Perm(b))
             elif kind == CTXSW:
                 stats.context_switches += 1
+                if ev is not None:
+                    ev.cycle = cycles + stats.cycles
+                    ev.emit("ctx_switch", old_tid=tid, new_tid=a)
                 scheme.context_switch(tid, a)
             elif kind == ATTACH:
                 vma, intent = attach_table[a]
@@ -160,8 +178,14 @@ class ReplayEngine:
                 # exist (trace generation used the same process).
                 if a not in attachments and vma.pmo_id != a:
                     raise SimulationError(f"attach of unknown domain {a}")
+                if ev is not None:
+                    ev.cycle = cycles + stats.cycles
+                    ev.emit("attach", domain=a)
                 scheme.attach_domain(vma, intent)
             elif kind == DETACH:
+                if ev is not None:
+                    ev.cycle = cycles + stats.cycles
+                    ev.emit("detach", domain=a)
                 scheme.detach_domain(a)
             else:  # pragma: no cover - malformed trace
                 raise SimulationError(f"unknown event kind {kind}")
@@ -170,4 +194,16 @@ class ReplayEngine:
         # machine cycles computed here.
         stats.cycles += cycles
         stats.instructions = instructions
+        if ev is not None:
+            ev.cycle = stats.cycles
+            ev.emit("replay.done", cycles=stats.cycles,
+                    instructions=instructions, buckets=dict(stats.buckets))
+            ev.end_replay()
+            ev.flush()
+        if obs.metrics_enabled():
+            registry = obs.MetricsRegistry()
+            self.tlb.report_metrics(registry)
+            self.caches.report_metrics(registry)
+            scheme.report_metrics(registry)
+            stats.metrics = registry.as_dict()
         return stats

@@ -27,6 +27,7 @@ import pathlib
 from dataclasses import dataclass, field
 from typing import Dict, Optional, Tuple, Union
 
+from .. import obs
 from ..cpu.trace import Trace
 from ..cpu.tracefile import load_trace, save_trace
 from .job import WorkloadSpec
@@ -69,11 +70,35 @@ class CacheStats:
     memory_hits: int = 0
     disk_hits: int = 0
     generations: int = 0
+    #: Unreadable disk entries that were removed (corrupt file, stale
+    #: format, layout-less legacy trace).
+    corrupt: int = 0
 
     def merge(self, other: "CacheStats") -> None:
         self.memory_hits += other.memory_hits
         self.disk_hits += other.disk_hits
         self.generations += other.generations
+        self.corrupt += other.corrupt
+
+    def copy(self) -> "CacheStats":
+        return CacheStats(self.memory_hits, self.disk_hits,
+                          self.generations, self.corrupt)
+
+    def delta(self, since: "CacheStats") -> "CacheStats":
+        """The activity between an older snapshot and now."""
+        return CacheStats(self.memory_hits - since.memory_hits,
+                          self.disk_hits - since.disk_hits,
+                          self.generations - since.generations,
+                          self.corrupt - since.corrupt)
+
+    def report_metrics(self, registry) -> None:
+        """Report into an obs MetricsRegistry.  Counters accumulate, so
+        report each request's activity exactly once (fresh instances or
+        :meth:`delta` snapshots, never a long-lived total repeatedly)."""
+        registry.counter("engine.cache.memory_hits").inc(self.memory_hits)
+        registry.counter("engine.cache.disk_hits").inc(self.disk_hits)
+        registry.counter("engine.cache.generations").inc(self.generations)
+        registry.counter("engine.cache.corrupt_entries").inc(self.corrupt)
 
 
 class TraceCache:
@@ -109,13 +134,19 @@ class TraceCache:
         try:
             trace = load_trace(path)
         except Exception:
-            _try_unlink(path)
+            self._corrupt(spec, path)
             return None
         if trace.layout is None:
             # Not self-contained — useless for fresh-context replay.
-            _try_unlink(path)
+            self._corrupt(spec, path)
             return None
         return trace
+
+    def _corrupt(self, spec: WorkloadSpec, path: pathlib.Path) -> None:
+        """Remove an unreadable entry; count and report it."""
+        _try_unlink(path)
+        self.stats.corrupt += 1
+        self._emit("cache.corrupt", spec, path=str(path))
 
     def store(self, spec: WorkloadSpec, trace: Trace) -> None:
         """Persist a trace to disk (atomic rename; no-op when disabled)."""
@@ -143,19 +174,29 @@ class TraceCache:
         trace = _MEMORY.get(key)
         if trace is not None:
             self.stats.memory_hits += 1
+            self._emit("job.cache_hit", spec, layer="memory")
             return trace
         trace = self.load(spec)
         if trace is not None:
             self.stats.disk_hits += 1
+            self._emit("job.cache_hit", spec, layer="disk")
             _MEMORY[key] = trace
             return trace
         if not generate:
             return None
+        self._emit("job.generate", spec)
         trace, _workspace = spec.generate()
         self.stats.generations += 1
         _MEMORY[key] = trace
         self.store(spec, trace)
         return trace
+
+    @staticmethod
+    def _emit(kind: str, spec: WorkloadSpec, **fields) -> None:
+        """Emit one engine-lifecycle event (no-op when tracing is off)."""
+        ev = obs.active_events()
+        if ev is not None:
+            ev.emit(kind, label=spec.label, **fields)
 
     def seed(self, spec: WorkloadSpec, trace: Trace) -> None:
         """Install an externally produced trace into the memory layer."""

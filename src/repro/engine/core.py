@@ -23,6 +23,7 @@ from __future__ import annotations
 from typing import (Callable, Dict, Hashable, Iterable, List, Optional,
                     Sequence, Tuple)
 
+from .. import obs
 from ..cpu.trace import Trace
 from ..sim.config import DEFAULT_CONFIG, SimConfig
 from ..sim.stats import RunStats
@@ -70,6 +71,16 @@ class Engine:
         """Cache root to embed in jobs shipped to workers."""
         return str(self.cache.root) if self.cache.enabled else "0"
 
+    def _report_cache_delta(self, snapshot: CacheStats) -> None:
+        """Report parent-side cache activity since ``snapshot`` (obs).
+
+        Worker-side activity rides back on ``RunStats.metrics``; this
+        covers requests the engine serves in-process (warm, trace_for).
+        """
+        registry = obs.metrics()
+        if registry is not None:
+            self.cache.stats.delta(snapshot).report_metrics(registry)
+
     # -- traces ---------------------------------------------------------------------
 
     def trace_for(self, spec: WorkloadSpec) -> Trace:
@@ -81,8 +92,10 @@ class Engine:
         key = spec.cache_key()
         trace = self._live.get(key)
         if trace is None:
+            snapshot = self.cache.stats.copy()
             trace = self.cache.get_or_generate(spec)
             self._live[key] = trace
+            self._report_cache_delta(snapshot)
         return trace
 
     def release(self, spec: WorkloadSpec) -> None:
@@ -97,24 +110,29 @@ class Engine:
         disk layer is on and ``REPRO_JOBS`` allows it (workers inherit
         the results back through pickling), serially otherwise.
         """
-        unique: Dict[str, WorkloadSpec] = {}
-        for spec in specs:
-            unique.setdefault(spec.cache_key(), spec)
-        missing = [spec for spec in unique.values()
-                   if self.cache.get_or_generate(spec, generate=False) is None]
-        if not missing:
-            return
-        n = worker_count(self.jobs)
-        if n > 1 and len(missing) > 1:
-            root = self._root_token()
-            warmed = parallel_map(_warm_spec,
-                                  [(spec, root) for spec in missing], jobs=n)
-            for spec, (trace, generations) in zip(missing, warmed):
-                self.cache.seed(spec, trace)
-                self.cache.stats.generations += generations
-        else:
-            for spec in missing:
-                self.cache.get_or_generate(spec)
+        snapshot = self.cache.stats.copy()
+        try:
+            unique: Dict[str, WorkloadSpec] = {}
+            for spec in specs:
+                unique.setdefault(spec.cache_key(), spec)
+            missing = [
+                spec for spec in unique.values()
+                if self.cache.get_or_generate(spec, generate=False) is None]
+            if not missing:
+                return
+            n = worker_count(self.jobs)
+            if n > 1 and len(missing) > 1:
+                root = self._root_token()
+                warmed = parallel_map(
+                    _warm_spec, [(spec, root) for spec in missing], jobs=n)
+                for spec, (trace, generations) in zip(missing, warmed):
+                    self.cache.seed(spec, trace)
+                    self.cache.stats.generations += generations
+            else:
+                for spec in missing:
+                    self.cache.get_or_generate(spec)
+        finally:
+            self._report_cache_delta(snapshot)
 
     # -- replay --------------------------------------------------------------------
 
@@ -134,6 +152,10 @@ class Engine:
                           cache_root=root)
                 for spec, config in cells
                 for name in (BASELINE, *names)]
+        ev = obs.active_events()
+        if ev is not None:
+            for job in grid:
+                ev.emit("job.submit", label=job.spec.label, scheme=job.scheme)
         stats = replay_jobs(grid, jobs=self.jobs)
         stride = 1 + len(names)
         results: List[Dict[str, RunStats]] = []

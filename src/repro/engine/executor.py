@@ -15,8 +15,10 @@ from __future__ import annotations
 
 import multiprocessing
 import os
+import time
 from typing import Callable, List, Optional, Sequence, TypeVar
 
+from .. import obs
 from ..sim.stats import RunStats
 from .job import ReplayJob
 
@@ -53,17 +55,76 @@ def parallel_map(fn: Callable[[T], R], items: Sequence[T], *,
     n = worker_count(jobs)
     if n <= 1 or len(items) <= 1 or not _fork_available():
         return [fn(item) for item in items]
+    # Flush buffered telemetry before forking: children inherit the
+    # parent's event buffer and would re-write its pending records.
+    ev = obs.active_events()
+    if ev is not None:
+        ev.flush()
     ctx = multiprocessing.get_context("fork")
     with ctx.Pool(processes=min(n, len(items))) as pool:
         return pool.map(fn, items)
 
 
 def _run_job(job: ReplayJob) -> RunStats:
-    """Execute one replay job (used as the worker entry point)."""
+    """Execute one replay job (used as the worker entry point).
+
+    With observability on, the job's wall/CPU time and trace-cache
+    activity are folded into the returned ``RunStats.metrics`` so the
+    parent can merge them across workers (fork ships nothing back but
+    the pickled result).
+    """
     from .cache import TraceCache
     from .context import replay_one
-    trace = TraceCache(job.cache_root).get_or_generate(job.spec)
-    return replay_one(trace, job.scheme, job.config)
+    cache = TraceCache(job.cache_root)
+    if not obs.enabled():
+        trace = cache.get_or_generate(job.spec)
+        return replay_one(trace, job.scheme, job.config)
+    label = job.spec.label
+    ev = obs.active_events()
+    if ev is not None:
+        ev.emit("job.replay", label=label, scheme=job.scheme)
+    wall0 = time.perf_counter()
+    cpu0 = time.process_time()
+    trace = cache.get_or_generate(job.spec)
+    stats = replay_one(trace, job.scheme, job.config)
+    wall = time.perf_counter() - wall0
+    cpu = time.process_time() - cpu0
+    registry = obs.MetricsRegistry()
+    if stats.metrics:
+        registry.merge(stats.metrics)
+    cache.stats.report_metrics(registry)
+    registry.counter("engine.jobs.completed").inc()
+    registry.histogram("engine.job.wall_s").observe(wall)
+    registry.histogram("engine.job.cpu_s").observe(cpu)
+    stats.metrics = registry.as_dict()
+    if ev is not None:
+        ev.emit("job.done", label=label, scheme=job.scheme,
+                wall_s=round(wall, 6), cpu_s=round(cpu, 6))
+        ev.flush()
+    return stats
+
+
+def _merge_batch_metrics(results: Sequence[RunStats], elapsed: float,
+                         workers: int) -> None:
+    """Fold per-job worker metrics into the parent's global registry."""
+    registry = obs.metrics()
+    if registry is None:
+        return
+    busy = 0.0
+    for stats in results:
+        if stats.metrics:
+            registry.merge(stats.metrics)
+            wall = stats.metrics.get("histograms", {}).get("engine.job.wall_s")
+            if wall:
+                busy += wall.get("sum", 0.0)
+    registry.gauge("engine.workers").set(float(workers))
+    if elapsed > 0 and workers > 0:
+        registry.gauge("engine.worker.utilization").set(
+            min(1.0, busy / (elapsed * workers)))
+    ev = obs.active_events()
+    if ev is not None:
+        ev.report_metrics(registry)
+        ev.flush()
 
 
 def replay_jobs(jobs_list: Sequence[ReplayJob], *,
@@ -76,4 +137,11 @@ def replay_jobs(jobs_list: Sequence[ReplayJob], *,
     generates the trace itself — it just duplicates generation effort
     when several cold jobs share a spec.
     """
-    return parallel_map(_run_job, list(jobs_list), jobs=jobs)
+    jobs_list = list(jobs_list)
+    if not obs.enabled():
+        return parallel_map(_run_job, jobs_list, jobs=jobs)
+    wall0 = time.perf_counter()
+    results = parallel_map(_run_job, jobs_list, jobs=jobs)
+    _merge_batch_metrics(results, time.perf_counter() - wall0,
+                         worker_count(jobs))
+    return results

@@ -12,6 +12,10 @@ Every experiment driver goes through :class:`ExperimentRunner`, which
 * exposes the engine's result-memoization table so expensive derived
   results (the Figure 6 sweep) are shared between drivers.
 
+With observability on (``REPRO_EVENTS`` / ``REPRO_METRICS``; see
+:mod:`repro.obs`), :meth:`ExperimentRunner.metrics_snapshot` exports the
+metrics merged across all replays this process has driven so far.
+
 Parameter overrides are folded into the spec — and therefore into the
 cache key — so ``micro_trace("avl", 64, operations=120)`` and the
 unoverridden trace can never alias each other.
@@ -22,6 +26,7 @@ from __future__ import annotations
 import os
 from typing import Callable, Dict, Hashable, Iterable, List, Optional, Tuple
 
+from .. import obs
 from ..cpu.trace import Trace
 from ..engine import Engine, WorkloadSpec
 from ..sim.config import DEFAULT_CONFIG, SimConfig
@@ -118,6 +123,18 @@ class ExperimentRunner:
     def drop_micro_trace(self, benchmark: str, n_pools: int) -> None:
         """Free a cached trace (the 1024-PMO traces are large)."""
         self.engine.release(self.micro_spec(benchmark, n_pools))
+
+    # -- observability -----------------------------------------------------------------
+
+    def metrics_snapshot(self) -> Optional[Dict[str, object]]:
+        """Export of this process's merged metrics registry (or ``None``).
+
+        Covers every replay driven so far — serial and fork-worker runs
+        alike, since the executor merges worker registries back into the
+        process-global one.  ``None`` whenever observability is off.
+        """
+        registry = obs.metrics()
+        return None if registry is None else registry.as_dict()
 
     # -- derived results ---------------------------------------------------------------
 

@@ -89,3 +89,12 @@ class CacheHierarchy:
         self.l2.fill(line)
         self.l1.fill(line)
         return self.l1.latency + self.l2.latency + memory_latency
+
+    def report_metrics(self, registry) -> None:
+        """Report hit/miss counters into an obs MetricsRegistry
+        (names are part of the ``docs/OBSERVABILITY.md`` contract)."""
+        registry.counter("cache.l1d.hits").inc(self.l1.hits)
+        registry.counter("cache.l1d.misses").inc(self.l1.misses)
+        registry.counter("cache.l2.hits").inc(self.l2.hits)
+        registry.counter("cache.l2.misses").inc(self.l2.misses)
+        registry.counter("cache.mem_accesses").inc(self.mem_accesses)

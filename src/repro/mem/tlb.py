@@ -214,3 +214,11 @@ class TwoLevelTLB:
     def misses(self) -> int:
         """Full TLB misses (missed both levels)."""
         return self.l2.misses
+
+    def report_metrics(self, registry) -> None:
+        """Report hit/miss counters into an obs MetricsRegistry
+        (names are part of the ``docs/OBSERVABILITY.md`` contract)."""
+        registry.counter("tlb.l1.hits").inc(self.l1.hits)
+        registry.counter("tlb.l1.misses").inc(self.l1.misses)
+        registry.counter("tlb.l2.hits").inc(self.l2.hits)
+        registry.counter("tlb.l2.misses").inc(self.l2.misses)

@@ -1,0 +1,141 @@
+"""Observability: metrics, event tracing, and the schema contract.
+
+A zero-overhead-when-disabled telemetry layer over the simulator and the
+replay engine.  Two facilities, both off by default:
+
+* **Metrics** — a :class:`~repro.obs.metrics.MetricsRegistry` of named
+  counters/gauges/histograms.  Components keep their plain-int counters;
+  the replay engine *harvests* them into a registry once per replay and
+  attaches the export to ``RunStats.metrics``.  Fork workers ship their
+  registries back inside the pickled ``RunStats``; the executor merges
+  them into this process's global registry (:func:`metrics`).  Enable
+  with ``REPRO_METRICS=1`` (implied by ``REPRO_EVENTS``).
+
+* **Events** — a buffered jsonl stream of timestamped records
+  (:class:`~repro.obs.events.EventTrace`): permission switches,
+  evictions, shootdowns, DTT/PT walks, engine job lifecycle.  Enable
+  with ``REPRO_EVENTS=jsonl:<path>``; render with
+  ``python -m repro.tools.obsreport``.  High-frequency kinds are
+  decimated by ``REPRO_EVENTS_SAMPLE``.
+
+The full name/field contract lives in :mod:`repro.obs.schema` and
+``docs/OBSERVABILITY.md``; a test diffs the two.  Nothing here touches
+cycle accounting: with observability off (and on), ``RunStats`` cycle
+totals are bit-identical to an uninstrumented run.
+"""
+
+from __future__ import annotations
+
+import atexit
+import os
+from typing import Optional
+
+from . import schema  # noqa: F401  (re-export: the contract)
+from .events import EventTrace
+from .metrics import MetricsRegistry
+
+ENV_EVENTS = "REPRO_EVENTS"
+ENV_METRICS = "REPRO_METRICS"
+ENV_SAMPLE = "REPRO_EVENTS_SAMPLE"
+ENV_BUFFER = "REPRO_EVENTS_BUFFER"
+
+#: Env values meaning "disabled".
+_OFF = ("", "0", "off", "none", "disabled", "false")
+#: ``REPRO_EVENTS`` values selecting the in-memory ring (no sink file).
+_RING = ("ring", "mem", "memory")
+
+__all__ = [
+    "ENV_BUFFER", "ENV_EVENTS", "ENV_METRICS", "ENV_SAMPLE",
+    "EventTrace", "MetricsRegistry", "active_events", "enabled",
+    "events_enabled", "metrics", "metrics_enabled", "reset", "schema",
+]
+
+
+def _events_spec() -> Optional[str]:
+    """Parse ``REPRO_EVENTS``: a sink path, ``""`` for ring, None = off."""
+    raw = os.environ.get(ENV_EVENTS, "").strip()
+    if raw.lower() in _OFF:
+        return None
+    if raw.lower() in _RING:
+        return ""
+    if raw.startswith("jsonl:"):
+        raw = raw[len("jsonl:"):].strip()
+        return raw or None
+    return raw
+
+
+def _int_env(name: str, default: int) -> int:
+    try:
+        return int(os.environ.get(name, "").strip() or default)
+    except ValueError:
+        return default
+
+
+def events_enabled() -> bool:
+    return _events_spec() is not None
+
+
+def metrics_enabled() -> bool:
+    raw = os.environ.get(ENV_METRICS, "").strip().lower()
+    return raw not in _OFF or events_enabled()
+
+
+def enabled() -> bool:
+    """Whether any observability facility is active."""
+    return metrics_enabled() or events_enabled()
+
+
+# -- process-global state ---------------------------------------------------------
+
+_events_key: Optional[tuple] = None
+_events_trace: Optional[EventTrace] = None
+_registry: Optional[MetricsRegistry] = None
+
+
+def active_events() -> Optional[EventTrace]:
+    """The process's event trace, or ``None`` when tracing is disabled.
+
+    Re-reads the environment on every call (call sites hold the result
+    in a local across hot loops); a changed configuration flushes the
+    old trace and starts a fresh one.
+    """
+    global _events_key, _events_trace
+    spec = _events_spec()
+    if spec is None:
+        if _events_trace is not None:
+            _events_trace.flush()
+            _events_key = _events_trace = None
+        return None
+    key = (spec, _int_env(ENV_SAMPLE, 1), _int_env(ENV_BUFFER, 4096))
+    if key != _events_key:
+        if _events_trace is not None:
+            _events_trace.flush()
+        _events_trace = EventTrace(path=spec or None, sample=key[1],
+                                   capacity=key[2])
+        _events_key = key
+    return _events_trace
+
+
+def metrics() -> Optional[MetricsRegistry]:
+    """This process's global registry, or ``None`` when metrics are off."""
+    global _registry
+    if not metrics_enabled():
+        return None
+    if _registry is None:
+        _registry = MetricsRegistry()
+    return _registry
+
+
+def reset() -> None:
+    """Flush and drop all global state (tests; env changes)."""
+    global _events_key, _events_trace, _registry
+    if _events_trace is not None:
+        _events_trace.flush()
+    _events_key = _events_trace = None
+    _registry = None
+
+
+@atexit.register
+def _flush_at_exit() -> None:  # pragma: no cover - interpreter teardown
+    if _events_trace is not None:
+        _events_trace.flush()

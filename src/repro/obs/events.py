@@ -1,0 +1,118 @@
+"""EventTrace: a buffered, sampled jsonl event stream.
+
+Every record is one JSON object per line with the envelope fields
+``ts``/``seq``/``pid``/``kind``; records emitted while a replay is in
+progress also carry ``scheme``/``label``/``cycle`` (the replay engine
+keeps the ``cycle`` stamp current on the cold paths — TLB walks and
+permission events — so per-event timestamps land in *simulated* time).
+
+Events accumulate in an in-memory buffer and flush to the sink in one
+append-mode write per batch; whole lines are appended atomically enough
+that fork workers can share a single jsonl file.  With no sink path the
+buffer degrades to a bounded ring (``records()``) for tests and
+interactive inspection.  Sink errors are counted (``dropped``), never
+raised: observability must not fail a run.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from collections import deque
+from typing import Deque, Dict, List, Optional
+
+from .schema import SAMPLED_EVENTS
+
+DEFAULT_CAPACITY = 4096
+
+
+class EventTrace:
+    """One process's event buffer, with an optional jsonl sink."""
+
+    def __init__(self, path: Optional[str] = None, *, sample: int = 1,
+                 capacity: int = DEFAULT_CAPACITY):
+        #: Sink path (append-mode jsonl); ``None`` = in-memory ring only.
+        self.path = path
+        self.sample = max(1, int(sample))
+        self.capacity = max(1, int(capacity))
+        self._buf: Deque[dict] = deque()
+        self._seq = 0
+        self._seen: Dict[str, int] = {}
+        self.emitted = 0
+        self.sampled_out = 0
+        self.dropped = 0
+        # -- replay context (set by the replay engine) --------------------
+        self.scheme: Optional[str] = None
+        self.label: Optional[str] = None
+        self.cycle: float = 0.0
+
+    # -- replay context ----------------------------------------------------------
+
+    def begin_replay(self, scheme: str, label: Optional[str]) -> None:
+        """Enter a replay span: subsequent events carry scheme/label/cycle."""
+        self.scheme = scheme
+        self.label = label
+        self.cycle = 0.0
+
+    def end_replay(self) -> None:
+        self.scheme = None
+        self.label = None
+        self.cycle = 0.0
+
+    # -- emission ----------------------------------------------------------------
+
+    def emit(self, kind: str, **fields) -> None:
+        """Record one event; explicit fields override context fields."""
+        if self.sample > 1 and kind in SAMPLED_EVENTS:
+            seen = self._seen.get(kind, 0) + 1
+            self._seen[kind] = seen
+            if seen % self.sample:
+                self.sampled_out += 1
+                return
+        self._seq += 1
+        record = {"ts": time.time(), "seq": self._seq, "pid": os.getpid(),
+                  "kind": kind}
+        if self.scheme is not None:
+            record["scheme"] = self.scheme
+            record["label"] = self.label
+            record["cycle"] = self.cycle
+        record.update(fields)
+        if self.path is None and len(self._buf) >= self.capacity:
+            self._buf.popleft()
+            self.dropped += 1
+        self._buf.append(record)
+        self.emitted += 1
+        if self.path is not None and len(self._buf) >= self.capacity:
+            self.flush()
+
+    # -- sink --------------------------------------------------------------------
+
+    def flush(self) -> None:
+        """Append buffered records to the sink (no-op in ring mode)."""
+        if self.path is None or not self._buf:
+            return
+        chunk = "".join(json.dumps(record, separators=(",", ":")) + "\n"
+                        for record in self._buf)
+        count = len(self._buf)
+        self._buf.clear()
+        try:
+            parent = os.path.dirname(self.path)
+            if parent:
+                os.makedirs(parent, exist_ok=True)
+            with open(self.path, "a", encoding="utf-8") as sink:
+                sink.write(chunk)
+        except OSError:
+            self.dropped += count
+
+    def records(self) -> List[dict]:
+        """Unflushed (or ring-buffered) records, oldest first."""
+        return list(self._buf)
+
+    # -- self-metrics ------------------------------------------------------------
+
+    def report_metrics(self, registry) -> None:
+        """Report this process's emission totals (gauges: snapshots)."""
+        registry.gauge("obs.events.emitted").set(self.emitted)
+        registry.gauge("obs.events.sampled_out").set(self.sampled_out)
+        registry.gauge("obs.events.dropped").set(self.dropped)

@@ -1,0 +1,153 @@
+"""MetricsRegistry: named counters, gauges and histograms.
+
+Components never import this module on their hot paths — the replay
+engine harvests their existing plain-int counters into a registry once
+per replay (see ``ProtectionScheme.report_metrics`` and the
+``report_metrics`` methods on the TLB/cache/DTTLB/PTLB models), so the
+whole subsystem costs nothing when observability is disabled and nothing
+per-access when it is enabled.
+
+A registry serializes to a JSON-safe dict (:meth:`MetricsRegistry.as_dict`)
+that rides back from fork workers attached to ``RunStats.metrics``; the
+parent merges worker dicts into its process-global registry
+(:func:`repro.obs.metrics`).  Merging adds counters, combines histograms,
+and overwrites gauges (last write wins).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional, Union
+
+
+class Counter:
+    """A monotonically increasing integer."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: int = 0):
+        self.value = value
+
+    def inc(self, n: int = 1) -> None:
+        self.value += n
+
+
+class Gauge:
+    """A point-in-time float; set() overwrites."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: float = 0.0):
+        self.value = value
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+
+class Histogram:
+    """Count/sum/min/max summary of observed samples."""
+
+    __slots__ = ("count", "total", "min", "max")
+
+    def __init__(self):
+        self.count = 0
+        self.total = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        self.count += 1
+        self.total += value
+        self.min = value if self.min is None else min(self.min, value)
+        self.max = value if self.max is None else max(self.max, value)
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def as_dict(self) -> Dict[str, object]:
+        return {"count": self.count, "sum": self.total,
+                "min": self.min, "max": self.max}
+
+    def merge(self, other: Dict[str, object]) -> None:
+        self.count += int(other.get("count", 0))
+        self.total += float(other.get("sum", 0.0))
+        for attr, pick in (("min", min), ("max", max)):
+            theirs = other.get(attr)
+            if theirs is None:
+                continue
+            mine = getattr(self, attr)
+            setattr(self, attr,
+                    float(theirs) if mine is None else pick(mine, theirs))
+
+
+class MetricsRegistry:
+    """Create-on-demand store of named counters, gauges and histograms."""
+
+    def __init__(self):
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    # -- access (create on demand) ---------------------------------------------
+
+    def counter(self, name: str) -> Counter:
+        metric = self._counters.get(name)
+        if metric is None:
+            metric = self._counters[name] = Counter()
+        return metric
+
+    def gauge(self, name: str) -> Gauge:
+        metric = self._gauges.get(name)
+        if metric is None:
+            metric = self._gauges[name] = Gauge()
+        return metric
+
+    def histogram(self, name: str) -> Histogram:
+        metric = self._histograms.get(name)
+        if metric is None:
+            metric = self._histograms[name] = Histogram()
+        return metric
+
+    def names(self) -> Iterable[str]:
+        """Every metric name currently present, sorted."""
+        return sorted({*self._counters, *self._gauges, *self._histograms})
+
+    def value(self, name: str):
+        """Convenience lookup: counter/gauge value or histogram dict."""
+        if name in self._counters:
+            return self._counters[name].value
+        if name in self._gauges:
+            return self._gauges[name].value
+        if name in self._histograms:
+            return self._histograms[name].as_dict()
+        raise KeyError(name)
+
+    # -- (de)serialization -------------------------------------------------------
+
+    def as_dict(self) -> Dict[str, object]:
+        """JSON-safe export; the shape attached to ``RunStats.metrics``."""
+        return {
+            "counters": {k: c.value for k, c in sorted(self._counters.items())},
+            "gauges": {k: g.value for k, g in sorted(self._gauges.items())},
+            "histograms": {k: h.as_dict()
+                           for k, h in sorted(self._histograms.items())},
+        }
+
+    @classmethod
+    def from_dict(cls, document: Dict[str, object]) -> "MetricsRegistry":
+        registry = cls()
+        registry.merge(document)
+        return registry
+
+    def merge(self, other: Union["MetricsRegistry", Dict[str, object]]
+              ) -> None:
+        """Fold another registry (or its dict export) into this one."""
+        if isinstance(other, MetricsRegistry):
+            other = other.as_dict()
+        for name, value in other.get("counters", {}).items():
+            self.counter(name).inc(int(value))
+        for name, value in other.get("gauges", {}).items():
+            self.gauge(name).set(float(value))
+        for name, summary in other.get("histograms", {}).items():
+            self.histogram(name).merge(summary)

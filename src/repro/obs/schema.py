@@ -1,0 +1,117 @@
+"""The telemetry contract: every metric name, event kind, and env knob.
+
+This module is the machine-readable half of ``docs/OBSERVABILITY.md``;
+``tests/obs/test_schema_docs.py`` diffs the two so neither can drift.
+Treat additions as contract changes: add the name here, document it in
+the docs table, and only then emit it from instrumentation.  Consumers
+(``repro.tools.obsreport``, external jsonl readers) may rely on every
+name listed here and must ignore unknown fields, never unknown kinds.
+"""
+
+from __future__ import annotations
+
+#: Metric name -> (metric type, producing subsystem, meaning).
+#: Types: ``counter`` (monotone int), ``gauge`` (last-write float),
+#: ``histogram`` (count/sum/min/max of observed samples).
+METRICS = {
+    # -- memory hierarchy (harvested per replay, repro.mem) -------------------
+    "tlb.l1.hits": ("counter", "mem/tlb", "L1 data-TLB hits"),
+    "tlb.l1.misses": ("counter", "mem/tlb", "L1 data-TLB misses"),
+    "tlb.l2.hits": ("counter", "mem/tlb", "L2 data-TLB hits"),
+    "tlb.l2.misses": ("counter", "mem/tlb",
+                      "full TLB misses (missed both levels)"),
+    "cache.l1d.hits": ("counter", "mem/cache", "L1D cache hits"),
+    "cache.l1d.misses": ("counter", "mem/cache", "L1D cache misses"),
+    "cache.l2.hits": ("counter", "mem/cache", "L2 cache hits"),
+    "cache.l2.misses": ("counter", "mem/cache", "L2 cache misses"),
+    "cache.mem_accesses": ("counter", "mem/cache",
+                           "accesses that fell through to DRAM/NVM"),
+    # -- MPK virtualization (repro.core.mpk_virt) -----------------------------
+    "dttlb.hits": ("counter", "core/dttlb", "DTTLB hits"),
+    "dttlb.misses": ("counter", "core/dttlb", "DTTLB misses"),
+    "dttlb.writebacks": ("counter", "core/dttlb",
+                         "dirty DTTLB entries written back on flush"),
+    "dtt.walks": ("counter", "core/mpk_virt", "DTT radix-tree walks"),
+    "mpkv.key_remaps": ("counter", "core/mpk_virt",
+                        "domain-to-key (re)assignments"),
+    # -- domain virtualization (repro.core.domain_virt) -----------------------
+    "ptlb.hits": ("counter", "core/permission_table", "PTLB hits"),
+    "ptlb.misses": ("counter", "core/permission_table", "PTLB misses"),
+    "ptlb.writebacks": ("counter", "core/permission_table",
+                        "dirty PTLB entries written back on flush"),
+    "pt.lookups": ("counter", "core/permission_table",
+                   "Permission Table lookups (PTLB miss fills)"),
+    # -- libmpk baseline (repro.core.libmpk) ----------------------------------
+    "libmpk.evictions": ("counter", "core/libmpk",
+                         "key-cache evictions (victim remapped)"),
+    "libmpk.pte_rewrites": ("counter", "core/libmpk",
+                            "PTEs rewritten by pkey_mprotect calls"),
+    # -- engine (repro.engine) ------------------------------------------------
+    "engine.cache.memory_hits": ("counter", "engine/cache",
+                                 "trace requests served from memory"),
+    "engine.cache.disk_hits": ("counter", "engine/cache",
+                               "trace requests served from disk"),
+    "engine.cache.generations": ("counter", "engine/cache",
+                                 "traces generated (all caches missed)"),
+    "engine.cache.corrupt_entries": ("counter", "engine/cache",
+                                     "unreadable disk entries removed"),
+    "engine.jobs.completed": ("counter", "engine/executor",
+                              "replay jobs finished"),
+    "engine.job.wall_s": ("histogram", "engine/executor",
+                          "per-job wall-clock seconds"),
+    "engine.job.cpu_s": ("histogram", "engine/executor",
+                         "per-job CPU seconds"),
+    "engine.workers": ("gauge", "engine/executor",
+                       "worker count of the last job batch"),
+    "engine.worker.utilization": ("gauge", "engine/executor",
+                                  "busy fraction of the last job batch"),
+    # -- obs self-metrics -----------------------------------------------------
+    "obs.events.emitted": ("gauge", "obs/events",
+                           "events recorded by this process"),
+    "obs.events.sampled_out": ("gauge", "obs/events",
+                               "events suppressed by sampling"),
+    "obs.events.dropped": ("gauge", "obs/events",
+                           "events lost (ring overflow or sink error)"),
+}
+
+#: Event kind -> tuple of kind-specific fields (beyond the envelope).
+EVENTS = {
+    "replay.start": (),
+    "replay.done": ("cycles", "instructions", "buckets"),
+    "perm_switch": ("tid", "domain", "perm"),
+    "ctx_switch": ("old_tid", "new_tid"),
+    "attach": ("domain",),
+    "detach": ("domain",),
+    "eviction": ("victim", "key"),
+    "shootdown": ("domain", "killed", "threads"),
+    "dtt_walk": ("domain",),
+    "pt_walk": ("domain",),
+    "job.submit": ("label", "scheme"),
+    "job.cache_hit": ("label", "layer"),
+    "job.generate": ("label",),
+    "job.replay": ("label", "scheme"),
+    "job.done": ("label", "scheme", "wall_s", "cpu_s"),
+    "cache.corrupt": ("label", "path"),
+}
+
+#: Fields present on every event record.
+ENVELOPE = ("ts", "seq", "pid", "kind")
+
+#: Fields added while a replay is in progress (set by the replay engine).
+REPLAY_CONTEXT = ("scheme", "label", "cycle")
+
+#: High-frequency kinds subject to ``REPRO_EVENTS_SAMPLE`` decimation.
+SAMPLED_EVENTS = ("dtt_walk", "pt_walk")
+
+#: Environment knob -> meaning.
+ENV_KNOBS = {
+    "REPRO_EVENTS": "event sink: 'jsonl:<path>' (or a bare path) appends "
+                    "jsonl records; 'ring' keeps an in-memory ring only; "
+                    "unset/0/off disables tracing",
+    "REPRO_METRICS": "truthy enables metrics without an event sink "
+                     "(implied by REPRO_EVENTS)",
+    "REPRO_EVENTS_SAMPLE": "keep every Nth event of the sampled kinds "
+                           "(default 1 = keep all)",
+    "REPRO_EVENTS_BUFFER": "in-memory buffer/ring capacity in events "
+                           "(default 4096)",
+}

@@ -17,7 +17,7 @@ harness can reproduce the paper's overhead breakdown:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict
+from typing import Dict, Optional
 
 OVERHEAD_BUCKETS = (
     "perm_change",
@@ -57,6 +57,11 @@ class RunStats:
     protection_faults: int = 0
     buckets: Dict[str, float] = field(
         default_factory=lambda: {name: 0.0 for name in OVERHEAD_BUCKETS})
+    #: Observability payload (``repro.obs``): a MetricsRegistry export
+    #: harvested at the end of the replay.  ``None`` whenever obs is
+    #: disabled, so cycle accounting and ``to_dict`` output stay
+    #: bit-identical to an uninstrumented run.
+    metrics: Optional[Dict[str, object]] = None
 
     # -- charging -------------------------------------------------------------
 
@@ -122,6 +127,8 @@ class RunStats:
         }
         if base:
             out["overhead_percent"] = 100.0 * (self.cycles - base) / base
+        if self.metrics is not None:
+            out["metrics"] = self.metrics
         return out
 
     def summary(self) -> str:

@@ -1,0 +1,88 @@
+"""Intra-repo markdown link checker (used by the CI docs job).
+
+Scans markdown files for ``[text](target)`` links and verifies that
+every relative target resolves to a file that exists.  External links
+(``http(s)://``, ``mailto:``) and pure in-page anchors (``#section``)
+are skipped; a ``path#fragment`` target is checked against ``path``.
+
+Usage::
+
+    python -m repro.tools.checklinks [FILES...]
+
+With no arguments, checks every ``*.md`` at the repository root and
+under ``docs/`` (the repo root is found by walking up from the current
+directory to the first ``.git``).  Exits 1 listing any broken links.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import re
+import sys
+from typing import List, Optional, Tuple
+
+#: ``[text](target)`` — target stops at the first whitespace or ``)``,
+#: which also drops optional markdown titles: ``(file.md "title")``.
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)")
+
+#: Target prefixes that are not filesystem paths.
+_EXTERNAL = ("http://", "https://", "mailto:")
+
+
+def repo_root(start: Optional[pathlib.Path] = None) -> pathlib.Path:
+    """Nearest ancestor holding ``.git`` (falls back to the start dir)."""
+    here = (start or pathlib.Path.cwd()).resolve()
+    for candidate in (here, *here.parents):
+        if (candidate / ".git").exists():
+            return candidate
+    return here
+
+
+def default_files(root: pathlib.Path) -> List[pathlib.Path]:
+    files = sorted(root.glob("*.md"))
+    docs = root / "docs"
+    if docs.is_dir():
+        files.extend(sorted(docs.glob("*.md")))
+    return files
+
+
+def broken_links(path: pathlib.Path) -> List[Tuple[int, str]]:
+    """The (line number, target) pairs in ``path`` that do not resolve."""
+    bad: List[Tuple[int, str]] = []
+    text = path.read_text(encoding="utf-8")
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        for target in LINK_RE.findall(line):
+            if target.startswith(_EXTERNAL) or target.startswith("#"):
+                continue
+            candidate = target.split("#", 1)[0]
+            if not candidate:
+                continue
+            if not (path.parent / candidate).exists():
+                bad.append((lineno, target))
+    return bad
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    argv = sys.argv[1:] if argv is None else list(argv)
+    if argv:
+        files = [pathlib.Path(arg) for arg in argv]
+    else:
+        files = default_files(repo_root())
+    failures = 0
+    for path in files:
+        if not path.exists():
+            print(f"{path}: file not found")
+            failures += 1
+            continue
+        for lineno, target in broken_links(path):
+            print(f"{path}:{lineno}: broken link -> {target}")
+            failures += 1
+    if failures:
+        print(f"{failures} broken link(s)")
+        return 1
+    print(f"checked {len(files)} file(s): all links resolve")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - CLI entry
+    sys.exit(main())

@@ -1,0 +1,239 @@
+"""Observability report CLI: render an event stream (jsonl) as tables.
+
+Reads the file produced by running with ``REPRO_EVENTS=jsonl:<path>``
+(see ``docs/OBSERVABILITY.md``) and renders:
+
+* ``summary``   — event counts per kind and per scheme,
+* ``breakdown`` — a Table-VII-style per-scheme overhead breakdown
+  reconstructed from ``replay.done`` events (matches
+  ``RunStats.buckets`` exactly — the events carry the buckets verbatim),
+* ``timeline``  — per-replay event density over replay cycles.
+
+Usage::
+
+    python -m repro.tools.obsreport summary events.jsonl
+    python -m repro.tools.obsreport breakdown events.jsonl [--label L]
+    python -m repro.tools.obsreport timeline events.jsonl \\
+        [--label L] [--scheme S] [--bins N]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from collections import Counter, OrderedDict
+from typing import Dict, List, Optional, Tuple
+
+from ..sim.stats import OVERHEAD_BUCKETS
+
+#: Density ramp for timeline cells (space = no events in the bin).
+DENSITY = " .:-=+*#%@"
+
+#: Scheme column order (baseline first; unknown schemes sort after).
+_SCHEME_ORDER = ("baseline", "lowerbound", "mpk", "libmpk", "mpk_virt",
+                 "domain_virt")
+
+
+def load_events(path: str) -> List[dict]:
+    """Parse a jsonl event file, silently skipping corrupt lines.
+
+    Partial trailing lines happen when a run is killed mid-flush; they
+    must not take the whole report down.
+    """
+    records: List[dict] = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except ValueError:
+                continue
+            if isinstance(record, dict) and "kind" in record:
+                records.append(record)
+    return records
+
+
+def _scheme_sort_key(name: str) -> Tuple[int, str]:
+    try:
+        return (_SCHEME_ORDER.index(name), name)
+    except ValueError:
+        return (len(_SCHEME_ORDER), name)
+
+
+def _filtered(events: List[dict], label: Optional[str],
+              scheme: Optional[str]) -> List[dict]:
+    return [e for e in events
+            if (label is None or e.get("label") == label)
+            and (scheme is None or e.get("scheme") == scheme)]
+
+
+# -- summary --------------------------------------------------------------------
+
+
+def render_summary(events: List[dict]) -> str:
+    kinds = Counter(e["kind"] for e in events)
+    schemes = Counter(e["scheme"] for e in events if "scheme" in e)
+    labels = sorted({e["label"] for e in events if "label" in e})
+    lines = [f"events : {len(events):,}",
+             f"labels : {', '.join(labels) or '(none)'}", "", "per kind:"]
+    for kind, count in kinds.most_common():
+        lines.append(f"  {kind:16s} {count:10,}")
+    if schemes:
+        lines.append("")
+        lines.append("per scheme:")
+        for name in sorted(schemes, key=_scheme_sort_key):
+            lines.append(f"  {name:16s} {schemes[name]:10,}")
+    return "\n".join(lines)
+
+
+# -- breakdown ------------------------------------------------------------------
+
+
+def bucket_breakdown(events: List[dict]
+                     ) -> "OrderedDict[str, Dict[str, dict]]":
+    """Group ``replay.done`` records: label -> scheme -> last record.
+
+    A rerun of the same (label, scheme) cell overwrites the earlier
+    record — the report describes the final state of the stream.
+    """
+    table: "OrderedDict[str, Dict[str, dict]]" = OrderedDict()
+    for event in events:
+        if event["kind"] != "replay.done":
+            continue
+        label = event.get("label", "(unlabeled)")
+        scheme = event.get("scheme", "(unknown)")
+        table.setdefault(label, {})[scheme] = event
+    return table
+
+
+def render_breakdown(events: List[dict],
+                     label: Optional[str] = None) -> str:
+    """Table-VII-style overhead breakdown, one block per workload label.
+
+    Rows are the ``RunStats`` overhead buckets; columns are schemes.
+    Cycle counts come verbatim from the ``replay.done`` events, so the
+    per-bucket totals match ``RunStats.buckets`` exactly; percentages
+    are relative to the baseline scheme's total cycles when present.
+    """
+    table = bucket_breakdown(events)
+    if label is not None:
+        table = OrderedDict((k, v) for k, v in table.items() if k == label)
+    if not table:
+        return "no replay.done events" + \
+            (f" for label {label!r}" if label else "")
+    blocks = []
+    for name, by_scheme in table.items():
+        schemes = sorted(by_scheme, key=_scheme_sort_key)
+        base = by_scheme.get("baseline", {}).get("cycles")
+        grid: List[List[str]] = []
+        for bucket in OVERHEAD_BUCKETS:
+            cells = [bucket]
+            for scheme in schemes:
+                value = by_scheme[scheme].get("buckets", {}).get(bucket, 0.0)
+                cell = f"{value:,.0f}"
+                if base:
+                    cell += f" ({100.0 * value / base:.2f}%)"
+                cells.append(cell)
+            grid.append(cells)
+        total_cells = ["total cycles"]
+        for scheme in schemes:
+            cycles = by_scheme[scheme].get("cycles", 0.0)
+            cell = f"{cycles:,.0f}"
+            if base:
+                cell += f" ({100.0 * (cycles - base) / base:+.2f}%)"
+            total_cells.append(cell)
+        grid.append(total_cells)
+        # Column widths fit the widest cell, so percentages never collide.
+        label_width = max(len(row[0]) for row in grid)
+        width = max(len(cell) for row in grid for cell in row[1:])
+        width = max(width, *(len(s) for s in schemes)) + 2
+        rows = [f"== {name} ==",
+                f"{'':{label_width}s}"
+                + "".join(f"{s:>{width}s}" for s in schemes)]
+        for cells in grid:
+            rows.append(f"{cells[0]:{label_width}s}"
+                        + "".join(f"{c:>{width}s}" for c in cells[1:]))
+        blocks.append("\n".join(rows))
+    return "\n\n".join(blocks)
+
+
+# -- timeline -------------------------------------------------------------------
+
+
+def render_timeline(events: List[dict], *, label: Optional[str] = None,
+                    scheme: Optional[str] = None, bins: int = 60) -> str:
+    """Per-(label, scheme) event density over replay cycles.
+
+    Each row is one event kind; each column a cycle bin; the character
+    encodes how many events fell into that bin relative to the busiest
+    bin of the replay (``DENSITY`` ramp).
+    """
+    scoped = [e for e in _filtered(events, label, scheme)
+              if "cycle" in e and "scheme" in e]
+    if not scoped:
+        return "no cycle-stamped replay events match"
+    groups: "OrderedDict[Tuple[str, str], List[dict]]" = OrderedDict()
+    for event in scoped:
+        groups.setdefault((event.get("label", "(unlabeled)"),
+                           event["scheme"]), []).append(event)
+    blocks = []
+    for (name, sch), group in groups.items():
+        span = max(e["cycle"] for e in group) or 1.0
+        counts: Dict[str, List[int]] = {}
+        for event in group:
+            row = counts.setdefault(event["kind"], [0] * bins)
+            row[min(bins - 1, int(event["cycle"] / span * bins))] += 1
+        rows = [f"== {name} / {sch} ==  "
+                f"({len(group):,} events over {span:,.0f} cycles)"]
+        kinds = sorted(counts, key=lambda k: -sum(counts[k]))
+        for kind in kinds:
+            row = counts[kind]
+            peak = max(row)
+            cells = "".join(
+                DENSITY[min(len(DENSITY) - 1,
+                            (count * (len(DENSITY) - 1) + peak - 1) // peak)]
+                if count else " " for count in row)
+            rows.append(f"{kind:16s} |{cells}| {sum(row):,}")
+        blocks.append("\n".join(rows))
+    return "\n\n".join(blocks)
+
+
+# -- CLI ------------------------------------------------------------------------
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.tools.obsreport",
+        description="Render an REPRO_EVENTS jsonl stream as reports.")
+    parser.add_argument("command",
+                        choices=["summary", "breakdown", "timeline"])
+    parser.add_argument("events", help="jsonl file written via REPRO_EVENTS")
+    parser.add_argument("--label", help="restrict to one workload label")
+    parser.add_argument("--scheme",
+                        help="restrict to one scheme (timeline command)")
+    parser.add_argument("--bins", type=int, default=60,
+                        help="timeline resolution (columns)")
+    args = parser.parse_args(argv)
+
+    events = load_events(args.events)
+    if not events:
+        print(f"no events in {args.events}", file=sys.stderr)
+        return 1
+    if args.command == "summary":
+        print(render_summary(_filtered(events, args.label, args.scheme)))
+    elif args.command == "breakdown":
+        print(render_breakdown(events, args.label))
+    else:
+        print(render_timeline(events, label=args.label, scheme=args.scheme,
+                              bins=max(1, args.bins)))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - CLI entry
+    try:
+        sys.exit(main())
+    except BrokenPipeError:  # reports get piped through head/less
+        sys.exit(0)

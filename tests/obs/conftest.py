@@ -1,0 +1,26 @@
+"""Shared hygiene for the observability tests.
+
+Every test in this package starts with observability *off*, an empty
+process-global registry/event trace, and a cold in-memory trace cache —
+and leaves the process the same way, so obs state can never leak into
+(or out of) the rest of the suite.
+"""
+
+import pytest
+
+from repro import obs
+from repro.engine import TraceCache
+
+_OBS_VARS = ("REPRO_EVENTS", "REPRO_METRICS", "REPRO_EVENTS_SAMPLE",
+             "REPRO_EVENTS_BUFFER")
+
+
+@pytest.fixture(autouse=True)
+def _clean_obs(monkeypatch):
+    for var in _OBS_VARS:
+        monkeypatch.delenv(var, raising=False)
+    obs.reset()
+    TraceCache.clear_memory()
+    yield
+    obs.reset()
+    TraceCache.clear_memory()

@@ -1,0 +1,78 @@
+"""Acceptance criterion: observability must never perturb the numbers.
+
+With ``REPRO_EVENTS`` unset, a replay produces ``RunStats`` that are
+bit-identical to the current (uninstrumented) behavior — and with it
+*set*, the only difference is the attached ``metrics`` payload: cycle
+accounting, bucket totals, and every counter stay bit-identical.
+"""
+
+import pytest
+
+from repro import obs
+from repro.engine import TraceCache
+from repro.experiments.runner import ExperimentRunner
+from repro.sim.simulator import MULTI_PMO_SCHEMES
+
+
+def _replay(monkeypatch, tmp_path, tag, **env):
+    for var, value in env.items():
+        monkeypatch.setenv(var, value)
+    obs.reset()
+    monkeypatch.setenv("REPRO_TRACE_CACHE", "0")
+    monkeypatch.delenv("REPRO_JOBS", raising=False)
+    TraceCache.clear_memory()
+    runner = ExperimentRunner(scale=0.02)
+    results = runner.replay_micro("avl", 16, MULTI_PMO_SCHEMES)
+    for var in env:
+        monkeypatch.delenv(var, raising=False)
+    obs.reset()
+    return results
+
+
+class TestDisabledIsNoop:
+    def test_enabled_flags_off_by_default(self):
+        assert not obs.enabled()
+        assert not obs.events_enabled()
+        assert not obs.metrics_enabled()
+        assert obs.active_events() is None
+        assert obs.metrics() is None
+
+    def test_disabled_replay_attaches_nothing(self, monkeypatch, tmp_path):
+        results = _replay(monkeypatch, tmp_path, "off")
+        for stats in results.values():
+            assert stats.metrics is None
+            assert "metrics" not in stats.to_dict()
+
+    def test_instrumented_replay_is_bit_identical(self, monkeypatch,
+                                                  tmp_path):
+        """Tracing on vs off: everything but the metrics payload equal."""
+        plain = _replay(monkeypatch, tmp_path, "off")
+        sink = tmp_path / "events.jsonl"
+        traced = _replay(monkeypatch, tmp_path, "on",
+                         REPRO_EVENTS=f"jsonl:{sink}")
+        assert plain.keys() == traced.keys()
+        for scheme in plain:
+            observed = traced[scheme].to_dict()
+            payload = observed.pop("metrics", None)
+            assert payload is not None, scheme
+            assert observed == plain[scheme].to_dict(), scheme
+        assert sink.exists()
+
+    def test_metrics_only_mode(self, monkeypatch, tmp_path):
+        """REPRO_METRICS alone harvests metrics but writes no events."""
+        results = _replay(monkeypatch, tmp_path, "metrics",
+                          REPRO_METRICS="1")
+        for stats in results.values():
+            assert stats.metrics is not None
+            counters = stats.metrics["counters"]
+            assert counters["tlb.l1.hits"] == stats.tlb_l1_hits
+            assert counters["tlb.l2.misses"] == stats.tlb_misses
+        assert list(tmp_path.iterdir()) == []
+
+    def test_off_values_disable(self, monkeypatch):
+        for value in ("", "0", "off", "none", "disabled", "false", "OFF"):
+            monkeypatch.setenv("REPRO_EVENTS", value)
+            assert not obs.events_enabled(), value
+            monkeypatch.setenv("REPRO_METRICS", value)
+            monkeypatch.delenv("REPRO_EVENTS", raising=False)
+            assert not obs.metrics_enabled(), value

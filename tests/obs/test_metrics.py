@@ -1,0 +1,87 @@
+"""Unit tests for the metrics registry primitives."""
+
+import pytest
+
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+
+
+class TestPrimitives:
+    def test_counter(self):
+        counter = Counter()
+        counter.inc()
+        counter.inc(41)
+        assert counter.value == 42
+
+    def test_gauge_overwrites(self):
+        gauge = Gauge()
+        gauge.set(3)
+        gauge.set(1.5)
+        assert gauge.value == 1.5
+
+    def test_histogram(self):
+        histogram = Histogram()
+        for value in (2.0, 4.0, 6.0):
+            histogram.observe(value)
+        assert histogram.count == 3
+        assert histogram.total == 12.0
+        assert histogram.min == 2.0
+        assert histogram.max == 6.0
+        assert histogram.mean == 4.0
+
+    def test_empty_histogram_mean(self):
+        assert Histogram().mean == 0.0
+        assert Histogram().as_dict() == {"count": 0, "sum": 0.0,
+                                         "min": None, "max": None}
+
+
+class TestRegistry:
+    def test_create_on_demand_is_stable(self):
+        registry = MetricsRegistry()
+        assert registry.counter("a") is registry.counter("a")
+        assert registry.gauge("b") is registry.gauge("b")
+        assert registry.histogram("c") is registry.histogram("c")
+        assert list(registry.names()) == ["a", "b", "c"]
+
+    def test_value_lookup(self):
+        registry = MetricsRegistry()
+        registry.counter("c").inc(7)
+        registry.gauge("g").set(0.5)
+        registry.histogram("h").observe(3.0)
+        assert registry.value("c") == 7
+        assert registry.value("g") == 0.5
+        assert registry.value("h")["count"] == 1
+        with pytest.raises(KeyError):
+            registry.value("missing")
+
+    def test_dict_round_trip(self):
+        registry = MetricsRegistry()
+        registry.counter("c").inc(3)
+        registry.gauge("g").set(2.5)
+        registry.histogram("h").observe(1.0)
+        registry.histogram("h").observe(9.0)
+        clone = MetricsRegistry.from_dict(registry.as_dict())
+        assert clone.as_dict() == registry.as_dict()
+
+    def test_merge_semantics(self):
+        left = MetricsRegistry()
+        left.counter("c").inc(3)
+        left.gauge("g").set(1.0)
+        left.histogram("h").observe(5.0)
+        right = MetricsRegistry()
+        right.counter("c").inc(4)
+        right.gauge("g").set(2.0)
+        right.histogram("h").observe(1.0)
+        left.merge(right)
+        # Counters add, gauges take the merged-in value, histograms combine.
+        assert left.value("c") == 7
+        assert left.value("g") == 2.0
+        assert left.value("h") == {"count": 2, "sum": 6.0,
+                                   "min": 1.0, "max": 5.0}
+
+    def test_merge_accepts_dict_export(self):
+        registry = MetricsRegistry()
+        registry.merge({"counters": {"c": 2},
+                        "histograms": {"h": {"count": 1, "sum": 4.0,
+                                             "min": 4.0, "max": 4.0}}})
+        assert registry.value("c") == 2
+        assert registry.value("h")["max"] == 4.0

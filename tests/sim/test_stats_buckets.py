@@ -1,0 +1,60 @@
+"""Invariants tying ``OVERHEAD_BUCKETS`` to docstring and charge sites.
+
+The Table-VII breakdown is only trustworthy if three things agree: the
+``OVERHEAD_BUCKETS`` tuple, the bucket list documented in the
+``sim.stats`` module docstring, and the bucket names actually charged
+by the schemes.  Each has drifted-silently potential; this module pins
+all three together.
+"""
+
+import pathlib
+import re
+
+from repro.sim import stats as stats_module
+from repro.sim.stats import OVERHEAD_BUCKETS, RunStats
+
+SRC = pathlib.Path(stats_module.__file__).resolve().parents[1]
+
+#: ``stats.charge("bucket", ...)`` / ``self.stats.charge('bucket', ...)``
+CHARGE_RE = re.compile(r"\.charge\(\s*['\"](\w+)['\"]")
+
+#: ``* ``bucket`` — description`` bullets in the module docstring.
+DOCSTRING_BULLET_RE = re.compile(r"^\* ``(\w+)``", re.MULTILINE)
+
+
+def _charged_buckets():
+    charged = {}
+    for path in sorted(SRC.rglob("*.py")):
+        for name in CHARGE_RE.findall(path.read_text(encoding="utf-8")):
+            charged.setdefault(name, []).append(path.name)
+    return charged
+
+
+class TestBucketInvariants:
+    def test_default_runstats_has_exactly_the_buckets(self):
+        assert set(RunStats().buckets) == set(OVERHEAD_BUCKETS)
+
+    def test_docstring_lists_exactly_the_buckets_in_order(self):
+        documented = DOCSTRING_BULLET_RE.findall(stats_module.__doc__)
+        assert tuple(documented) == OVERHEAD_BUCKETS, \
+            "sim/stats.py docstring bullets drifted from OVERHEAD_BUCKETS"
+
+    def test_every_charge_site_uses_a_known_bucket(self):
+        charged = _charged_buckets()
+        unknown = set(charged) - set(OVERHEAD_BUCKETS)
+        assert not unknown, \
+            f"charge() called with undeclared buckets: " \
+            f"{ {name: charged[name] for name in unknown} }"
+
+    def test_every_bucket_is_charged_somewhere(self):
+        charged = _charged_buckets()
+        dead = set(OVERHEAD_BUCKETS) - set(charged)
+        assert not dead, f"buckets never charged by any scheme: {dead}"
+
+    def test_charge_accumulates_into_cycles(self):
+        stats = RunStats()
+        stats.charge(OVERHEAD_BUCKETS[0], 10.0)
+        stats.charge(OVERHEAD_BUCKETS[0], 5.0)
+        assert stats.buckets[OVERHEAD_BUCKETS[0]] == 15.0
+        assert stats.cycles == 15.0
+        assert stats.overhead_cycles == 15.0

@@ -1,0 +1,99 @@
+"""Micro-benchmarks of the service layer (multi-round timings).
+
+Times the three stages a service experiment pays for — trace generation
+(traffic + batching + server execution), marked replay under the paper's
+schemes, and latency accounting — at a fixed 64-client configuration.
+
+Besides the pytest-benchmark output, every timing lands in
+``benchmarks/out/BENCH_service.json`` together with the serving-level
+results (p99 latency, throughput) so CI can track both simulator speed
+and modelled server performance from one artifact.
+"""
+
+import json
+import pathlib
+
+import pytest
+
+from repro.engine import replay_one
+from repro.service import (ServiceParams, account, batch_boundaries,
+                           build_plan, generate_service_trace)
+from repro.sim.config import DEFAULT_CONFIG
+
+PARAMS = ServiceParams(n_clients=64, n_requests=600)
+
+#: Accumulated machine-readable results, flushed by the module fixture.
+_RESULTS = {}
+
+
+@pytest.fixture(scope="module")
+def generated():
+    trace, _ws = generate_service_trace(PARAMS)
+    return trace, build_plan(PARAMS), batch_boundaries(trace)
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _emit_json():
+    """Write BENCH_service.json after all benches in this module ran."""
+    yield
+    out_dir = pathlib.Path(__file__).parent / "out"
+    out_dir.mkdir(exist_ok=True)
+    path = out_dir / "BENCH_service.json"
+    path.write_text(json.dumps(
+        {"params": {"n_clients": PARAMS.n_clients,
+                    "n_requests": PARAMS.n_requests,
+                    "arrival": PARAMS.arrival,
+                    "batching": PARAMS.batching},
+         "results": _RESULTS}, indent=2, sort_keys=True) + "\n")
+    print(f"\n[machine-readable results saved to {path}]")
+
+
+def _record(name: str, benchmark, events: int, **extra) -> None:
+    stats = getattr(getattr(benchmark, "stats", None), "stats", None)
+    mean_s = getattr(stats, "mean", None) if stats is not None else None
+    _RESULTS[name] = {
+        "events": events,
+        "mean_s": mean_s,
+        "events_per_s": (events / mean_s if mean_s else None),
+        **extra,
+    }
+
+
+@pytest.mark.parametrize("scheme", ["baseline", "mpk_virt", "domain_virt"])
+def test_marked_replay_throughput(benchmark, generated, scheme):
+    trace, plan, marks = generated
+
+    def replay():
+        # Marked isolated-context replay: the path run_service executes
+        # for every (client count, scheme) cell.
+        return replay_one(trace, scheme, marks=marks)
+
+    stats = benchmark.pedantic(replay, rounds=3, iterations=1)
+    assert stats.mark_cycles and len(stats.mark_cycles) == len(marks)
+    summary = account(plan, trace, stats,
+                      frequency_hz=DEFAULT_CONFIG.processor.frequency_hz)
+    benchmark.extra_info["events"] = len(trace)
+    _record(f"replay:{scheme}", benchmark, len(trace),
+            served=summary.n_served,
+            p99_cycles=summary.p99,
+            throughput_rps=summary.throughput_rps)
+
+
+def test_service_generation_throughput(benchmark):
+    trace, _ws = benchmark.pedantic(
+        lambda: generate_service_trace(PARAMS), rounds=3, iterations=1)
+    assert len(trace) > 0
+    _record("generate:service-64c", benchmark, len(trace))
+
+
+def test_accounting_throughput(benchmark, generated):
+    trace, plan, marks = generated
+    stats = replay_one(trace, "domain_virt", marks=marks)
+
+    def run():
+        return account(plan, trace, stats,
+                       frequency_hz=DEFAULT_CONFIG.processor.frequency_hz)
+
+    summary = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert summary.latency.count == plan.n_served
+    _record("account:service-64c", benchmark, plan.n_served)

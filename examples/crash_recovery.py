@@ -7,14 +7,17 @@ undo-logged transactions; a simulated power failure in the middle of a
 transfer — even one whose in-place writes already reached the media —
 rolls back cleanly on recovery, and the total balance is conserved.
 
-Run:  python examples/crash_recovery.py
+Run:  python examples/crash_recovery.py      (REPRO_SMOKE=1 shrinks it)
 """
 
+import os
 import random
 
 from repro.pmo import Pool, TransactionManager
 
+SMOKE = os.environ.get("REPRO_SMOKE", "") not in ("", "0")
 N_ACCOUNTS = 16
+N_ROUNDS = 40 if SMOKE else 200
 INITIAL_BALANCE = 1_000
 
 
@@ -44,7 +47,7 @@ def main() -> None:
     rng = random.Random(2026)
     committed = 0
     crashes = 0
-    for round_ in range(200):
+    for round_ in range(N_ROUNDS):
         src, dst = rng.sample(range(N_ACCOUNTS), 2)
         amount = rng.randrange(1, 250)
         tx = txm.begin()

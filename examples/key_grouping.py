@@ -9,14 +9,17 @@ escalations — then shows the virtualization schemes make the problem
 vanish (one domain per PMO, no grouping at all).
 
 Run:  python examples/key_grouping.py [n_clients]
+      (REPRO_SMOKE=1 shrinks it)
 """
 
+import os
 import sys
 
 from repro.permissions import Perm
 from repro.core.grouping import (exposure_report, greedy_grouping,
                                  weakening)
 
+SMOKE = os.environ.get("REPRO_SMOKE", "") not in ("", "0")
 N_KEYS = 16
 
 
@@ -35,7 +38,8 @@ def build_intents(n_clients: int):
 
 
 def main() -> None:
-    n_clients = int(sys.argv[1]) if len(sys.argv) > 1 else 48
+    n_clients = int(sys.argv[1]) if len(sys.argv) > 1 else (
+        24 if SMOKE else 48)
     intents = build_intents(n_clients)
     print(f"{n_clients} client PMOs + 1 shared catalog, "
           f"{N_KEYS} protection keys\n")

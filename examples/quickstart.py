@@ -12,14 +12,19 @@ Walks through the paper's core ideas in five minutes:
 4. replay an instrumented trace under the paper's schemes and compare
    their overheads.
 
-Run:  python examples/quickstart.py
+Run:  python examples/quickstart.py      (REPRO_SMOKE=1 shrinks it)
 """
+
+import os
 
 from repro.errors import ProtectionFault
 from repro.permissions import Perm
 from repro.sim.simulator import replay_trace
 from repro.workloads.base import PerOpPolicy, Workspace
 from repro.workloads.datastructures import PersistentRBTree
+
+SMOKE = os.environ.get("REPRO_SMOKE", "") not in ("", "0")
+N_KEYS = 16 if SMOKE else 64
 
 
 def main() -> None:
@@ -32,7 +37,7 @@ def main() -> None:
     # -- 2. a data structure living in the pool ---------------------------
     tree = PersistentRBTree(ws, [pool])
     with ws.untraced():  # setup phase: not part of the measured trace
-        for key in range(1, 65):
+        for key in range(1, N_KEYS + 1):
             tree.insert(key, key * key)
     print(f"built a red-black tree with {len(tree)} persistent nodes")
 

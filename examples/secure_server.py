@@ -2,9 +2,11 @@
 """Secure server: per-client PMOs — the paper's Heartbleed motivation.
 
 A server keeps each client's private data (think TLS keys, passwords) in
-its own PMO/domain.  A worker thread serves one client at a time and only
-ever holds permission for that client's domain, so a compromised worker —
-the Heartbleed scenario — cannot read other clients' data.
+its own PMO/domain.  A worker only ever holds permission for the client
+it is currently serving, so a compromised worker — the Heartbleed
+scenario — cannot read other clients' data.  This demo now runs on
+``repro.service``, the full multi-tenant serving layer (seeded traffic,
+admission control, domain-aware batching, per-request latency).
 
 The demo shows:
 
@@ -12,50 +14,28 @@ The demo shows:
    (pkey_alloc fails — Section I's scalability wall);
 2. domain virtualization isolates 64 clients: a simulated over-read into
    another client's PMO raises a protection fault;
-3. the overhead of doing so is small (a replayed request trace).
+3. the cost of that protection, measured where a server feels it —
+   throughput and tail latency — via a marked replay of the same run.
 
-Run:  python examples/secure_server.py
+Run:  python examples/secure_server.py      (REPRO_SMOKE=1 shrinks it)
 """
 
+import os
+
+from repro.engine import Engine, WorkloadSpec
 from repro.errors import PkeyError, ProtectionFault
-from repro.permissions import Perm
+from repro.service import (ServiceParams, ServiceWorkload, account,
+                           batch_boundaries, build_plan)
 from repro.sim.simulator import replay_trace
-from repro.workloads.base import UnprotectedPolicy, Workspace
 
+SMOKE = os.environ.get("REPRO_SMOKE", "") not in ("", "0")
 N_CLIENTS = 64
-SECRET_SIZE = 256
-
-
-def build_server(n_clients):
-    """One PMO per client, each holding that client's secret blob.
-
-    Client domains are *deny by default* — no thread can touch a client's
-    PMO outside an explicit serving window.  (This is stricter than the
-    microbenchmarks' global-read policy, which is exactly the point.)
-    """
-    ws = Workspace(UnprotectedPolicy(), seed=7)
-    clients = []
-    for i in range(n_clients):
-        pool = ws.create_and_attach(f"client-{i:03d}", 1 << 20)
-        with ws.untraced():
-            secret = pool.pool.pmalloc(SECRET_SIZE)
-            ws.mem.write_bytes(secret, 0,
-                               f"secret-of-client-{i}".encode().ljust(64))
-        clients.append((pool, secret))
-    return ws, clients
-
-
-def serve_request(ws, pool, secret, payload):
-    """One request: SETPERM window around the client's PMO accesses."""
-    ws.recorder.perm(ws.tid, pool.domain, Perm.RW)
-    ws.mem.read_bytes(secret, 0, 64)
-    ws.mem.write_u64(secret, 64, payload)
-    ws.recorder.perm(ws.tid, pool.domain, Perm.NONE)
-    ws.compute(2000)  # request parsing, crypto, response formatting
-    ws.stack_access(n=4)
+N_REQUESTS = 120 if SMOKE else 800
 
 
 def main() -> None:
+    params = ServiceParams(n_clients=N_CLIENTS, n_requests=N_REQUESTS)
+
     # -- 1. default MPK cannot scale to many clients ----------------------
     # One protection key per client: pkey_alloc hits the hardware wall.
     from repro.os.kernel import Kernel
@@ -71,33 +51,42 @@ def main() -> None:
           f"(needed {N_CLIENTS}) — the 16-key wall")
 
     # -- 2. domain virtualization serves and isolates all clients ----------
-    ws, clients = build_server(N_CLIENTS)
-    rng = ws.rng
-    for request in range(500):
-        pool, secret = clients[rng.randrange(N_CLIENTS)]
-        serve_request(ws, pool, secret, request)
-
-    # The compromised worker: while serving client 0, it "over-reads" into
-    # client 1's PMO (no permission window covers it).
-    victim_pool, victim_secret = clients[1]
-    ws.recorder.load(ws.tid, victim_pool.va_of(victim_secret))
-    trace = ws.finish()
-
+    plan = build_plan(params)
+    workload = ServiceWorkload(params)
+    workload.serve(plan)
+    # The compromised worker: it "over-reads" into client 1's PMO (no
+    # permission window covers it).
+    workload.overread(victim=1)
+    trace = workload.finish()
     try:
-        replay_trace(trace, ws, ("domain_virt",))
+        replay_trace(trace, workload.ws, ("domain_virt",))
         raise AssertionError("the over-read should have faulted!")
     except ProtectionFault as fault:
         print(f"over-read into client 1's PMO blocked: "
               f"domain {fault.domain}, address {fault.vaddr:#x}")
 
-    # -- 3. what does this protection cost? --------------------------------
-    trace.events.pop()  # drop the attack; measure the honest requests
-    results = replay_trace(trace, ws,
-                           ("lowerbound", "mpk_virt", "domain_virt"))
-    print(f"\n500 requests across {N_CLIENTS} isolated clients:")
-    for name in ("lowerbound", "mpk_virt", "domain_virt"):
-        print(f"  {name:12s} overhead "
-              f"{results[name].overhead_percent():6.2f}% over unprotected")
+    # -- 3. what does this protection cost the server? ---------------------
+    # The same run, honest this time (the spec regenerates it without the
+    # attack), replayed with per-batch marks so each request gets a
+    # latency — the serving view of Table VII's overheads.
+    engine = Engine()
+    spec = WorkloadSpec.service(n_clients=N_CLIENTS, n_requests=N_REQUESTS)
+    honest = engine.trace_for(spec)
+    marks = batch_boundaries(honest)
+    schemes = ("lowerbound", "mpk_virt", "domain_virt")
+    cell = engine.replay_marked(spec, schemes, marks)
+    frequency = engine.config.processor.frequency_hz
+    print(f"\n{plan.n_served} requests served across {N_CLIENTS} isolated "
+          f"clients ({plan.coalesced} coalesced into shared windows, "
+          f"{len(plan.rejected)} rejected):")
+    print(f"  {'scheme':12s} {'overhead':>9s} {'p50':>9s} {'p99':>9s} "
+          f"{'throughput':>12s}")
+    for name in schemes:
+        stats = cell[name]
+        summary = account(plan, honest, stats, frequency_hz=frequency)
+        print(f"  {name:12s} {stats.overhead_percent():8.2f}% "
+              f"{summary.p50:9.0f} {summary.p99:9.0f} "
+              f"{summary.throughput_rps:10.0f}/s")
 
 
 if __name__ == "__main__":

@@ -8,8 +8,10 @@ PMOs grows — and renders it as a log2 ASCII chart, mirroring the paper's
 
 Run:  python examples/sweep_pmos.py [benchmark] [ops]
       benchmark in {avl, rbt, bt, ll, ss} (default avl)
+      REPRO_SMOKE=1 shrinks the sweep
 """
 
+import os
 import sys
 
 from repro.experiments.figure6 import FIGURE6_SCHEMES
@@ -19,12 +21,14 @@ from repro.sim.simulator import (MULTI_PMO_SCHEMES, overhead_over_lowerbound,
 from repro.workloads.micro import MICRO_LABELS, MicroParams, \
     generate_micro_trace
 
-POINTS = (16, 32, 64, 128, 256)
+SMOKE = os.environ.get("REPRO_SMOKE", "") not in ("", "0")
+POINTS = (16, 32, 64) if SMOKE else (16, 32, 64, 128, 256)
 
 
 def main() -> None:
     benchmark = sys.argv[1] if len(sys.argv) > 1 else "avl"
-    operations = int(sys.argv[2]) if len(sys.argv) > 2 else 600
+    operations = int(sys.argv[2]) if len(sys.argv) > 2 else (
+        120 if SMOKE else 600)
 
     series = {scheme: {} for scheme in FIGURE6_SCHEMES}
     for n_pools in POINTS:

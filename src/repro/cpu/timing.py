@@ -17,7 +17,8 @@ the paper's methodology (Section V).
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Tuple, Type
+from itertools import islice
+from typing import Dict, List, Optional, Sequence, Tuple, Type
 
 from .. import obs
 from ..permissions import Perm
@@ -59,8 +60,75 @@ class ReplayEngine:
         self.stats = RunStats()
         self.scheme = scheme_class(config, process, self.tlb, self.stats)
 
-    def run(self, trace: tr.Trace) -> RunStats:
-        """Replay the whole trace; returns the populated statistics."""
+    def run(self, trace: tr.Trace, *,
+            marks: Optional[Sequence[int]] = None) -> RunStats:
+        """Replay the whole trace; returns the populated statistics.
+
+        ``marks`` is an optional ascending sequence of event indices; the
+        total elapsed cycles (machine cycles plus scheme charges) are
+        snapshotted just before each marked index and stored on
+        ``RunStats.mark_cycles``.  The service layer uses this for
+        per-request latency accounting; the replay itself is unaffected
+        (the event stream is processed identically, so cycle totals are
+        bit-identical with and without marks).
+        """
+        stats = self.stats
+
+        attach_table = (self.attach_info if self.attach_info is not None
+                        else trace.attach_info)
+
+        # Observability: the event trace is None when tracing is off;
+        # every use inside `_replay` sits on a cold path (full TLB miss,
+        # PERM/CTXSW/ATTACH/DETACH) so the hot load/store path is
+        # untouched.  Nothing here charges cycles — RunStats stays
+        # bit-identical with obs on or off.
+        ev = obs.active_events()
+        if ev is not None:
+            ev.begin_replay(self.scheme.name, trace.label)
+            ev.emit("replay.start")
+
+        events = trace.events
+        if marks:
+            snapshots: List[float] = []
+            cycles = 0.0
+            instructions = 0
+            previous = 0
+            for stop in marks:
+                cycles, instructions = self._replay(
+                    events, previous, stop, cycles, instructions,
+                    attach_table, ev)
+                snapshots.append(cycles + stats.cycles)
+                previous = stop
+            cycles, instructions = self._replay(
+                events, previous, len(events), cycles, instructions,
+                attach_table, ev)
+            stats.mark_cycles = snapshots
+        else:
+            cycles, instructions = self._replay(
+                events, 0, len(events), 0.0, 0, attach_table, ev)
+
+        # Scheme charges already accumulated into stats.cycles; fold in the
+        # machine cycles computed here.
+        stats.cycles += cycles
+        stats.instructions = instructions
+        if ev is not None:
+            ev.cycle = stats.cycles
+            ev.emit("replay.done", cycles=stats.cycles,
+                    instructions=instructions, buckets=dict(stats.buckets))
+            ev.end_replay()
+            ev.flush()
+        if obs.metrics_enabled():
+            registry = obs.MetricsRegistry()
+            self.tlb.report_metrics(registry)
+            self.caches.report_metrics(registry)
+            self.scheme.report_metrics(registry)
+            stats.metrics = registry.as_dict()
+        return stats
+
+    def _replay(self, events, start: int, stop: int, cycles: float,
+                instructions: int, attach_table, ev) -> Tuple[float, int]:
+        """Replay one slice of the event stream; returns the running
+        (machine cycles, instructions) totals."""
         stats = self.stats
         scheme = self.scheme
         config = self.config
@@ -82,26 +150,16 @@ class ReplayEngine:
         dram_latency = config.memory.dram_latency
         nvm_latency = config.memory.nvm_latency
 
-        cycles = 0.0
-        instructions = 0
-
         LOAD, STORE, PERM = tr.LOAD, tr.STORE, tr.PERM
         INIT_PERM, CTXSW = tr.INIT_PERM, tr.CTXSW
         ATTACH, DETACH, FETCH = tr.ATTACH, tr.DETACH, tr.FETCH
 
-        attach_table = (self.attach_info if self.attach_info is not None
-                        else trace.attach_info)
+        if start == 0 and stop == len(events):
+            window = events
+        else:
+            window = islice(events, start, stop)
 
-        # Observability: `ev` is None when tracing is off; every use below
-        # sits on a cold path (full TLB miss, PERM/CTXSW/ATTACH/DETACH) so
-        # the hot load/store path is untouched.  Nothing here charges
-        # cycles — RunStats stays bit-identical with obs on or off.
-        ev = obs.active_events()
-        if ev is not None:
-            ev.begin_replay(scheme.name, trace.label)
-            ev.emit("replay.start")
-
-        for kind, tid, icount, a, b in trace.events:
+        for kind, tid, icount, a, b in window:
             instructions += icount
             cycles += icount * cpi
             if kind == LOAD or kind == STORE or kind == FETCH:
@@ -190,20 +248,4 @@ class ReplayEngine:
             else:  # pragma: no cover - malformed trace
                 raise SimulationError(f"unknown event kind {kind}")
 
-        # Scheme charges already accumulated into stats.cycles; fold in the
-        # machine cycles computed here.
-        stats.cycles += cycles
-        stats.instructions = instructions
-        if ev is not None:
-            ev.cycle = stats.cycles
-            ev.emit("replay.done", cycles=stats.cycles,
-                    instructions=instructions, buckets=dict(stats.buckets))
-            ev.end_replay()
-            ev.flush()
-        if obs.metrics_enabled():
-            registry = obs.MetricsRegistry()
-            self.tlb.report_metrics(registry)
-            self.caches.report_metrics(registry)
-            scheme.report_metrics(registry)
-            stats.metrics = registry.as_dict()
-        return stats
+        return cycles, instructions

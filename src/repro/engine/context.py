@@ -98,24 +98,27 @@ class ReplayContext:
         return cls(kernel, process, attach_info)
 
     def replay(self, trace: Trace, scheme: str,
-               config: Optional[SimConfig] = None) -> RunStats:
+               config: Optional[SimConfig] = None, *,
+               marks: Optional[Sequence[int]] = None) -> RunStats:
         """Replay ``trace`` under one scheme inside this context."""
         config = config or DEFAULT_CONFIG
         engine = ReplayEngine(config, self.kernel, self.process,
                               scheme_by_name(scheme),
                               attach_info=self.attach_info)
-        return engine.run(trace)
+        return engine.run(trace, marks=marks)
 
 
 def replay_one(trace: Trace, scheme: str,
-               config: Optional[SimConfig] = None) -> RunStats:
+               config: Optional[SimConfig] = None, *,
+               marks: Optional[Sequence[int]] = None) -> RunStats:
     """Replay one scheme in a freshly rebuilt context.
 
     This is the engine's isolation primitive: every call reconstructs
     kernel/process/page-table state from the trace layout, so concurrent
     or repeated calls cannot observe each other's mutations.
     """
-    return ReplayContext.from_trace(trace).replay(trace, scheme, config)
+    return ReplayContext.from_trace(trace).replay(trace, scheme, config,
+                                                  marks=marks)
 
 
 def _replay_item(item: Tuple[Trace, str, Optional[SimConfig]]) -> RunStats:

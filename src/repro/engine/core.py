@@ -178,6 +178,39 @@ class Engine:
         return self.replay_grid([(spec, config or self.config)], schemes,
                                 include_baseline=include_baseline)[0]
 
+    def replay_marked(self, spec: WorkloadSpec, schemes: Iterable[str],
+                      marks: Sequence[int],
+                      config: Optional[SimConfig] = None, *,
+                      include_baseline: bool = True) -> Dict[str, RunStats]:
+        """Replay one spec with elapsed-cycle snapshots at ``marks``.
+
+        Same contract as :meth:`replay`, but every returned
+        :class:`RunStats` additionally carries ``mark_cycles`` — the
+        cycle clock at each marked event index.  The service layer uses
+        this to turn one replay into per-batch completion times.
+        """
+        config = config or self.config
+        names = [name for name in dict.fromkeys(schemes) if name != BASELINE]
+        self.warm([spec])
+        root = self._root_token()
+        marks = tuple(int(mark) for mark in marks)
+        grid = [ReplayJob(spec=spec, scheme=name, config=config,
+                          cache_root=root, marks=marks)
+                for name in (BASELINE, *names)]
+        ev = obs.active_events()
+        if ev is not None:
+            for job in grid:
+                ev.emit("job.submit", label=job.spec.label, scheme=job.scheme)
+        stats = replay_jobs(grid, jobs=self.jobs)
+        baseline = stats[0]
+        cell: Dict[str, RunStats] = {}
+        if include_baseline:
+            cell[BASELINE] = baseline
+        for name, stat in zip(names, stats[1:]):
+            stat.baseline_cycles = baseline.cycles
+            cell[name] = stat
+        return cell
+
     def replay_many(self, specs: Sequence[WorkloadSpec],
                     schemes: Iterable[str], *,
                     config: Optional[SimConfig] = None,

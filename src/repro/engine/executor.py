@@ -78,7 +78,7 @@ def _run_job(job: ReplayJob) -> RunStats:
     cache = TraceCache(job.cache_root)
     if not obs.enabled():
         trace = cache.get_or_generate(job.spec)
-        return replay_one(trace, job.scheme, job.config)
+        return replay_one(trace, job.scheme, job.config, marks=job.marks)
     label = job.spec.label
     ev = obs.active_events()
     if ev is not None:
@@ -86,7 +86,7 @@ def _run_job(job: ReplayJob) -> RunStats:
     wall0 = time.perf_counter()
     cpu0 = time.process_time()
     trace = cache.get_or_generate(job.spec)
-    stats = replay_one(trace, job.scheme, job.config)
+    stats = replay_one(trace, job.scheme, job.config, marks=job.marks)
     wall = time.perf_counter() - wall0
     cpu = time.process_time() - cpu0
     registry = obs.MetricsRegistry()

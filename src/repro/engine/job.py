@@ -20,13 +20,14 @@ from typing import Optional, Tuple
 
 from ..cpu.trace import Trace
 from ..errors import EngineError
+from ..service.params import ServiceParams
 from ..sim.config import DEFAULT_CONFIG, SimConfig
 from ..workloads.base import Workspace
 from ..workloads.micro import MicroParams, generate_micro_trace
 from ..workloads.whisper import WhisperParams, generate_whisper_trace
 
 #: Suites the engine knows how to generate.
-SUITES = ("micro", "whisper")
+SUITES = ("micro", "whisper", "service")
 
 
 def _canonical(document) -> bytes:
@@ -60,6 +61,11 @@ class WorkloadSpec:
                                **overrides).scaled(scale)
         return cls(suite="whisper", params=params)
 
+    @classmethod
+    def service(cls, *, scale: float = 1.0, **overrides) -> "WorkloadSpec":
+        params = ServiceParams(**overrides).scaled(scale)
+        return cls(suite="service", params=params)
+
     # -- identity ---------------------------------------------------------------
 
     def describe(self) -> dict:
@@ -75,6 +81,9 @@ class WorkloadSpec:
 
     @property
     def label(self) -> str:
+        if self.suite == "service":
+            return (f"service-{getattr(self.params, 'n_clients', 0)}c-"
+                    f"{getattr(self.params, 'batching', '?')}")
         benchmark = getattr(self.params, "benchmark", "?")
         if self.suite == "micro":
             return f"micro-{benchmark}-{getattr(self.params, 'n_pools', 0)}"
@@ -88,6 +97,9 @@ class WorkloadSpec:
             return generate_micro_trace(self.params)
         if self.suite == "whisper":
             return generate_whisper_trace(self.params)
+        if self.suite == "service":
+            from ..service.server import generate_service_trace
+            return generate_service_trace(self.params)
         raise EngineError(
             f"unknown workload suite {self.suite!r}; known: {SUITES}")
 
@@ -107,9 +119,18 @@ class ReplayJob:
     #: default, ``"0"`` = disabled (the worker then relies on the
     #: fork-inherited in-memory cache).
     cache_root: Optional[str] = None
+    #: Event indices to snapshot elapsed cycles at
+    #: (``RunStats.mark_cycles``); the service layer derives per-batch
+    #: completion times from these.  ``None`` = plain unmarked replay.
+    marks: Optional[Tuple[int, ...]] = None
 
     def content_hash(self) -> str:
         """Stable identity over spec + scheme + full configuration."""
-        return _digest({"spec": self.spec.describe(),
-                        "scheme": self.scheme,
-                        "config": dataclasses.asdict(self.config)})
+        document = {"spec": self.spec.describe(),
+                    "scheme": self.scheme,
+                    "config": dataclasses.asdict(self.config)}
+        if self.marks is not None:
+            # Only marked jobs carry the key, so unmarked hashes are
+            # unchanged from before marks existed.
+            document["marks"] = list(self.marks)
+        return _digest(document)

@@ -9,6 +9,7 @@ from .table6 import report_table6, run_table6
 from .table7 import report_table7, run_table7
 from .table8 import report_table8, run_table8
 from .sensitivity import report_sweep, sweep_config
+from .service import report_service, run_service
 from .validate import render_markdown, run_validation
 
 __all__ = [
@@ -29,6 +30,8 @@ __all__ = [
     "run_table8",
     "run_validation",
     "render_markdown",
+    "report_service",
     "report_sweep",
+    "run_service",
     "sweep_config",
 ]

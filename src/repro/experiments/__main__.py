@@ -20,9 +20,16 @@ REPORTS = {
 
 
 def main(argv=None) -> int:
+    argv = sys.argv[1:] if argv is None else list(argv)
+    if argv and argv[0] == "service":
+        # The service sweep takes its own options (client counts, scheme
+        # aliases), so it dispatches before the table/figure parser.
+        from .service import main as service_main
+        return service_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro.experiments",
-        description="Regenerate the paper's tables and figures.")
+        description="Regenerate the paper's tables and figures "
+                    "(or run the 'service' sweep).")
     parser.add_argument("targets", nargs="+",
                         choices=sorted(REPORTS) + ["all"],
                         help="which table/figure to regenerate")

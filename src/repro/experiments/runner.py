@@ -70,6 +70,9 @@ class ExperimentRunner:
     def whisper_spec(self, benchmark: str, **overrides) -> WorkloadSpec:
         return WorkloadSpec.whisper(benchmark, scale=self.scale, **overrides)
 
+    def service_spec(self, **overrides) -> WorkloadSpec:
+        return WorkloadSpec.service(scale=self.scale, **overrides)
+
     # -- trace generation ---------------------------------------------------------
 
     def micro_trace(self, benchmark: str, n_pools: int,
@@ -86,6 +89,10 @@ class ExperimentRunner:
     def whisper_trace(self, benchmark: str,
                       **overrides) -> Tuple[Trace, WorkloadSpec]:
         spec = self.whisper_spec(benchmark, **overrides)
+        return self.engine.trace_for(spec), spec
+
+    def service_trace(self, **overrides) -> Tuple[Trace, WorkloadSpec]:
+        spec = self.service_spec(**overrides)
         return self.engine.trace_for(spec), spec
 
     # -- replay ------------------------------------------------------------------------

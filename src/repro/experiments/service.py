@@ -1,0 +1,172 @@
+"""Service experiment — multi-tenant serving performance across schemes.
+
+Sweeps the client population of the :mod:`repro.service` server and
+compares protection schemes on *serving* metrics — throughput and
+p50/p95/p99 request latency — rather than raw replay overhead.  This is
+the paper's motivating scenario run forward: one domain per client, so
+growing the client count is exactly the domain-count sweep of Figure 6,
+but measured at the request level where queueing amplifies per-switch
+costs into tail latency.
+
+Scheme names accept the serving-layer aliases ``mpkv`` (MPK
+virtualization) and ``dv`` (domain virtualization) alongside the
+canonical registry names.  Plain ``mpk`` is allowed and *expected to
+fail* past 16 clients — the 16-key limit is reported as a row, not an
+exception, because hitting that wall is the finding.
+
+CLI::
+
+    python -m repro.experiments service --clients 8,64,256 --schemes mpkv,dv
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..errors import PkeyError
+from ..service import ServiceSummary, account, batch_boundaries, build_plan
+from .reporting import format_table
+from .runner import ExperimentRunner
+
+#: Serving-layer scheme aliases -> scheme registry names.
+SCHEME_ALIASES = {
+    "mpkv": "mpk_virt",
+    "dv": "domain_virt",
+}
+
+#: Client counts of the default sweep (one domain per client).
+DEFAULT_CLIENTS = (8, 64, 256, 1024)
+#: Schemes compared by default: the paper's two proposals.
+DEFAULT_SCHEMES = ("mpkv", "dv")
+
+
+def resolve_scheme(name: str) -> str:
+    """Canonical scheme-registry name for a CLI/serving alias."""
+    return SCHEME_ALIASES.get(name, name)
+
+
+def run_service(runner: Optional[ExperimentRunner] = None, *,
+                clients: Sequence[int] = DEFAULT_CLIENTS,
+                schemes: Sequence[str] = DEFAULT_SCHEMES,
+                **overrides
+                ) -> Dict[int, Dict[str, Optional[ServiceSummary]]]:
+    """Returns client count -> scheme (as given) -> summary.
+
+    ``None`` marks a scheme that cannot run at that client count (plain
+    ``mpk`` beyond the 16-key hardware limit).  ``overrides`` are
+    :class:`~repro.service.ServiceParams` fields and become part of the
+    trace-cache identity.
+    """
+    runner = runner or ExperimentRunner()
+    engine = runner.engine
+    frequency = runner.config.processor.frequency_hz
+    names = list(dict.fromkeys(schemes))
+    out: Dict[int, Dict[str, Optional[ServiceSummary]]] = {}
+    for n_clients in clients:
+        spec = runner.service_spec(n_clients=n_clients, **overrides)
+        plan = build_plan(spec.params)
+        trace = engine.trace_for(spec)
+        marks = batch_boundaries(trace)
+        row: Dict[str, Optional[ServiceSummary]] = {}
+        # Schemes that fault on too many domains (plain MPK past 16
+        # keys) replay separately so one wall does not kill the batch.
+        fragile = [n for n in names if resolve_scheme(n) == "mpk"
+                   and n_clients > 16]
+        sturdy = [n for n in names if n not in fragile]
+        if sturdy:
+            cell = engine.replay_marked(
+                spec, [resolve_scheme(n) for n in sturdy], marks,
+                runner.config)
+            for name in sturdy:
+                row[name] = account(plan, trace, cell[resolve_scheme(name)],
+                                    frequency_hz=frequency)
+        for name in fragile:
+            try:
+                cell = engine.replay_marked(spec, ["mpk"], marks,
+                                            runner.config,
+                                            include_baseline=False)
+                row[name] = account(plan, trace, cell["mpk"],
+                                    frequency_hz=frequency)
+            except PkeyError:
+                row[name] = None
+        out[n_clients] = {name: row[name] for name in names}
+        engine.release(spec)
+    return out
+
+
+def report_service(runner: Optional[ExperimentRunner] = None, *,
+                   clients: Sequence[int] = DEFAULT_CLIENTS,
+                   schemes: Sequence[str] = DEFAULT_SCHEMES,
+                   **overrides) -> str:
+    data = run_service(runner, clients=clients, schemes=schemes, **overrides)
+    headers = ["Clients", "Scheme", "Served", "Rejected", "Batches",
+               "Switches", "p50 (cyc)", "p95 (cyc)", "p99 (cyc)",
+               "Throughput (req/s)"]
+    rows: List[List[object]] = []
+    for n_clients, per_scheme in data.items():
+        for name, summary in per_scheme.items():
+            if summary is None:
+                rows.append([n_clients, name, "-", "-", "-", "-", "-", "-",
+                             "-", "FAIL (16-key limit)"])
+                continue
+            rows.append([
+                n_clients, name, summary.n_served, summary.n_rejected,
+                summary.n_batches, summary.perm_switches,
+                summary.p50, summary.p95, summary.p99,
+                summary.throughput_rps])
+    return format_table(
+        "Service: multi-tenant PMO serving (one domain per client)",
+        headers, rows)
+
+
+# -- CLI ---------------------------------------------------------------------------
+
+
+def _csv_ints(raw: str) -> Tuple[int, ...]:
+    return tuple(int(part) for part in raw.split(",") if part)
+
+
+def _csv_names(raw: str) -> Tuple[str, ...]:
+    return tuple(part.strip() for part in raw.split(",") if part.strip())
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments service",
+        description="Compare protection schemes on the multi-tenant "
+                    "PMO serving workload.")
+    parser.add_argument("--clients", type=_csv_ints,
+                        default=DEFAULT_CLIENTS, metavar="N,N,...",
+                        help="client counts to sweep (default: %(default)s)")
+    parser.add_argument("--schemes", type=_csv_names,
+                        default=DEFAULT_SCHEMES, metavar="S,S,...",
+                        help="schemes to compare; aliases: mpkv=mpk_virt, "
+                             "dv=domain_virt (default: %(default)s)")
+    parser.add_argument("--requests", type=int, default=None,
+                        help="offered requests per run (default: "
+                             "ServiceParams.n_requests)")
+    parser.add_argument("--arrival", choices=("open", "closed"),
+                        default=None, help="arrival discipline")
+    parser.add_argument("--batching", choices=("none", "client"),
+                        default=None, help="batching policy")
+    parser.add_argument("--seed", type=int, default=None,
+                        help="traffic seed")
+    args = parser.parse_args(argv)
+    overrides = {}
+    if args.requests is not None:
+        overrides["n_requests"] = args.requests
+    if args.arrival is not None:
+        overrides["arrival"] = args.arrival
+    if args.batching is not None:
+        overrides["batching"] = args.batching
+    if args.seed is not None:
+        overrides["seed"] = args.seed
+    print(report_service(clients=args.clients, schemes=args.schemes,
+                         **overrides))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - CLI convenience
+    import sys
+    sys.exit(main())

@@ -44,15 +44,25 @@ class Gauge:
 
 
 class Histogram:
-    """Count/sum/min/max summary of observed samples."""
+    """Count/sum/min/max summary plus the exact observed samples.
 
-    __slots__ = ("count", "total", "min", "max")
+    Samples are retained verbatim (the workloads here observe at most a
+    few thousand values per histogram — request latencies, job wall
+    times), which makes :meth:`percentile` exact rather than
+    bucket-approximate.  They serialize with :meth:`as_dict` and survive
+    the fork-worker round trip; merging a pre-samples export (no
+    ``samples`` key) still folds count/sum/min/max, it just cannot
+    contribute to percentiles.
+    """
+
+    __slots__ = ("count", "total", "min", "max", "samples")
 
     def __init__(self):
         self.count = 0
         self.total = 0.0
         self.min: Optional[float] = None
         self.max: Optional[float] = None
+        self.samples: list = []
 
     def observe(self, value: float) -> None:
         value = float(value)
@@ -60,14 +70,33 @@ class Histogram:
         self.total += value
         self.min = value if self.min is None else min(self.min, value)
         self.max = value if self.max is None else max(self.max, value)
+        self.samples.append(value)
 
     @property
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
 
+    def percentile(self, q: float) -> Optional[float]:
+        """The q-th percentile (0..100) of the retained samples.
+
+        Linear interpolation between closest ranks (numpy's default);
+        ``None`` when nothing has been observed.
+        """
+        if not 0.0 <= q <= 100.0:
+            raise ValueError(f"percentile out of range: {q}")
+        if not self.samples:
+            return None
+        ordered = sorted(self.samples)
+        rank = (len(ordered) - 1) * q / 100.0
+        low = int(rank)
+        high = min(low + 1, len(ordered) - 1)
+        fraction = rank - low
+        return ordered[low] + (ordered[high] - ordered[low]) * fraction
+
     def as_dict(self) -> Dict[str, object]:
         return {"count": self.count, "sum": self.total,
-                "min": self.min, "max": self.max}
+                "min": self.min, "max": self.max,
+                "samples": list(self.samples)}
 
     def merge(self, other: Dict[str, object]) -> None:
         self.count += int(other.get("count", 0))
@@ -79,6 +108,7 @@ class Histogram:
             mine = getattr(self, attr)
             setattr(self, attr,
                     float(theirs) if mine is None else pick(mine, theirs))
+        self.samples.extend(float(v) for v in other.get("samples", ()))
 
 
 class MetricsRegistry:

@@ -1,0 +1,44 @@
+"""repro.service — a simulated multi-tenant PMO request-serving layer.
+
+The paper motivates intra-process isolation with a server whose clients'
+records live in per-client PMOs (the Heartbleed scenario of Section I).
+This package makes that server an executable, measurable workload:
+
+* :mod:`~repro.service.params` — one frozen knob set per run;
+* :mod:`~repro.service.traffic` — seeded open/closed-loop arrivals with
+  Zipfian client popularity;
+* :mod:`~repro.service.batching` — admission control and domain-aware
+  batching (same-client coalescing amortizes permission switches);
+* :mod:`~repro.service.server` — executes the plan into an ordinary
+  replayable trace (one SETPERM window per batch, deny-by-default);
+* :mod:`~repro.service.latency` — re-times marked replays into
+  per-request latency and p50/p95/p99/throughput summaries.
+
+See ``docs/SERVICE.md`` for the architecture and the metric contract.
+"""
+
+from .batching import Batch, ServicePlan, build_plan
+from .latency import ServiceSummary, account, served_batches
+from .params import ARRIVALS, BATCHINGS, ServiceParams, \
+    nominal_request_cycles
+from .server import ServiceWorkload, batch_boundaries, \
+    generate_service_trace
+from .traffic import Request, generate_requests
+
+__all__ = [
+    "ARRIVALS",
+    "BATCHINGS",
+    "Batch",
+    "Request",
+    "ServiceParams",
+    "ServicePlan",
+    "ServiceSummary",
+    "ServiceWorkload",
+    "account",
+    "batch_boundaries",
+    "build_plan",
+    "generate_requests",
+    "generate_service_trace",
+    "nominal_request_cycles",
+    "served_batches",
+]

@@ -1,0 +1,199 @@
+"""Per-request latency accounting from marked replays.
+
+One marked replay (``Engine.replay_marked`` with
+:func:`~repro.service.server.batch_boundaries`) yields the elapsed-cycle
+clock at every batch completion under one scheme.  This module re-times
+that serial replay onto the arrival wall clock and distributes batch
+completions back to individual requests:
+
+* the replay is a single core executing batches back to back, so the
+  k-th inter-mark delta ``C_k - C_{k-1}`` is batch k's *service
+  duration* under the scheme (including its share of permission-switch,
+  DTTLB/PTLB and shootdown overhead);
+* on the wall clock a batch cannot start before the server is free nor
+  before its members have arrived, so its completion is
+  ``W_k = max(W_{k-1}, latest arrival in batch) + (C_k - C_{k-1})``;
+* every member request's latency is ``W_k - arrival``.
+
+Exact for a single worker (the default).  With ``workers > 1`` the
+round-robin interleaving means a delta can include slices of other
+workers' batches; the accounting still conserves total cycles and is
+documented as an approximation in ``docs/SERVICE.md``.
+
+Percentiles come from :class:`repro.obs.metrics.Histogram` — the obs
+layer's exact-sample histogram — so the summary's p50/p95/p99 match
+what an external metrics consumer would compute from the exported
+``service.latency_cycles`` samples.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from .. import obs
+from ..cpu.trace import PERM, Trace
+from ..errors import SimulationError
+from ..obs.metrics import Histogram
+from ..permissions import Perm
+from ..sim.stats import RunStats
+from .batching import Batch, ServicePlan
+
+
+def served_batches(trace: Trace, plan: ServicePlan) -> List[Batch]:
+    """The plan's batches in the order the trace actually served them.
+
+    With one worker this is plan order.  With several, the round-robin
+    scheduler interleaves the per-worker partitions; each window-close
+    PERM event's tid identifies the worker, and within one worker
+    batches complete in partition order.  Worker slots are matched to
+    tids by first appearance, which is slot order because the scheduler
+    starts tasks in spawn order.
+    """
+    none = int(Perm.NONE)
+    closing_tids = [event[1] for event in trace.events
+                    if event[0] == PERM and event[4] == none]
+    if len(closing_tids) != len(plan.batches):
+        raise SimulationError(
+            f"trace closed {len(closing_tids)} permission windows but the "
+            f"plan has {len(plan.batches)} batches — trace/plan mismatch")
+    partitions: Dict[int, List[Batch]] = {}
+    for batch in plan.batches:
+        partitions.setdefault(batch.worker, []).append(batch)
+    cursor: Dict[int, int] = {slot: 0 for slot in partitions}
+    tid_slot: Dict[int, int] = {}
+    order: List[Batch] = []
+    for tid in closing_tids:
+        slot = tid_slot.setdefault(tid, len(tid_slot))
+        position = cursor.get(slot, 0)
+        if slot not in partitions or position >= len(partitions[slot]):
+            raise SimulationError(
+                f"trace uses more worker threads (or more batches on "
+                f"worker slot {slot}) than the plan assigns — "
+                f"trace/plan mismatch")
+        cursor[slot] = position + 1
+        order.append(partitions[slot][position])
+    return order
+
+
+@dataclass
+class ServiceSummary:
+    """One scheme's serving performance over one plan."""
+
+    scheme: str
+    n_offered: int
+    n_served: int
+    n_rejected: int
+    n_batches: int
+    #: Served requests that shared a window with an earlier one.
+    coalesced: int
+    perm_switches: int
+    #: Replayed execution cycles (busy time on the core).
+    cycles: float
+    #: Wall-clock cycles from first arrival to last completion.
+    wall_cycles: float
+    #: Served requests per second of simulated wall time.
+    throughput_rps: float
+    latency: Histogram = field(default_factory=Histogram)
+    stats: Optional[RunStats] = None
+
+    @property
+    def p50(self) -> float:
+        return self.latency.percentile(50.0) or 0.0
+
+    @property
+    def p95(self) -> float:
+        return self.latency.percentile(95.0) or 0.0
+
+    @property
+    def p99(self) -> float:
+        return self.latency.percentile(99.0) or 0.0
+
+    @property
+    def mean_latency(self) -> float:
+        return self.latency.mean
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-safe export (results archive, bench harness)."""
+        return {
+            "scheme": self.scheme,
+            "offered": self.n_offered,
+            "served": self.n_served,
+            "rejected": self.n_rejected,
+            "batches": self.n_batches,
+            "coalesced": self.coalesced,
+            "perm_switches": self.perm_switches,
+            "cycles": self.cycles,
+            "wall_cycles": self.wall_cycles,
+            "throughput_rps": self.throughput_rps,
+            "latency_cycles": {"mean": self.mean_latency, "p50": self.p50,
+                               "p95": self.p95, "p99": self.p99,
+                               "max": self.latency.max},
+        }
+
+
+def account(plan: ServicePlan, trace: Trace, stats: RunStats, *,
+            frequency_hz: float) -> ServiceSummary:
+    """Turn one marked replay into a :class:`ServiceSummary`.
+
+    Also publishes the run into the active obs registry/event stream
+    (``service.*`` names, see :mod:`repro.obs.schema`) when
+    observability is enabled.
+    """
+    if stats.mark_cycles is None:
+        raise SimulationError(
+            "RunStats has no mark_cycles; replay with "
+            "marks=batch_boundaries(trace)")
+    order = served_batches(trace, plan)
+    if len(stats.mark_cycles) != len(order):
+        raise SimulationError(
+            f"{len(stats.mark_cycles)} marks for {len(order)} batches")
+
+    latency = Histogram()
+    wall = 0.0
+    previous = 0.0
+    for batch, elapsed in zip(order, stats.mark_cycles):
+        delta = elapsed - previous
+        previous = elapsed
+        ready = max(request.arrival for request in batch.requests)
+        wall = max(wall, ready) + delta
+        for request in batch.requests:
+            latency.observe(wall - request.arrival)
+
+    served = plan.n_served
+    throughput = served * frequency_hz / wall if wall > 0 else 0.0
+    summary = ServiceSummary(
+        scheme=stats.scheme,
+        n_offered=served + len(plan.rejected),
+        n_served=served,
+        n_rejected=len(plan.rejected),
+        n_batches=len(plan.batches),
+        coalesced=plan.coalesced,
+        perm_switches=stats.perm_switches,
+        cycles=stats.cycles,
+        wall_cycles=wall,
+        throughput_rps=throughput,
+        latency=latency,
+        stats=stats)
+    _publish(summary, plan)
+    return summary
+
+
+def _publish(summary: ServiceSummary, plan: ServicePlan) -> None:
+    registry = obs.metrics()
+    if registry is not None:
+        registry.counter("service.requests.offered").inc(summary.n_offered)
+        registry.counter("service.requests.served").inc(summary.n_served)
+        registry.counter("service.requests.rejected").inc(summary.n_rejected)
+        registry.counter("service.requests.coalesced").inc(summary.coalesced)
+        registry.counter("service.batches").inc(summary.n_batches)
+        registry.histogram("service.latency_cycles").merge(
+            summary.latency.as_dict())
+        registry.gauge("service.throughput_rps").set(summary.throughput_rps)
+    ev = obs.active_events()
+    if ev is not None:
+        ev.emit("service.run", scheme=summary.scheme,
+                clients=plan.params.n_clients, served=summary.n_served,
+                rejected=summary.n_rejected,
+                throughput_rps=round(summary.throughput_rps, 3),
+                p99_cycles=round(summary.p99, 1))

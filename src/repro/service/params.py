@@ -1,0 +1,109 @@
+"""Parameters of one multi-tenant PMO service run.
+
+One :class:`ServiceParams` fully determines a service execution: the
+client population and its popularity skew, the arrival process, the
+per-request work, the batching/admission policy, and the worker pool.
+It is a frozen dataclass for the same reason :class:`MicroParams` is —
+the engine folds it into the trace-cache key, so two runs can only share
+a cached trace when *every* knob matches.
+
+All time-like quantities are expressed in simulated cycles (the replay
+clock); see ``docs/SERVICE.md`` for the full knob contract.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+#: Arrival disciplines the traffic generator understands.
+ARRIVALS = ("open", "closed")
+#: Batching policies the scheduler understands.
+BATCHINGS = ("none", "client")
+
+
+@dataclass(frozen=True)
+class ServiceParams:
+    """Knobs of one simulated service run (seeded, fully deterministic)."""
+
+    #: Tenants; one PMO/domain per client (the Heartbleed scenario).
+    n_clients: int = 64
+    #: Requests offered to the server (before admission control).
+    n_requests: int = 2000
+    seed: int = 7
+    #: ``open`` — arrivals keep coming at the offered rate regardless of
+    #: completions; ``closed`` — each client has at most one outstanding
+    #: request and thinks for ``think_cycles`` between them.
+    arrival: str = "open"
+    #: Open loop: mean request interarrival in cycles.  The default sits
+    #: slightly *below* the nominal per-request service cost (offered
+    #: load just past saturation), so queues build, batching has
+    #: material to coalesce, admission control engages, and tail latency
+    #: is scheme-sensitive.
+    interarrival_cycles: float = 300.0
+    #: Closed loop: per-client think time in cycles after a completion.
+    think_cycles: float = 20000.0
+    #: Zipf exponent of client popularity (0 = uniform).  Hot clients are
+    #: what domain-aware batching exploits.
+    zipf: float = 0.9
+    #: Fraction of requests that only read the client's record.
+    read_fraction: float = 0.8
+    #: 8-byte words read per request (the client record lookup).
+    read_words: int = 8
+    #: 8-byte words written by a write request (the record update).
+    write_words: int = 2
+    #: Modelled non-memory instructions per request (parsing, crypto,
+    #: response formatting).
+    compute_per_request: int = 600
+    #: Volatile stack accesses per request.
+    stack_per_request: int = 2
+    #: Bytes of per-client secret state touched by requests.
+    secret_size: int = 256
+    #: Per-client pool size (one PMO per client).
+    pool_size: int = 1 << 16
+    #: ``none`` — every request is served in its own permission window;
+    #: ``client`` — consecutive queued requests of the same client are
+    #: coalesced into one window (amortizing the two SETPERMs).
+    batching: str = "client"
+    #: Maximum requests coalesced into one batch.
+    batch_limit: int = 8
+    #: How far into the queue the batcher looks for same-client requests.
+    batch_window: int = 16
+    #: Admission control: maximum queued requests; arrivals beyond it are
+    #: rejected (0 = unbounded queue, nothing is ever rejected).
+    max_queue: int = 64
+    #: Worker threads serving batches (interleaved by the round-robin
+    #: scheduler when > 1; the simulated machine stays single-core).
+    workers: int = 1
+    #: Batches served per scheduling quantum when ``workers > 1``.
+    quantum: int = 4
+
+    def __post_init__(self):
+        if self.arrival not in ARRIVALS:
+            raise ValueError(f"unknown arrival discipline {self.arrival!r}; "
+                             f"choose from {ARRIVALS}")
+        if self.batching not in BATCHINGS:
+            raise ValueError(f"unknown batching policy {self.batching!r}; "
+                             f"choose from {BATCHINGS}")
+        if self.n_clients < 1:
+            raise ValueError("n_clients must be at least 1")
+        if self.batch_limit < 1:
+            raise ValueError("batch_limit must be at least 1")
+
+    def scaled(self, factor: float) -> "ServiceParams":
+        """Scale the request budget (the ``REPRO_OPS`` hook)."""
+        return replace(self, n_requests=max(1, int(self.n_requests * factor)))
+
+
+def nominal_request_cycles(params: ServiceParams) -> float:
+    """Estimated unprotected cycles one request costs the server.
+
+    Used only for *scheduling* decisions made at trace-generation time
+    (queue drain rate, closed-loop completion feedback) — never for the
+    measured latencies, which come from the per-scheme replay.  The
+    estimate assumes cache-resident records: compute at the base CPI plus
+    a few cycles per touched word.
+    """
+    words = params.read_words + (1.0 - params.read_fraction) * \
+        params.write_words
+    access_cycles = 4.0 * (words + params.stack_per_request)
+    return 0.5 * params.compute_per_request + access_cycles

@@ -1,0 +1,153 @@
+"""The simulated multi-tenant PMO server: plan in, trace out.
+
+A :class:`ServiceWorkload` is the paper's Heartbleed server (Section I)
+made executable at scale: every client's private record lives in its own
+PMO/domain, every domain is **deny by default** for every worker thread,
+and a worker only ever holds permission for the client it is currently
+serving — inside an explicit SETPERM window per batch.
+
+The server executes a :class:`~repro.service.batching.ServicePlan`
+(fixed at generation time) into an ordinary replayable trace:
+
+* batches are partitioned round-robin over the worker pool and, with
+  more than one worker, interleaved by the
+  :class:`~repro.os.scheduler.RoundRobinScheduler` (context switches in
+  the trace exercise the schemes' DTTLB/PTLB flush paths);
+* each batch is one permission window — ``SETPERM(domain, RW)``, the
+  member requests' reads/writes/compute, ``SETPERM(domain, NONE)`` —
+  so the trace's window-close events double as the batch-completion
+  markers the latency accounting snapshots
+  (:func:`batch_boundaries`).
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from ..cpu.trace import PERM, Trace
+from ..permissions import Perm
+from ..pmo.oid import OID
+from ..workloads.base import PoolHandle, UnprotectedPolicy, Workspace
+from .batching import Batch, ServicePlan, build_plan
+from .params import ServiceParams
+
+
+class ServiceWorkload:
+    """A built server: workspace, per-client pools, and their secrets."""
+
+    def __init__(self, params: ServiceParams):
+        self.params = params
+        self.ws = Workspace(
+            UnprotectedPolicy(), seed=params.seed,
+            label=f"service-{params.n_clients}c-{params.batching}")
+        process = self.ws.process
+        # Spawn the worker pool before attaching any pool so the
+        # deny-by-default INIT_PERM below covers every thread.
+        while len(process.threads) < max(1, params.workers):
+            process.spawn_thread()
+        self.worker_tids = [thread.tid for thread in process.threads]
+
+        self.pools: List[PoolHandle] = []
+        self.secrets: List[OID] = []
+        for client in range(params.n_clients):
+            pool = self.ws.create_and_attach(
+                f"svc-client-{client:04d}", params.pool_size)
+            with self.ws.untraced():
+                secret = pool.pool.pmalloc(params.secret_size)
+                self.ws.mem.write_bytes(
+                    secret, 0,
+                    f"secret-of-client-{client}".encode().ljust(64))
+            # Deny by default: no thread may touch a client's PMO outside
+            # an explicit serving window (stricter than the
+            # microbenchmarks' global-read policy — that is the point).
+            for tid in self.worker_tids:
+                self.ws.recorder.init_perm(tid, pool.domain, Perm.NONE)
+            self.pools.append(pool)
+            self.secrets.append(secret)
+
+    # -- serving -----------------------------------------------------------------
+
+    def serve_batch(self, batch: Batch, tid: int) -> None:
+        """One permission window serving every request of the batch."""
+        params = self.params
+        ws = self.ws
+        pool = self.pools[batch.client]
+        secret = self.secrets[batch.client]
+        ws.recorder.perm(tid, pool.domain, Perm.RW)
+        for request in batch.requests:
+            ws.compute(params.compute_per_request)
+            ws.mem.read_bytes(secret, 0, params.read_words * 8, tid=tid)
+            if request.is_write:
+                ws.mem.write_bytes(
+                    secret, params.read_words * 8,
+                    request.rid.to_bytes(8, "little") * params.write_words,
+                    tid=tid)
+            ws.stack_access(tid=tid, n=params.stack_per_request)
+        ws.recorder.perm(tid, pool.domain, Perm.NONE)
+
+    def serve(self, plan: ServicePlan) -> None:
+        """Execute the whole plan (worker pool, scheduler interleaving)."""
+        params = self.params
+        if max(1, params.workers) == 1:
+            tid = self.worker_tids[0]
+            for batch in plan.batches:
+                self.serve_batch(batch, tid)
+            return
+
+        from ..os.scheduler import RoundRobinScheduler
+        scheduler = RoundRobinScheduler(self.ws, quantum=params.quantum)
+        partitions: List[List[Batch]] = [[] for _ in self.worker_tids]
+        for batch in plan.batches:
+            partitions[batch.worker].append(batch)
+
+        process = self.ws.process
+        for slot, thread in enumerate(process.threads):
+            my_batches = partitions[slot]
+
+            def body(thread=thread, my_batches=my_batches):
+                for batch in my_batches:
+                    self.serve_batch(batch, thread.tid)
+                    yield
+
+            scheduler.spawn(lambda thread, body=body: body(thread=thread),
+                            thread)
+        scheduler.run()
+
+    def finish(self) -> Trace:
+        return self.ws.finish()
+
+    # -- attack injection (examples/tests) ----------------------------------------
+
+    def overread(self, victim: int, tid: int = None) -> None:
+        """Record a compromised worker's over-read into another client's
+        PMO — no permission window covers it, so every protecting scheme
+        must fault at replay."""
+        tid = self.worker_tids[0] if tid is None else tid
+        pool = self.pools[victim]
+        self.ws.recorder.load(tid, pool.va_of(self.secrets[victim]))
+
+
+def generate_service_trace(params: ServiceParams) -> Tuple[Trace, Workspace]:
+    """Build the server, execute the plan, return (trace, workspace).
+
+    The engine's ``service`` suite entry point — same shape as
+    :func:`~repro.workloads.micro.generate_micro_trace`.
+    """
+    plan = build_plan(params)
+    workload = ServiceWorkload(params)
+    workload.serve(plan)
+    return workload.finish(), workload.ws
+
+
+def batch_boundaries(trace: Trace) -> List[int]:
+    """Event indices *after* each batch's window-close SETPERM.
+
+    Service traces close every window with ``SETPERM(domain, NONE)`` and
+    emit no other NONE switches, so the boundaries are recoverable from
+    any trace — including one loaded from the persistent cache with no
+    plan object in sight.  Passed as ``marks`` to the replay engine, the
+    k-th snapshot is the cycle the k-th batch (in trace order) completed.
+    """
+    none = int(Perm.NONE)
+    return [index + 1 for index, event in enumerate(trace.events)
+            if event[0] == PERM and event[4] == none]

@@ -1,0 +1,91 @@
+"""Deterministic traffic generation for the service layer.
+
+Produces the offered request stream — *who* asks *what*, *when* — from a
+:class:`~repro.service.params.ServiceParams` alone.  Everything is
+seeded: the same parameters always yield the identical stream, which is
+what lets the whole service run live in the content-addressed trace
+cache.
+
+Two arrival disciplines (Section V of most serving papers, and the knob
+that separates throughput from latency measurements):
+
+* **open loop** — arrivals are an exponential process at the offered
+  rate; the server's speed does not slow the clients down, so queues
+  (and tail latency) grow when a scheme cannot keep up;
+* **closed loop** — each client keeps at most one request outstanding
+  and thinks for ``think_cycles`` after each completion, using the
+  nominal service model for completion feedback at generation time.
+
+Client popularity is Zipf-distributed (hot tenants), reusing the
+exemplar-accurate :class:`~repro.workloads.micro.ZipfSampler`.
+"""
+
+from __future__ import annotations
+
+import heapq
+import random
+from dataclasses import dataclass
+from typing import List
+
+from ..workloads.micro import ZipfSampler
+from .params import ServiceParams, nominal_request_cycles
+
+
+@dataclass(frozen=True)
+class Request:
+    """One client request of the offered stream."""
+
+    rid: int
+    client: int
+    #: Arrival time on the simulated-cycle wall clock.
+    arrival: float
+    #: Read-only lookup vs. record update (writes also read the record).
+    is_write: bool
+
+
+def generate_requests(params: ServiceParams) -> List[Request]:
+    """The offered request stream, sorted by arrival time."""
+    rng = random.Random(params.seed)
+    if params.arrival == "open":
+        return _open_loop(params, rng)
+    return _closed_loop(params, rng)
+
+
+def _open_loop(params: ServiceParams, rng: random.Random) -> List[Request]:
+    sampler = ZipfSampler(params.n_clients, params.zipf, rng)
+    clock = 0.0
+    requests: List[Request] = []
+    for rid in range(params.n_requests):
+        clock += rng.expovariate(1.0 / params.interarrival_cycles)
+        requests.append(Request(
+            rid=rid, client=sampler.sample(), arrival=clock,
+            is_write=rng.random() >= params.read_fraction))
+    return requests
+
+
+def _closed_loop(params: ServiceParams, rng: random.Random) -> List[Request]:
+    """One outstanding request per client, think time between them.
+
+    Completion feedback uses the nominal service model (the server is
+    modelled as one FIFO core draining requests back to back); the
+    replayed latencies are re-timed per scheme later.
+    """
+    service = nominal_request_cycles(params)
+    #: (next arrival time, client) — a heap keeps client order stable.
+    pending = [(rng.expovariate(1.0 / params.think_cycles), client)
+               for client in range(params.n_clients)]
+    heapq.heapify(pending)
+    server_free = 0.0
+    requests: List[Request] = []
+    for rid in range(params.n_requests):
+        arrival, client = heapq.heappop(pending)
+        requests.append(Request(
+            rid=rid, client=client, arrival=arrival,
+            is_write=rng.random() >= params.read_fraction))
+        completion = max(server_free, arrival) + service
+        server_free = completion
+        heapq.heappush(
+            pending,
+            (completion + rng.expovariate(1.0 / params.think_cycles), client))
+    requests.sort(key=lambda request: (request.arrival, request.rid))
+    return requests

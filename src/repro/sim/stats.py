@@ -17,7 +17,7 @@ harness can reproduce the paper's overhead breakdown:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import Dict, List, Optional
 
 OVERHEAD_BUCKETS = (
     "perm_change",
@@ -62,6 +62,11 @@ class RunStats:
     #: disabled, so cycle accounting and ``to_dict`` output stay
     #: bit-identical to an uninstrumented run.
     metrics: Optional[Dict[str, object]] = None
+    #: Elapsed-cycle snapshots at the caller's marked event indices
+    #: (``ReplayEngine.run(marks=...)``): machine cycles plus scheme
+    #: charges accumulated before each mark.  ``None`` for unmarked
+    #: replays; the service layer turns these into per-request latency.
+    mark_cycles: Optional[List[float]] = None
 
     # -- charging -------------------------------------------------------------
 
@@ -129,6 +134,8 @@ class RunStats:
             out["overhead_percent"] = 100.0 * (self.cycles - base) / base
         if self.metrics is not None:
             out["metrics"] = self.metrics
+        if self.mark_cycles is not None:
+            out["mark_cycles"] = list(self.mark_cycles)
         return out
 
     def summary(self) -> str:

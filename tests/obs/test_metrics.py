@@ -27,11 +27,42 @@ class TestPrimitives:
         assert histogram.min == 2.0
         assert histogram.max == 6.0
         assert histogram.mean == 4.0
+        assert histogram.samples == [2.0, 4.0, 6.0]
 
     def test_empty_histogram_mean(self):
         assert Histogram().mean == 0.0
         assert Histogram().as_dict() == {"count": 0, "sum": 0.0,
-                                         "min": None, "max": None}
+                                         "min": None, "max": None,
+                                         "samples": []}
+
+    def test_percentiles_are_exact(self):
+        histogram = Histogram()
+        for value in (40.0, 10.0, 20.0, 30.0):  # order must not matter
+            histogram.observe(value)
+        assert histogram.percentile(0) == 10.0
+        assert histogram.percentile(50) == 25.0  # interpolated
+        assert histogram.percentile(100) == 40.0
+        assert histogram.percentile(75) == pytest.approx(32.5)
+
+    def test_percentile_edge_cases(self):
+        assert Histogram().percentile(99) is None
+        single = Histogram()
+        single.observe(7.0)
+        assert single.percentile(0) == single.percentile(100) == 7.0
+        with pytest.raises(ValueError):
+            single.percentile(101)
+
+    def test_merge_concatenates_samples(self):
+        left, right = Histogram(), Histogram()
+        left.observe(1.0)
+        right.observe(3.0)
+        left.merge(right.as_dict())
+        assert sorted(left.samples) == [1.0, 3.0]
+        assert left.percentile(100) == 3.0
+        # A pre-samples export still folds count/sum/min/max.
+        left.merge({"count": 1, "sum": 9.0, "min": 9.0, "max": 9.0})
+        assert left.count == 3
+        assert left.max == 9.0
 
 
 class TestRegistry:
@@ -76,7 +107,8 @@ class TestRegistry:
         assert left.value("c") == 7
         assert left.value("g") == 2.0
         assert left.value("h") == {"count": 2, "sum": 6.0,
-                                   "min": 1.0, "max": 5.0}
+                                   "min": 1.0, "max": 5.0,
+                                   "samples": [5.0, 1.0]}
 
     def test_merge_accepts_dict_export(self):
         registry = MetricsRegistry()

@@ -1,0 +1,92 @@
+"""Admission control and domain-aware batching of the service planner."""
+
+import dataclasses
+
+from repro.service import ServiceParams, build_plan
+
+SATURATED = dict(n_clients=16, n_requests=400)  # default load: queues build
+
+
+class TestDeterminism:
+    def test_same_params_identical_plan(self):
+        params = ServiceParams(**SATURATED)
+        assert build_plan(params) == build_plan(params)
+
+
+class TestConservation:
+    def test_every_offered_request_served_or_rejected(self):
+        params = ServiceParams(**SATURATED)
+        plan = build_plan(params)
+        assert plan.n_served + len(plan.rejected) == params.n_requests
+        served_rids = [r.rid for batch in plan.batches
+                       for r in batch.requests]
+        rejected_rids = [r.rid for r in plan.rejected]
+        assert sorted(served_rids + rejected_rids) == \
+            list(range(params.n_requests))
+        assert len(set(served_rids)) == len(served_rids)
+
+
+class TestBatching:
+    def test_client_batches_are_single_client_and_bounded(self):
+        params = ServiceParams(**SATURATED, batch_limit=4)
+        plan = build_plan(params)
+        for batch in plan.batches:
+            assert 1 <= len(batch.requests) <= 4
+            assert {r.client for r in batch.requests} == {batch.client}
+        assert plan.coalesced > 0  # saturation leaves material to coalesce
+
+    def test_none_serves_one_request_per_window(self):
+        params = ServiceParams(**SATURATED, batching="none")
+        plan = build_plan(params)
+        assert all(len(batch.requests) == 1 for batch in plan.batches)
+        assert plan.coalesced == 0
+
+    def test_client_batching_strictly_reduces_windows(self):
+        batched = build_plan(ServiceParams(**SATURATED))
+        unbatched = build_plan(ServiceParams(**SATURATED, batching="none"))
+        assert len(batched.batches) < len(unbatched.batches)
+
+    def test_batch_indices_are_dense(self):
+        plan = build_plan(ServiceParams(**SATURATED))
+        assert [b.index for b in plan.batches] == \
+            list(range(len(plan.batches)))
+
+
+class TestAdmissionControl:
+    def test_unbounded_queue_never_rejects(self):
+        plan = build_plan(ServiceParams(**SATURATED, max_queue=0))
+        assert plan.rejected == []
+        assert plan.n_served == SATURATED["n_requests"]
+
+    def test_bounded_queue_rejects_under_overload(self):
+        roomy = build_plan(ServiceParams(**SATURATED, max_queue=0))
+        tight = build_plan(ServiceParams(**SATURATED, max_queue=8))
+        assert len(tight.rejected) > len(roomy.rejected)
+
+    def test_rejects_are_excluded_from_batches(self):
+        plan = build_plan(ServiceParams(**SATURATED, max_queue=8))
+        rejected = {r.rid for r in plan.rejected}
+        served = {r.rid for b in plan.batches for r in b.requests}
+        assert not rejected & served
+
+
+class TestWorkerAssignment:
+    def test_round_robin_over_worker_slots(self):
+        plan = build_plan(ServiceParams(**SATURATED, workers=3))
+        for batch in plan.batches:
+            assert batch.worker == batch.index % 3
+
+    def test_single_worker_everything_on_slot_zero(self):
+        plan = build_plan(ServiceParams(**SATURATED))
+        assert {batch.worker for batch in plan.batches} == {0}
+
+
+class TestLoadSensitivity:
+    def test_light_load_degenerates_to_fifo(self):
+        # Interarrival far above service cost: the queue never holds two
+        # requests, so client batching finds nothing to coalesce.
+        light = dataclasses.replace(ServiceParams(**SATURATED),
+                                    interarrival_cycles=50000.0)
+        plan = build_plan(light)
+        assert plan.coalesced == 0
+        assert plan.rejected == []

@@ -1,0 +1,106 @@
+"""The paper's claims at the serving level (the acceptance assertions).
+
+One domain per client makes the client sweep a domain-count sweep, so at
+64 clients the schemes must land in Table VII's order — and the serving
+metrics must show domain virtualization beating MPK virtualization on
+tail latency and throughput under client churn.
+"""
+
+import pytest
+
+from repro.cpu.trace import PERM
+from repro.engine import replay_one
+from repro.errors import PkeyError
+from repro.service import (ServiceParams, account, batch_boundaries,
+                           build_plan, generate_service_trace)
+from repro.sim.config import DEFAULT_CONFIG
+
+PARAMS = ServiceParams(n_clients=64, n_requests=400)
+SCHEMES = ("lowerbound", "domain_virt", "mpk_virt", "libmpk")
+FREQ = DEFAULT_CONFIG.processor.frequency_hz
+
+
+@pytest.fixture(scope="module")
+def summaries():
+    trace, _ws = generate_service_trace(PARAMS)
+    plan = build_plan(PARAMS)
+    marks = batch_boundaries(trace)
+    return {scheme: account(plan, trace,
+                            replay_one(trace, scheme, marks=marks),
+                            frequency_hz=FREQ)
+            for scheme in SCHEMES}
+
+
+class TestTableVIIOrdering:
+    def test_cycles_order_at_64_clients(self, summaries):
+        cycles = {name: summary.cycles
+                  for name, summary in summaries.items()}
+        assert cycles["lowerbound"] < cycles["domain_virt"] \
+            < cycles["mpk_virt"] < cycles["libmpk"]
+
+    def test_dv_beats_mpkv_on_serving_metrics(self, summaries):
+        dv, mpkv = summaries["domain_virt"], summaries["mpk_virt"]
+        assert dv.p99 < mpkv.p99
+        assert dv.p95 < mpkv.p95
+        assert dv.throughput_rps > mpkv.throughput_rps
+
+    def test_mpk_hits_the_16_key_wall(self):
+        trace, _ws = generate_service_trace(PARAMS)
+        with pytest.raises(PkeyError):
+            replay_one(trace, "mpk")
+
+    def test_mpk_fits_within_16_clients(self):
+        small = ServiceParams(n_clients=8, n_requests=80)
+        trace, _ws = generate_service_trace(small)
+        replay_one(trace, "mpk")  # must not raise
+
+
+class TestBatchingEffect:
+    @pytest.fixture(scope="class")
+    def unbatched(self):
+        import dataclasses
+        params = dataclasses.replace(PARAMS, batching="none")
+        trace, _ws = generate_service_trace(params)
+        return params, trace
+
+    def test_batching_strictly_reduces_permission_switches(self, summaries,
+                                                           unbatched):
+        _params, trace = unbatched
+        stats = replay_one(trace, "domain_virt",
+                           marks=batch_boundaries(trace))
+        batched = summaries["domain_virt"]
+        assert batched.perm_switches < stats.perm_switches
+        # And the reduction is visible in the trace itself, before any
+        # replay: fewer SETPERM events for the same offered load.
+        assert batched.perm_switches == \
+            2 * batched.n_batches  # one open + one close per window
+        assert stats.perm_switches == \
+            sum(1 for event in trace.events if event[0] == PERM)
+
+    def test_batching_lowers_protection_overhead(self, summaries, unbatched):
+        params, trace = unbatched
+        plan = build_plan(params)
+        stats = replay_one(trace, "domain_virt",
+                           marks=batch_boundaries(trace))
+        unbatched_summary = account(plan, trace, stats, frequency_hz=FREQ)
+        # Same offered stream, fewer switches -> fewer busy cycles.
+        assert summaries["domain_virt"].cycles < unbatched_summary.cycles
+
+
+class TestDeterminism:
+    def test_replay_is_reproducible(self):
+        trace, _ws = generate_service_trace(PARAMS)
+        marks = batch_boundaries(trace)
+        first = replay_one(trace, "domain_virt", marks=marks)
+        second = replay_one(trace, "domain_virt", marks=marks)
+        assert first.cycles == second.cycles
+        assert first.mark_cycles == second.mark_cycles
+        assert first.buckets == second.buckets
+
+    def test_end_to_end_summary_is_reproducible(self, summaries):
+        trace, _ws = generate_service_trace(PARAMS)
+        plan = build_plan(PARAMS)
+        stats = replay_one(trace, "domain_virt",
+                           marks=batch_boundaries(trace))
+        again = account(plan, trace, stats, frequency_hz=FREQ)
+        assert again.to_dict() == summaries["domain_virt"].to_dict()

@@ -1,0 +1,107 @@
+#!/usr/bin/env python
+"""CI throughput-regression gate for the engine micro-benchmarks.
+
+Compares a freshly generated ``BENCH_engine.json`` against a committed
+baseline and fails (exit 1) when any benchmark's ``events_per_s``
+dropped by more than the threshold (default 30%, generous enough to
+absorb shared-runner noise while still catching a real slowdown — the
+kind of accidental O(n^2) or de-inlining that costs 2x, not 1.1x).
+
+Usage::
+
+    python benchmarks/check_regression.py BASELINE CURRENT [--threshold 0.30]
+
+In CI the committed file *is* the baseline, so the workflow snapshots it
+before the bench run overwrites it::
+
+    git show HEAD:benchmarks/out/BENCH_engine.json > /tmp/baseline.json
+    PYTHONPATH=src python -m pytest -q benchmarks/bench_engine_throughput.py
+    python benchmarks/check_regression.py /tmp/baseline.json \
+        benchmarks/out/BENCH_engine.json
+
+Improvements and new benchmarks never fail the gate; a benchmark that
+*disappeared* from the current results does (a silently skipped bench
+would otherwise hide exactly the regressions the gate exists to catch).
+After an intentional engine change, refresh the baseline by committing
+the regenerated ``benchmarks/out/BENCH_engine.json``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+
+DEFAULT_THRESHOLD = 0.30
+
+
+def load_results(path: pathlib.Path) -> dict:
+    data = json.loads(path.read_text())
+    results = data.get("results", {})
+    if not isinstance(results, dict):
+        raise SystemExit(f"error: {path}: 'results' is not an object")
+    return results
+
+
+def compare(baseline: dict, current: dict, threshold: float) -> list[str]:
+    """Return a list of failure messages (empty = gate passes)."""
+    failures = []
+    for name in sorted(baseline):
+        base = (baseline[name] or {}).get("events_per_s")
+        if not base:
+            continue  # unmeasured baseline entry constrains nothing
+        entry = current.get(name)
+        if entry is None:
+            failures.append(f"{name}: present in baseline but missing "
+                            f"from current results")
+            continue
+        cur = entry.get("events_per_s")
+        if not cur:
+            failures.append(f"{name}: current run recorded no throughput")
+            continue
+        ratio = cur / base
+        verdict = "ok"
+        if ratio < 1.0 - threshold:
+            verdict = "REGRESSION"
+            failures.append(
+                f"{name}: {cur:,.0f} events/s is "
+                f"{(1.0 - ratio) * 100:.1f}% below baseline {base:,.0f} "
+                f"(threshold {threshold * 100:.0f}%)")
+        print(f"  {name:<28} {base:>12,.0f} -> {cur:>12,.0f} ev/s "
+              f"({ratio:+.0%} of baseline)  {verdict}")
+    for name in sorted(set(current) - set(baseline)):
+        print(f"  {name:<28} (new benchmark, not gated)")
+    return failures
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="fail when engine throughput regressed vs a baseline")
+    parser.add_argument("baseline", type=pathlib.Path,
+                        help="committed BENCH_engine.json to compare against")
+    parser.add_argument("current", type=pathlib.Path,
+                        help="freshly generated BENCH_engine.json")
+    parser.add_argument("--threshold", type=float,
+                        default=DEFAULT_THRESHOLD,
+                        help="allowed fractional drop in events_per_s "
+                             "(default %(default)s)")
+    args = parser.parse_args(argv)
+    if not 0 < args.threshold < 1:
+        parser.error("--threshold must be a fraction in (0, 1)")
+
+    print(f"throughput gate: {args.current} vs baseline {args.baseline} "
+          f"(allowed drop {args.threshold * 100:.0f}%)")
+    failures = compare(load_results(args.baseline),
+                       load_results(args.current), args.threshold)
+    if failures:
+        print(f"\nFAIL: {len(failures)} regression(s):", file=sys.stderr)
+        for failure in failures:
+            print(f"  - {failure}", file=sys.stderr)
+        return 1
+    print("\nOK: no benchmark regressed beyond the threshold")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

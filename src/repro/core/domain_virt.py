@@ -65,10 +65,17 @@ class DomainVirtScheme(ProtectionScheme):
 
     def _ptlb_fetch(self, domain: int, tid: int) -> PTLBEntry:
         """PTLB lookup; on miss, fetch from the PT (30 cycles)."""
-        cfg = self.config.domain_virt
         cached = self.ptlb.lookup(domain)
         if cached is not None:
             return cached
+        return self._ptlb_refill(domain, tid)
+
+    def _ptlb_refill(self, domain: int, tid: int) -> PTLBEntry:
+        """The PTLB miss path: PT fetch, insert, dirty-victim writeback.
+
+        Callers have already taken (and counted) the missing lookup.
+        """
+        cfg = self.config.domain_virt
         self.stats.charge("ptlb_misses", cfg.ptlb_miss_cycles)
         self.stats.ptlb_misses_count += 1
         if self._ev is not None:
@@ -109,17 +116,7 @@ class DomainVirtScheme(ProtectionScheme):
         if cached is not None:
             self.stats.charge("access_latency", cfg.ptlb_access_cycles)
         else:
-            self.stats.charge("ptlb_misses", cfg.ptlb_miss_cycles)
-            self.stats.ptlb_misses_count += 1
-            if self._ev is not None:
-                self._ev.emit("pt_walk", domain=entry.domain)
-            cached = PTLBEntry(domain=entry.domain,
-                               perm=self.pt.get(entry.domain, tid))
-            victim = self.ptlb.insert(cached)
-            if victim is not None and victim.dirty:
-                self.pt.set(victim.domain, tid, victim.perm)
-                self.stats.charge("entry_changes",
-                                  cfg.ptlb_entry_change_cycles)
+            cached = self._ptlb_refill(entry.domain, tid)
         return strictest(entry.perm, cached.perm).allows(is_write=is_write)
 
     def context_switch(self, old_tid: int, new_tid: int) -> None:

@@ -1,0 +1,1083 @@
+"""Array-backed fast replay engine — bit-identical to ``timing.ReplayEngine``.
+
+The reference interpreter in :mod:`repro.cpu.timing` walks Python event
+tuples and dict/OrderedDict TLB and cache models.  This module replays
+the same traces several times faster while producing **bit-identical**
+:class:`~repro.sim.stats.RunStats` (cycles, every bucket, every counter,
+mark snapshots, metrics).  The design splits per-event work into what is
+a pure function of the access stream and what depends on evolving
+protection state:
+
+* **Radiograph** — one classification pass over the trace assigns every
+  memory event its TLB level (L1/L2/miss) and cache level (L1/L2/DRAM/
+  NVM) plus the loads/stores/PMO totals.  The *cache* stream is a pure
+  function of the access stream for **every** scheme (schemes never
+  touch the caches), so all engines replay cache penalties from the
+  radiograph.  The *TLB* stream is baseline-pure; it stays valid for any
+  scheme that never invalidates TLB entries.  The radiograph also tracks
+  the attach/detach timeline, yielding the domain tag ``domain_virt``
+  would fill per TLB entry, and the per-event permission-check records
+  that scheme needs.  Everything is cached on the trace's
+  :class:`~repro.cpu.trace.TraceColumns`, so a sweep pays the pass once
+  per trace and geometry.
+
+* **Codes kernel** (``baseline``/``lowerbound``): no memory-path charges
+  and no TLB feedback, so replay collapses to three float adds per event
+  from precomputed penalty streams.
+
+* **DV kernel** (``domain_virt``): the scheme never invalidates the TLB
+  (its headline advantage), so cycles replay through the codes kernel
+  while a side loop replays *only* the protection machinery — PTLB
+  lookups with an inlined pseudo-LRU touch, batched 1-cycle access
+  charges, and the scheme's own refill/writeback methods on misses.
+
+* **Fused kernels** (``mpk``/``mpk_virt``/``libmpk``): key remapping
+  flushes TLB entries, so the TLB is simulated live against flat-array
+  levels (:class:`~repro.mem.tlb.ArrayTLBLevel`) with the hit path and
+  the per-scheme permission check inlined; every cold path (page walk,
+  key remap, SETPERM, context switch, attach/detach) calls the *real*
+  scheme methods, so charging and state transitions are the reference
+  code's own.
+
+Bit-identity hinges on float-add order: per memory event the reference
+adds ``icount*cpi``, then the TLB penalty, then the cache penalty, as
+three separate ``+=``.  Every kernel preserves exactly that sequence (a
+zero penalty adds ``0``, which is exact).  Integer charges are batched
+as ``n*c`` where that is exact; anything non-integer goes through the
+reference charge path event by event.
+
+One caveat: when an enforced :class:`~repro.errors.ProtectionFault`
+aborts a replay mid-trace, counters that the fast path batches from the
+radiograph (loads/stores/PMO accesses and cache hit/miss totals) reflect
+the whole trace rather than the aborted prefix.  Completed replays —
+including ``enforce_protection=False`` runs that *count* faults — are
+bit-identical throughout.
+
+Selection is centralised in :func:`make_replay_engine`, controlled by
+the ``REPRO_FAST`` environment knob (default on; ``REPRO_FAST=0`` forces
+the reference interpreter).  The fast path steps aside automatically
+when event tracing is active (it emits no per-event observability
+records), for scheme classes it was not verified against, and for
+``domain_virt`` configs with a non-integer PTLB access charge (the
+batched charge would not be exact).
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, List, Optional, Sequence, Tuple, Type
+
+import numpy as np
+
+from .. import obs
+from ..permissions import Perm
+from ..core.domain_virt import DomainVirtScheme
+from ..core.libmpk import LibmpkScheme
+from ..core.mpk import MPKScheme
+from ..core.mpk_virt import MPKVirtScheme
+from ..core.schemes import LowerboundScheme, NullProtection, ProtectionScheme
+from ..errors import ProtectionFault, SimulationError
+from ..mem.cache import ArrayCacheHierarchy, ArrayCacheLevel
+from ..mem.memory import NVM_FRAME_BASE
+from ..mem.tlb import ArrayTLBLevel, ArrayTwoLevelTLB
+from ..os.kernel import Kernel
+from ..os.process import Process
+from ..sim.config import SimConfig
+from ..sim.stats import RunStats
+from . import trace as tr
+from .timing import ReplayEngine
+
+#: Environment knob: ``REPRO_FAST=0`` disables the fast engine globally.
+ENV_FAST = "REPRO_FAST"
+
+# Kernel selector per scheme class (identity match — a subclass may
+# override hooks a kernel bakes in, so it falls back to the reference).
+_CODES = "codes"
+_DV = "dv"
+_MPK = "mpk"
+_LIBMPK = "libmpk"
+_KERNEL_OF = {NullProtection: _CODES, LowerboundScheme: _CODES,
+              DomainVirtScheme: _DV, MPKScheme: _MPK, MPKVirtScheme: _MPK,
+              LibmpkScheme: _LIBMPK}
+
+
+def fast_replay_enabled() -> bool:
+    """Whether the ``REPRO_FAST`` knob (default on) enables the fast path."""
+    return os.environ.get(ENV_FAST, "1").strip() != "0"
+
+
+def supports_fast_replay(config: SimConfig,
+                         scheme_class: Type[ProtectionScheme]) -> bool:
+    """Whether the fast engine is verified for this scheme/config pair."""
+    if scheme_class is DomainVirtScheme:
+        # The PTLB access charge is batched as n*c — exact only for ints.
+        return isinstance(config.domain_virt.ptlb_access_cycles, int)
+    return any(scheme_class is cls for cls in _KERNEL_OF)
+
+
+def make_replay_engine(config: SimConfig, kernel: Kernel, process: Process,
+                       scheme_class: Type[ProtectionScheme], *,
+                       attach_info: Optional[Dict[int, Tuple]] = None
+                       ) -> ReplayEngine:
+    """Build the fastest replay engine that is exact for this run.
+
+    Falls back to the reference interpreter when ``REPRO_FAST=0``, when
+    event tracing is active (the fast kernels emit no per-event records),
+    or for scheme classes / configs outside the verified envelope.
+    """
+    if (fast_replay_enabled() and obs.active_events() is None
+            and supports_fast_replay(config, scheme_class)):
+        return FastReplayEngine(config, kernel, process, scheme_class,
+                                attach_info=attach_info)
+    return ReplayEngine(config, kernel, process, scheme_class,
+                        attach_info=attach_info)
+
+
+def _cold_events(columns: tr.TraceColumns) -> List[tuple]:
+    """The trace's non-memory events as ``(index, kind, tid, a, b)``.
+
+    The kernels consume these through a monotone cursor — the cold
+    events of a segment arrive in index order, so no per-event index
+    bookkeeping is needed on the hot path.  ``b`` is pre-converted to
+    :class:`Perm` for PERM/INIT_PERM events, saving an enum construction
+    per event per replay.
+    """
+    kinds = columns.kinds
+    mask = (kinds >= 2) & (kinds != 7)
+    idx = np.nonzero(mask)[0]
+    if idx.size == 0:
+        return []
+    return [(i, k, tid, a, Perm(b) if k <= 3 else b)
+            for i, k, tid, a, b in zip(
+                idx.tolist(), kinds[idx].tolist(), columns.tids[idx].tolist(),
+                columns.operand_a[idx].tolist(),
+                columns.operand_b[idx].tolist())]
+
+
+class FastReplayEngine(ReplayEngine):
+    """Replays one trace under one protection scheme — fast and exact.
+
+    Construct through :func:`make_replay_engine`; direct construction is
+    fine in tests but assumes event tracing is off and the scheme class
+    is one of the supported six.
+    """
+
+    tlb_class = ArrayTwoLevelTLB
+    cache_class = ArrayCacheHierarchy
+
+    def __init__(self, config: SimConfig, kernel: Kernel, process: Process,
+                 scheme_class: Type[ProtectionScheme], *,
+                 attach_info: Optional[Dict[int, Tuple]] = None):
+        super().__init__(config, kernel, process, scheme_class,
+                         attach_info=attach_info)
+        self._kernel_kind = None
+        for cls, kind in _KERNEL_OF.items():
+            if scheme_class is cls:
+                self._kernel_kind = kind
+                break
+        if self._kernel_kind is None:
+            raise ValueError(
+                f"fast replay does not support scheme class {scheme_class!r}")
+        cache_cfg = config.cache
+        overlap = config.processor.stall_overlap
+        l1 = cache_cfg.l1_latency
+        # Exact reference arithmetic: latency sums are formed first (all
+        # ints), then the subtraction, then one multiply — the same
+        # parenthesisation CacheHierarchy.access + timing._replay use.
+        self._pen_zero = (l1 - l1) * overlap
+        self._pen_l2 = (l1 + cache_cfg.l2_latency - l1) * overlap
+        self._dram_pen = (l1 + cache_cfg.l2_latency
+                          + config.memory.dram_latency - l1) * overlap
+        self._nvm_pen = (l1 + cache_cfg.l2_latency
+                         + config.memory.nvm_latency - l1) * overlap
+        #: vpn -> VMA memo for the TLB-walk path (the address space does
+        #: not change during a replay).
+        self._vma_of_vpn: Dict[int, object] = {}
+
+    # -- shared slow path -----------------------------------------------------
+
+    def _tlb_miss(self, vpn: int, a: int, tid: int) -> tuple:
+        """Full TLB miss: page walk (+fault), tag fill, install both levels.
+
+        The caller has already counted the miss and charged the walk
+        penalty, mirroring the reference order (penalty before walk).
+        """
+        process = self.process
+        pte = process.page_table.get(vpn)
+        if pte is None:
+            pte = self.kernel.handle_page_fault(process, a)
+        vma = self._vma_of_vpn.get(vpn)
+        if vma is None:
+            vma = process.address_space.find(a)
+            if vma is None:
+                raise SimulationError(
+                    f"trace access at {a:#x} outside any VMA")
+            self._vma_of_vpn[vpn] = vma
+        pkey, domain = self.scheme.fill_tags(vma, tid)
+        pfn = pte.pfn
+        rec = (vpn, pfn, pte.perm, pkey, domain, pfn << 6,
+               self._nvm_pen if pfn >= NVM_FRAME_BASE else self._dram_pen)
+        # Inline fill_rec for both levels: the caller missed both, so the
+        # vpn is installed (never replaced) — first free slot, else the
+        # set's minimum age stamp (the per-set LRU victim).
+        sidx = vpn ^ (vpn >> 8) ^ (vpn >> 16) ^ (vpn >> 24)
+        for level in (self.tlb.l1, self.tlb.l2):
+            slot_of = level.slot_of
+            recs = level.recs
+            ages = level.ages
+            base = (sidx % level.n_sets) * level.ways
+            free = -1
+            victim_slot = base
+            victim_age = 1 << 62
+            for s in range(base, base + level.ways):
+                if recs[s] is None:
+                    free = s
+                    break
+                age = ages[s]
+                if age < victim_age:
+                    victim_age = age
+                    victim_slot = s
+            if free < 0:
+                free = victim_slot
+                victim = recs[free]
+                del slot_of[victim[0]]
+                if victim[4]:
+                    vpns = level._vpns_by_domain.get(victim[4])
+                    if vpns is not None:
+                        vpns.discard(victim[0])
+            recs[free] = rec
+            slot_of[vpn] = free
+            ages[free] = level._age
+            level._age += 1
+            if domain:
+                level._vpns_by_domain.setdefault(domain, set()).add(vpn)
+        return rec
+
+    # -- radiograph -----------------------------------------------------------
+
+    def _build_radiograph(self, columns: tr.TraceColumns,
+                          attach_table) -> dict:
+        """Classify every memory event by TLB/cache outcome.
+
+        The TLB/cache classification replays baseline behaviour — a pure
+        function of the access stream; the cache half is valid for every
+        scheme (nothing ever invalidates cache lines), the TLB half for
+        any scheme that never invalidates TLB entries (baseline,
+        lowerbound, domain_virt).  Page faults are taken against this
+        engine's process, exactly as the reference interpreter would;
+        fault order is trace-determined, so frame assignment (and hence
+        DRAM/NVM classification) is reproducible across contexts rebuilt
+        from the same trace.
+
+        Alongside the codes the pass derives, per event, the ``dv``
+        view: the domain tag ``domain_virt.fill_tags`` (DRT walk against
+        the attach/detach timeline) would put in each TLB entry, the
+        resulting permission-check records, and the PMO-access total
+        under those tags.
+        """
+        config = self.config
+        tlb_cfg = config.tlb
+        cache_cfg = config.cache
+        tl1 = ArrayTLBLevel(tlb_cfg.l1_entries, tlb_cfg.l1_ways)
+        tl2 = ArrayTLBLevel(tlb_cfg.l2_entries, tlb_cfg.l2_ways)
+        cl1 = ArrayCacheLevel(cache_cfg.l1_size, cache_cfg.l1_ways,
+                              latency=cache_cfg.l1_latency)
+        cl2 = ArrayCacheLevel(cache_cfg.l2_size, cache_cfg.l2_ways,
+                              latency=cache_cfg.l2_latency)
+        g1 = tl1.slot_of.get
+        g2 = tl2.slot_of.get
+        sl1 = tl1.slot_of
+        recs1 = tl1.recs
+        recs2 = tl2.recs
+        ages1 = tl1.ages
+        ages2 = tl2.ages
+        t1 = tl1._age
+        t2 = tl2._age
+        ns1 = tl1.n_sets
+        w1 = tl1.ways
+        cg1 = cl1.slot_of.get
+        cg2 = cl2.slot_of.get
+        csl1 = cl1.slot_of
+        csl2 = cl2.slot_of
+        clines1 = cl1.lines
+        clines2 = cl2.lines
+        cages1 = cl1.ages
+        cages2 = cl2.ages
+        u1 = cl1._age
+        u2 = cl2._age
+        cns1 = cl1.n_sets
+        cw1 = cl1.ways
+        cns2 = cl2.n_sets
+        cw2 = cl2.ways
+
+        process = self.process
+        kernel = self.kernel
+        pt_get = process.page_table.get
+        find = process.address_space.find
+
+        kinds_l, tids_l, _, a_l, _ = columns.lists()
+        a_arr = columns.operand_a
+        vpn_l = (a_arr >> 12).tolist()
+        sub_l = ((a_arr >> 6) & 63).tolist()
+        codes = [0] * len(kinds_l)
+        attached: set = set()
+        dv_checks: List[tuple] = []
+        n_l1h = n_l2h = n_tm = 0
+        n_ld = n_st = n_pmo = n_dv_pmo = 0
+        n_c1h = n_c1m = n_c2h = n_mem = 0
+        i = -1
+
+        for k, tid, a, vpn, sub in zip(kinds_l, tids_l, a_l, vpn_l, sub_l):
+            i += 1
+            if k <= 1 or k == 7:
+                s = g1(vpn)
+                if s is not None:
+                    ages1[s] = t1
+                    t1 += 1
+                    rec = recs1[s]
+                    tc = 0
+                    n_l1h += 1
+                else:
+                    s = g2(vpn)
+                    if s is not None:
+                        ages2[s] = t2
+                        t2 += 1
+                        rec = recs2[s]
+                        tc = 1
+                        n_l2h += 1
+                        # Inline L1 promote (vpn absent: install only).
+                        base = ((vpn ^ (vpn >> 8) ^ (vpn >> 16)
+                                 ^ (vpn >> 24)) % ns1) * w1
+                        free = -1
+                        vs = base
+                        va = 1 << 62
+                        for s2 in range(base, base + w1):
+                            if recs1[s2] is None:
+                                free = s2
+                                break
+                            ag = ages1[s2]
+                            if ag < va:
+                                va = ag
+                                vs = s2
+                        if free < 0:
+                            free = vs
+                            del sl1[recs1[free][0]]
+                        recs1[free] = rec
+                        sl1[vpn] = free
+                        ages1[free] = t1
+                        t1 += 1
+                    else:
+                        pte = pt_get(vpn)
+                        if pte is None:
+                            pte = kernel.handle_page_fault(process, a)
+                        vma = find(a)
+                        if vma is None:
+                            raise SimulationError(
+                                f"trace access at {a:#x} outside any VMA")
+                        pfn = pte.pfn
+                        pmo = vma.pmo_id
+                        # Private rec layout: [3] is the dv-view domain
+                        # (attach-gated), [6] flags an NVM frame.
+                        rec = (vpn, pfn, pte.perm,
+                               pmo if pmo in attached else 0, pmo,
+                               pfn << 6, pfn >= NVM_FRAME_BASE)
+                        tl1._age = t1
+                        tl2._age = t2
+                        tl1.fill_rec(rec)
+                        tl2.fill_rec(rec)
+                        t1 = tl1._age
+                        t2 = tl2._age
+                        tc = 2
+                        n_tm += 1
+                if k == 1:
+                    n_st += 1
+                else:
+                    n_ld += 1
+                if rec[4]:
+                    n_pmo += 1
+                dv_dom = rec[3]
+                if dv_dom:
+                    n_dv_pmo += 1
+                    if k != 7:
+                        dv_checks.append((i, dv_dom, rec[2], k == 1, tid, a))
+                elif k != 7:
+                    pperm = rec[2]
+                    if not (pperm == 2 if k == 1 else pperm != 0):
+                        # Page-permission violation on a domainless page —
+                        # the only way dv faults outside a domain.
+                        dv_checks.append((i, 0, pperm, k == 1, tid, a))
+                line = rec[5] | sub
+                cs = cg1(line)
+                if cs is not None:
+                    cages1[cs] = u1
+                    u1 += 1
+                    cc = 0
+                    n_c1h += 1
+                else:
+                    n_c1m += 1
+                    cs = cg2(line)
+                    if cs is not None:
+                        cages2[cs] = u2
+                        u2 += 1
+                        cc = 1
+                        n_c2h += 1
+                    else:
+                        n_mem += 1
+                        cc = 3 if rec[6] else 2
+                        # Inline L2 install (line missed both levels).
+                        base = (line % cns2) * cw2
+                        free = -1
+                        vs = base
+                        va = 1 << 62
+                        for s2 in range(base, base + cw2):
+                            if clines2[s2] < 0:
+                                free = s2
+                                break
+                            ag = cages2[s2]
+                            if ag < va:
+                                va = ag
+                                vs = s2
+                        if free < 0:
+                            free = vs
+                            del csl2[clines2[free]]
+                        clines2[free] = line
+                        csl2[line] = free
+                        cages2[free] = u2
+                        u2 += 1
+                    # Inline L1 install (line was an L1 miss).
+                    base = (line % cns1) * cw1
+                    free = -1
+                    vs = base
+                    va = 1 << 62
+                    for s2 in range(base, base + cw1):
+                        if clines1[s2] < 0:
+                            free = s2
+                            break
+                        ag = cages1[s2]
+                        if ag < va:
+                            va = ag
+                            vs = s2
+                    if free < 0:
+                        free = vs
+                        del csl1[clines1[free]]
+                    clines1[free] = line
+                    csl1[line] = free
+                    cages1[free] = u1
+                    u1 += 1
+                codes[i] = 8 + (tc << 2) + cc
+            elif k <= 6:
+                codes[i] = 8 - k
+                if k == 5:
+                    vma, _ = attach_table[a]
+                    attached.add(vma.pmo_id)
+                elif k == 6:
+                    attached.discard(a)
+            else:  # pragma: no cover - malformed trace
+                raise SimulationError(f"unknown event kind {k}")
+
+        return {
+            "codes": codes, "dv_checks": dv_checks,
+            "tlb_l1_hits": n_l1h, "tlb_l2_hits": n_l2h, "tlb_misses": n_tm,
+            "loads": n_ld, "stores": n_st,
+            "pmo_accesses": n_pmo, "dv_pmo_accesses": n_dv_pmo,
+            "cache_l1_hits": n_c1h, "cache_l1_misses": n_c1m,
+            "cache_l2_hits": n_c2h, "mem_accesses": n_mem,
+        }
+
+    # -- counter settlement ---------------------------------------------------
+
+    def _flush_totals(self, rad: dict) -> None:
+        """Credit the radiograph's precomputed totals to this run."""
+        stats = self.stats
+        kind = self._kernel_kind
+        stats.loads += rad["loads"]
+        stats.stores += rad["stores"]
+        stats.pmo_accesses += rad["dv_pmo_accesses" if kind == _DV
+                                  else "pmo_accesses"]
+        caches = self.caches
+        caches.l1.hits += rad["cache_l1_hits"]
+        caches.l1.misses += rad["cache_l1_misses"]
+        caches.l2.hits += rad["cache_l2_hits"]
+        caches.l2.misses += rad["mem_accesses"]
+        caches.mem_accesses += rad["mem_accesses"]
+        tlb = self.tlb
+        if kind in (_CODES, _DV):
+            # No TLB feedback for these schemes: the radiograph TLB
+            # stream is this run's TLB stream.
+            n_l1h = rad["tlb_l1_hits"]
+            n_l2h = rad["tlb_l2_hits"]
+            n_tm = rad["tlb_misses"]
+        else:
+            # Live TLB: the kernels counted L2 hits and misses; L1 hits
+            # are the remaining memory events.
+            n_l2h = self._seen_l2h
+            n_tm = self._seen_tm
+            n_l1h = rad["loads"] + rad["stores"] - n_l2h - n_tm
+            # L2-level and stats counters were flushed per segment;
+            # only the derived L1-hit totals remain.
+            tlb.l1.hits += n_l1h
+            stats.tlb_l1_hits += n_l1h
+            return
+        tlb.l1.hits += n_l1h
+        tlb.l1.misses += n_l2h + n_tm
+        tlb.l2.hits += n_l2h
+        tlb.l2.misses += n_tm
+        stats.tlb_l1_hits += n_l1h
+        stats.tlb_l2_hits += n_l2h
+        stats.tlb_misses += n_tm
+
+    # -- driver ---------------------------------------------------------------
+
+    def run(self, trace: tr.Trace, *,
+            marks: Optional[Sequence[int]] = None) -> RunStats:
+        """Replay the whole trace; returns the populated statistics.
+
+        Same contract as the reference ``ReplayEngine.run`` — including
+        ``marks`` snapshot semantics — minus per-event observability
+        records (selection guarantees event tracing is off).
+        """
+        stats = self.stats
+        config = self.config
+        attach_table = (self.attach_info if self.attach_info is not None
+                        else trace.attach_info)
+        self._attach_table = attach_table
+        columns = trace.columns
+        kinds_l, tids_l, _, a_l, _ = columns.lists()
+        n = len(kinds_l)
+        cache = columns.replay_cache
+
+        cpi = config.processor.base_cpi
+        self._badd = cache(("badd", cpi),
+                           lambda: (columns.icounts * cpi).tolist())
+        self._cold = cache(("cold",), lambda: _cold_events(columns))
+        self._k_l = kinds_l
+        self._t_l = tids_l
+        self._a_l = a_l
+
+        tlb_cfg = config.tlb
+        cache_cfg = config.cache
+        geometry = (tlb_cfg.l1_entries, tlb_cfg.l1_ways,
+                    tlb_cfg.l2_entries, tlb_cfg.l2_ways,
+                    cache_cfg.l1_size, cache_cfg.l1_ways,
+                    cache_cfg.l2_size, cache_cfg.l2_ways)
+        rad = cache(("radiograph", *geometry),
+                    lambda: self._build_radiograph(columns, attach_table))
+        # Per-event penalty streams derived from the codes: raw config
+        # ints for TLB penalties, overlap-scaled floats for the cache —
+        # the reference's own addend types and values.
+        tpen = (0, tlb_cfg.l2_latency, tlb_cfg.miss_penalty)
+        tab_t = [0] * 20
+        tab_c = [0.0] * 20
+        cpen4 = (self._pen_zero, self._pen_l2, self._dram_pen, self._nvm_pen)
+        for tc in range(3):
+            for cc in range(4):
+                tab_t[8 + (tc << 2) + cc] = tpen[tc]
+                tab_c[8 + (tc << 2) + cc] = cpen4[cc]
+        self._cpen = cache(
+            ("cpen", *geometry, cache_cfg.l1_latency, cache_cfg.l2_latency,
+             config.memory.dram_latency, config.memory.nvm_latency,
+             config.processor.stall_overlap),
+            lambda: [tab_c[c] for c in rad["codes"]])
+        kind = self._kernel_kind
+        if kind in (_CODES, _DV):
+            self._tadd = cache(
+                ("tadd", *geometry, tlb_cfg.l2_latency, tlb_cfg.miss_penalty),
+                lambda: [tab_t[c] for c in rad["codes"]])
+        if kind == _CODES:
+            runner = self._run_codes
+        elif kind == _DV:
+            self._dv_checks = rad["dv_checks"]
+            self._cj = 0
+            runner = self._run_dv
+        elif kind == _MPK:
+            runner = self._run_mpk
+        else:
+            runner = self._run_libmpk
+        self._seen_l2h = 0
+        self._seen_tm = 0
+
+        if marks:
+            snapshots: List[float] = []
+            cycles = 0.0
+            ci = 0
+            previous = 0
+            for stop in marks:
+                cycles, ci = runner(previous, stop, ci, cycles)
+                snapshots.append(cycles + stats.cycles)
+                previous = stop
+            cycles, ci = runner(previous, n, ci, cycles)
+            stats.mark_cycles = snapshots
+        else:
+            cycles, ci = runner(0, n, 0, 0.0)
+
+        self._flush_totals(rad)
+        stats.cycles += cycles
+        stats.instructions = int(columns.icounts.sum(dtype=np.int64))
+        if obs.metrics_enabled():
+            registry = obs.MetricsRegistry()
+            self.tlb.report_metrics(registry)
+            self.caches.report_metrics(registry)
+            self.scheme.report_metrics(registry)
+            stats.metrics = registry.as_dict()
+        return stats
+
+    # -- cold dispatch (non-memory events) ------------------------------------
+
+    def _cold_event(self, k: int, tid: int, a: int, b: int) -> None:
+        """One PERM/INIT_PERM/CTXSW/ATTACH/DETACH event via the scheme."""
+        stats = self.stats
+        scheme = self.scheme
+        if k == 2:
+            stats.perm_switches += 1
+            scheme.perm_switch(tid, a, b)
+        elif k == 3:
+            scheme.set_initial_perm(a, tid, b)
+        elif k == 4:
+            stats.context_switches += 1
+            scheme.context_switch(tid, a)
+        elif k == 5:
+            vma, intent = self._attach_table[a]
+            if (a not in self.process.attachments
+                    and vma.pmo_id != a):
+                raise SimulationError(f"attach of unknown domain {a}")
+            scheme.attach_domain(vma, intent)
+        elif k == 6:
+            scheme.detach_domain(a)
+        else:  # pragma: no cover - malformed trace
+            raise SimulationError(f"unknown event kind {k}")
+
+    def _mpkv_perm_switch(self, tid: int, dom: int, perm) -> None:
+        """mpk_virt SETPERM with the DTTLB-hit path inlined.
+
+        Identical decisions and charges to ``MPKVirtScheme.perm_switch``;
+        every charge involved is an integer, so accumulation order cannot
+        perturb the float totals.  A DTTLB miss falls back to the real
+        method (whose own lookup then takes the one counted miss).
+        """
+        scheme = self.scheme
+        dttlb = scheme.dttlb
+        slot = dttlb._slot_of.get(dom)
+        if slot is None:
+            scheme.perm_switch(tid, dom, perm)
+            return
+        stats = self.stats
+        wr = self.config.mpk.wrpkru_cycles
+        stats.buckets["perm_change"] += wr
+        stats.cycles += wr
+        dttlb.hits += 1
+        plru = dttlb._plru
+        bits = plru._bits
+        ops = plru._touch_ops[slot]
+        for o in range(0, len(ops), 2):
+            bits[ops[o]] = ops[o + 1]
+        cached = dttlb._slots[slot]
+        cached.perm = perm
+        cached.dirty = True
+        cached.dtt_entry.perms[tid] = perm
+        if cached.valid:
+            kp = scheme._key_plru
+            kbits = kp._bits
+            kops = kp._touch_ops[cached.key - 1]
+            for o in range(0, len(kops), 2):
+                kbits[kops[o]] = kops[o + 1]
+            pkru = scheme.pkru
+            regs = pkru._by_tid.get(tid)
+            if regs is None:
+                regs = pkru.for_thread(tid)
+            regs[cached.key] = perm
+
+    def _lib_perm_switch(self, tid: int, dom: int, perm) -> None:
+        """libmpk SETPERM with the key-hit path inlined.
+
+        Identical decisions and charges to ``LibmpkScheme.perm_switch``
+        (int charges, so batching order is exact); an unmapped domain
+        falls back to the real method for the fault/remap machinery.
+        """
+        scheme = self.scheme
+        key_of = scheme._key_of
+        if dom not in key_of:
+            scheme.perm_switch(tid, dom, perm)
+            return
+        key_of.move_to_end(dom)
+        key = key_of[dom]
+        stats = self.stats
+        ps = self.config.libmpk.pkey_set_cycles
+        stats.buckets["perm_change"] += ps
+        stats.cycles += ps
+        scheme._perms[dom][tid] = perm
+        pkru = scheme.pkru
+        regs = pkru._by_tid.get(tid)
+        if regs is None:
+            regs = pkru.for_thread(tid)
+        regs[key] = perm
+
+    # -- codes kernel (baseline / lowerbound) ---------------------------------
+
+    def _run_codes(self, p: int, q: int, ci: int,
+                   cycles: float) -> Tuple[float, int]:
+        """Replay events [p, q) through the precomputed penalty streams."""
+        badd = self._badd
+        tadd = self._tadd
+        cpen = self._cpen
+        if p == 0 and q == len(badd):
+            seq = zip(badd, tadd, cpen)
+        else:
+            seq = zip(badd[p:q], tadd[p:q], cpen[p:q])
+        for ba, tp, cp in seq:
+            cycles += ba
+            cycles += tp
+            cycles += cp
+        cold = self._cold
+        n_cold = len(cold)
+        while ci < n_cold and cold[ci][0] < q:
+            _, k, tid, a, b = cold[ci]
+            ci += 1
+            self._cold_event(k, tid, a, b)
+        return cycles, ci
+
+    # -- dv kernel (domain_virt) ----------------------------------------------
+
+    def _run_dv(self, p: int, q: int, ci: int,
+                cycles: float) -> Tuple[float, int]:
+        """Codes kernel for cycles + a protection-only PTLB replay."""
+        badd = self._badd
+        tadd = self._tadd
+        cpen = self._cpen
+        if p == 0 and q == len(badd):
+            seq = zip(badd, tadd, cpen)
+        else:
+            seq = zip(badd[p:q], tadd[p:q], cpen[p:q])
+        for ba, tp, cp in seq:
+            cycles += ba
+            cycles += tp
+            cycles += cp
+
+        stats = self.stats
+        scheme = self.scheme
+        enforce = self.config.enforce_protection
+        checks = self._dv_checks
+        cold = self._cold
+        cj = self._cj
+        n_chk = len(checks)
+        n_cold = len(cold)
+        ptlb = scheme.ptlb
+        plru = ptlb._plru
+        pget = ptlb._slot_of.get
+        slots = ptlb._slots
+        bits = plru._bits
+        touch_ops = plru._touch_ops
+        refill = scheme._ptlb_refill
+        noted = scheme._current_tid != -1
+        acc_c = self.config.domain_virt.ptlb_access_cycles
+        lsl = -1
+        ldp = 0
+        n_ph = 0
+        n_acc = 0
+        try:
+            while True:
+                ii = checks[cj][0] if cj < n_chk else q
+                jj = cold[ci][0] if ci < n_cold else q
+                if ii >= q and jj >= q:
+                    break
+                if ii < jj:
+                    _, dom, pperm, w, tid, a = checks[cj]
+                    cj += 1
+                    if dom:
+                        if not noted:
+                            if scheme._current_tid == -1:
+                                scheme._current_tid = tid
+                            noted = True
+                        sl = pget(dom)
+                        if sl is not None:
+                            n_ph += 1
+                            n_acc += 1
+                            if sl != lsl:
+                                # PseudoLRU.touch writes absolute bit
+                                # values — idempotent per slot, so
+                                # repeats since the last state change
+                                # are free.
+                                ops = touch_ops[sl]
+                                o = 0
+                                n_ops = len(ops)
+                                while o < n_ops:
+                                    bits[ops[o]] = ops[o + 1]
+                                    o += 2
+                                lsl = sl
+                                ldp = slots[sl].perm
+                            dp = ldp
+                        else:
+                            ptlb.misses += 1
+                            dp = refill(dom, tid).perm
+                            lsl = -1
+                        pm = pperm if pperm <= dp else dp
+                        ok = pm == 2 if w else pm != 0
+                    else:
+                        # Recorded only when the page permission fails.
+                        ok = False
+                    if not ok:
+                        stats.protection_faults += 1
+                        if enforce:
+                            raise ProtectionFault(
+                                f"illegal {'store' if w else 'load'} at "
+                                f"{a:#x} (domain {dom}, thread {tid})",
+                                vaddr=a, domain=dom, thread=tid, is_write=w)
+                else:
+                    _, k, tid, a, b = cold[ci]
+                    ci += 1
+                    self._cold_event(k, tid, a, b)
+                    # CTXSW flushes the PTLB (rebinding its slot list and
+                    # PLRU bits); SETPERM rewrites cached entries.
+                    slots = ptlb._slots
+                    bits = plru._bits
+                    noted = scheme._current_tid != -1
+                    lsl = -1
+        finally:
+            self._cj = cj
+            ptlb.hits += n_ph
+            if n_acc:
+                # n identical integer charges batch exactly.
+                total = n_acc * acc_c
+                stats.buckets["access_latency"] += total
+                stats.cycles += total
+        return cycles, ci
+
+    # -- fused kernels (live TLB) ---------------------------------------------
+
+    def _run_mpk(self, p: int, q: int, ci: int,
+                 cycles: float) -> Tuple[float, int]:
+        """mpk / mpk_virt: live TLB, PKRU check via the entry's pkey."""
+        stats = self.stats
+        scheme = self.scheme
+        enforce = self.config.enforce_protection
+        l2_tlb_latency = self.config.tlb.l2_latency
+        tlb_miss_penalty = self.config.tlb.miss_penalty
+
+        k_l = self._k_l
+        t_l = self._t_l
+        a_l = self._a_l
+        badd = self._badd
+        cpen = self._cpen
+        cold = self._cold
+
+        l1 = self.tlb.l1
+        l2 = self.tlb.l2
+        g1 = l1.slot_of.get
+        g2 = l2.slot_of.get
+        recs1 = l1.recs
+        recs2 = l2.recs
+        ages1 = l1.ages
+        ages2 = l2.ages
+        t1 = l1._age
+        t2 = l2._age
+
+        # Per-thread PKRU registers: created on first use (exactly when
+        # the reference would) and mutated in place ever after, so the
+        # per-tid cache stays valid across scheme calls.
+        by_tid_get = scheme.pkru._by_tid.get
+        for_thread = scheme.pkru.for_thread
+        ltid = -1
+        regs = None
+
+        # SETPERM dominates the cold stream; mpk_virt's DTTLB-hit case
+        # gets the inlined handler (plain MPK's perm_switch is already a
+        # two-line method — not worth bypassing).
+        fast_ps = (self._mpkv_perm_switch
+                   if type(scheme) is MPKVirtScheme else None)
+
+        n_l2h = n_tm = 0
+
+        if p == 0 and q == len(k_l):
+            seq = zip(k_l, t_l, badd, a_l, cpen)
+        else:
+            seq = zip(k_l[p:q], t_l[p:q], badd[p:q], a_l[p:q], cpen[p:q])
+
+        try:
+            for k, tid, ba, a, cp in seq:
+                cycles += ba
+                if k <= 1 or k == 7:
+                    vpn = a >> 12
+                    s = g1(vpn)
+                    if s is not None:
+                        ages1[s] = t1
+                        t1 += 1
+                        rec = recs1[s]
+                    else:
+                        s = g2(vpn)
+                        if s is not None:
+                            ages2[s] = t2
+                            t2 += 1
+                            rec = recs2[s]
+                            l1._age = t1
+                            l1.fill_rec(rec)
+                            t1 = l1._age
+                            n_l2h += 1
+                            cycles += l2_tlb_latency
+                        else:
+                            n_tm += 1
+                            cycles += tlb_miss_penalty
+                            l1._age = t1
+                            l2._age = t2
+                            rec = self._tlb_miss(vpn, a, tid)
+                            t1 = l1._age
+                            t2 = l2._age
+                    if k != 7:
+                        pm = rec[2]
+                        pk = rec[3]
+                        if pk:
+                            if tid != ltid:
+                                regs = by_tid_get(tid)
+                                if regs is None:
+                                    regs = for_thread(tid)
+                                ltid = tid
+                            dp = regs[pk]
+                            if dp < pm:
+                                pm = dp
+                        if not (pm == 2 if k == 1 else pm != 0):
+                            stats.protection_faults += 1
+                            if enforce:
+                                w = k == 1
+                                raise ProtectionFault(
+                                    f"illegal "
+                                    f"{'store' if w else 'load'} at {a:#x} "
+                                    f"(domain {rec[4]}, thread {tid})",
+                                    vaddr=a, domain=rec[4], thread=tid,
+                                    is_write=w)
+                    cycles += cp
+                else:
+                    ci += 1
+                    c = cold[ci - 1]
+                    if k == 2 and fast_ps is not None:
+                        stats.perm_switches += 1
+                        fast_ps(tid, a, c[4])
+                    else:
+                        self._cold_event(k, tid, a, c[4])
+        finally:
+            l1.misses += n_l2h + n_tm
+            l2.hits += n_l2h
+            l2.misses += n_tm
+            l1._age = t1
+            l2._age = t2
+            stats.tlb_l2_hits += n_l2h
+            stats.tlb_misses += n_tm
+            self._seen_l2h += n_l2h
+            self._seen_tm += n_tm
+        return cycles, ci
+
+    def _run_libmpk(self, p: int, q: int, ci: int,
+                    cycles: float) -> Tuple[float, int]:
+        """libmpk: live TLB, software (domain, thread) permission check."""
+        stats = self.stats
+        scheme = self.scheme
+        enforce = self.config.enforce_protection
+        l2_tlb_latency = self.config.tlb.l2_latency
+        tlb_miss_penalty = self.config.tlb.miss_penalty
+
+        k_l = self._k_l
+        t_l = self._t_l
+        a_l = self._a_l
+        badd = self._badd
+        cpen = self._cpen
+        cold = self._cold
+
+        l1 = self.tlb.l1
+        l2 = self.tlb.l2
+        g1 = l1.slot_of.get
+        g2 = l2.slot_of.get
+        recs1 = l1.recs
+        recs2 = l2.recs
+        ages1 = l1.ages
+        ages2 = l2.ages
+        t1 = l1._age
+        t2 = l2._age
+
+        key_of = scheme._key_of
+        perms = scheme._perms
+        fault_map = scheme._fault_map
+        # (domain, tid) permission memo: valid until anything runs that
+        # can rewrite libmpk metadata — a cold event (SETPERM/attach/
+        # detach rebind or mutate _perms) or a TLB walk (fill_tags can
+        # evict the domain from _key_of).
+        ldom = -1
+        lptid = -1
+        ldp = 0
+
+        n_l2h = n_tm = 0
+
+        if p == 0 and q == len(k_l):
+            seq = zip(k_l, t_l, badd, a_l, cpen)
+        else:
+            seq = zip(k_l[p:q], t_l[p:q], badd[p:q], a_l[p:q], cpen[p:q])
+
+        try:
+            for k, tid, ba, a, cp in seq:
+                cycles += ba
+                if k <= 1 or k == 7:
+                    vpn = a >> 12
+                    s = g1(vpn)
+                    if s is not None:
+                        ages1[s] = t1
+                        t1 += 1
+                        rec = recs1[s]
+                    else:
+                        s = g2(vpn)
+                        if s is not None:
+                            ages2[s] = t2
+                            t2 += 1
+                            rec = recs2[s]
+                            l1._age = t1
+                            l1.fill_rec(rec)
+                            t1 = l1._age
+                            n_l2h += 1
+                            cycles += l2_tlb_latency
+                        else:
+                            n_tm += 1
+                            cycles += tlb_miss_penalty
+                            l1._age = t1
+                            l2._age = t2
+                            rec = self._tlb_miss(vpn, a, tid)
+                            t1 = l1._age
+                            t2 = l2._age
+                            ldom = -1
+                    if k != 7:
+                        pm = rec[2]
+                        dom = rec[4]
+                        if dom:
+                            if dom != ldom or tid != lptid:
+                                if dom not in key_of:
+                                    fault_map(dom, tid)
+                                ldp = perms[dom].get(tid, 0)  # 0 == NONE
+                                ldom = dom
+                                lptid = tid
+                            if ldp < pm:
+                                pm = ldp
+                        if not (pm == 2 if k == 1 else pm != 0):
+                            stats.protection_faults += 1
+                            if enforce:
+                                w = k == 1
+                                raise ProtectionFault(
+                                    f"illegal "
+                                    f"{'store' if w else 'load'} at {a:#x} "
+                                    f"(domain {dom}, thread {tid})",
+                                    vaddr=a, domain=dom, thread=tid,
+                                    is_write=w)
+                    cycles += cp
+                else:
+                    ci += 1
+                    c = cold[ci - 1]
+                    if k == 2:
+                        stats.perm_switches += 1
+                        self._lib_perm_switch(tid, a, c[4])
+                    else:
+                        self._cold_event(k, tid, a, c[4])
+                    ldom = -1
+        finally:
+            l1.misses += n_l2h + n_tm
+            l2.hits += n_l2h
+            l2.misses += n_tm
+            l1._age = t1
+            l2._age = t2
+            stats.tlb_l2_hits += n_l2h
+            stats.tlb_misses += n_tm
+            self._seen_l2h += n_l2h
+            self._seen_tm += n_tm
+        return cycles, ci

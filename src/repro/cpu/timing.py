@@ -17,7 +17,6 @@ the paper's methodology (Section V).
 
 from __future__ import annotations
 
-from itertools import islice
 from typing import Dict, List, Optional, Sequence, Tuple, Type
 
 from .. import obs
@@ -37,6 +36,12 @@ from . import trace as tr
 class ReplayEngine:
     """Replays one trace under one protection scheme."""
 
+    #: TLB/cache model classes; the array-backed fast engine
+    #: (:mod:`repro.cpu.fast_timing`) overrides these with its flat-array
+    #: implementations — decision- and counter-identical either way.
+    tlb_class = TwoLevelTLB
+    cache_class = CacheHierarchy
+
     def __init__(self, config: SimConfig, kernel: Kernel, process: Process,
                  scheme_class: Type[ProtectionScheme], *,
                  attach_info: Optional[Dict[int, Tuple]] = None):
@@ -50,10 +55,10 @@ class ReplayEngine:
         self.attach_info = attach_info
         tlb_cfg = config.tlb
         cache_cfg = config.cache
-        self.tlb = TwoLevelTLB(
+        self.tlb = self.tlb_class(
             l1_entries=tlb_cfg.l1_entries, l1_ways=tlb_cfg.l1_ways,
             l2_entries=tlb_cfg.l2_entries, l2_ways=tlb_cfg.l2_ways)
-        self.caches = CacheHierarchy(
+        self.caches = self.cache_class(
             l1_size=cache_cfg.l1_size, l1_ways=cache_cfg.l1_ways,
             l1_latency=cache_cfg.l1_latency, l2_size=cache_cfg.l2_size,
             l2_ways=cache_cfg.l2_ways, l2_latency=cache_cfg.l2_latency)
@@ -157,7 +162,10 @@ class ReplayEngine:
         if start == 0 and stop == len(events):
             window = events
         else:
-            window = islice(events, start, stop)
+            # Direct index-range slice: islice(events, start, stop) walks
+            # the list from 0 every call, turning marked replays into
+            # O(events x marks).
+            window = events[start:stop]
 
         for kind, tid, icount, a, b in window:
             instructions += icount

@@ -24,8 +24,10 @@ DETACH       a = domain ID
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
+
+import numpy as np
 
 from ..core.permissions import Perm
 from ..errors import TraceError
@@ -73,27 +75,132 @@ class TraceLayout:
     n_threads: int = 1
 
 
-@dataclass
-class Trace:
-    """An immutable recorded execution."""
+class TraceColumns:
+    """The five event fields as parallel numpy arrays (columnar layout).
 
-    events: List[Tuple[int, int, int, int, int]]
-    #: domain -> (vma, intent) for replaying attach events.
-    attach_info: Dict[int, Tuple[VMA, Perm]]
-    total_instructions: int = 0
-    label: str = ""
-    #: Process image for isolated replay; ``None`` for hand-built traces
-    #: (those replay against a live workspace instead).
-    layout: Optional[TraceLayout] = None
+    ``kinds`` (uint8), ``tids`` (uint32), ``icounts`` (uint32),
+    ``operand_a`` (uint64) and ``operand_b`` (uint64) — exactly the
+    arrays the .npz trace format stores (``docs/TRACE_FORMAT.md``), so a
+    loaded trace hands them over without building a tuple per event.
+    The fast replay engine iterates plain-int list views of the columns
+    (:meth:`lists`) and memoizes derived per-config data (penalty
+    columns, access radiographs) in :meth:`replay_cache`.
+    """
+
+    __slots__ = ("kinds", "tids", "icounts", "operand_a", "operand_b",
+                 "_lists", "_replay_cache")
+
+    def __init__(self, kinds: np.ndarray, tids: np.ndarray,
+                 icounts: np.ndarray, operand_a: np.ndarray,
+                 operand_b: np.ndarray):
+        self.kinds = kinds
+        self.tids = tids
+        self.icounts = icounts
+        self.operand_a = operand_a
+        self.operand_b = operand_b
+        self._lists = None
+        self._replay_cache: Dict = {}
+
+    @classmethod
+    def from_events(cls,
+                    events: List[Tuple[int, int, int, int, int]]
+                    ) -> "TraceColumns":
+        n = len(events)
+        return cls(
+            np.fromiter((e[0] for e in events), dtype=np.uint8, count=n),
+            np.fromiter((e[1] for e in events), dtype=np.uint32, count=n),
+            np.fromiter((e[2] for e in events), dtype=np.uint32, count=n),
+            np.fromiter((e[3] for e in events), dtype=np.uint64, count=n),
+            np.fromiter((e[4] for e in events), dtype=np.uint64, count=n))
 
     def __len__(self) -> int:
-        return len(self.events)
+        return int(self.kinds.shape[0])
+
+    def lists(self) -> Tuple[list, list, list, list, list]:
+        """The five columns as plain-int Python lists (cached)."""
+        if self._lists is None:
+            self._lists = (self.kinds.tolist(), self.tids.tolist(),
+                           self.icounts.tolist(), self.operand_a.tolist(),
+                           self.operand_b.tolist())
+        return self._lists
+
+    def events(self) -> List[Tuple[int, int, int, int, int]]:
+        """Materialize the row-wise tuple list (reference-engine view)."""
+        return list(zip(*self.lists()))
+
+    def replay_cache(self, key, build):
+        """Memoize replay-derived data (penalties, radiographs) by key."""
+        out = self._replay_cache.get(key)
+        if out is None:
+            out = self._replay_cache[key] = build()
+        return out
+
+    # Derived caches are cheap to rebuild and can hold context-bound
+    # state; ship only the raw columns across process boundaries.
+    def __getstate__(self):
+        return (self.kinds, self.tids, self.icounts,
+                self.operand_a, self.operand_b)
+
+    def __setstate__(self, state):
+        self.__init__(*state)
+
+
+class Trace:
+    """An immutable recorded execution.
+
+    Events live in whichever representation the producer had on hand —
+    a row-wise tuple list (fresh recordings) or columnar numpy arrays
+    (traces loaded from .npz) — and the other view materializes lazily:
+    ``.events`` for the reference interpreter, ``.columns`` for the
+    array-backed fast engine and the trace writer.
+    """
+
+    def __init__(self, events: Optional[List[Tuple[int, int, int, int,
+                                                   int]]] = None,
+                 attach_info: Optional[Dict[int, Tuple[VMA, Perm]]] = None,
+                 total_instructions: int = 0, label: str = "",
+                 layout: Optional[TraceLayout] = None, *,
+                 columns: Optional[TraceColumns] = None):
+        if events is None and columns is None:
+            raise ValueError("Trace needs events or columns")
+        self._events = events
+        self._columns = columns
+        #: domain -> (vma, intent) for replaying attach events.
+        self.attach_info = attach_info if attach_info is not None else {}
+        self.total_instructions = total_instructions
+        self.label = label
+        #: Process image for isolated replay; ``None`` for hand-built
+        #: traces (those replay against a live workspace instead).
+        self.layout = layout
+
+    @property
+    def events(self) -> List[Tuple[int, int, int, int, int]]:
+        events = self._events
+        if events is None:
+            events = self._events = self._columns.events()
+        return events
+
+    @property
+    def columns(self) -> TraceColumns:
+        columns = self._columns
+        if columns is None:
+            columns = self._columns = TraceColumns.from_events(self._events)
+        return columns
+
+    def __len__(self) -> int:
+        if self._events is not None:
+            return len(self._events)
+        return len(self._columns)
 
     def counts(self) -> Dict[str, int]:
         """Histogram of event kinds (debugging/report aid)."""
+        if self._events is not None:
+            kinds = [event[0] for event in self._events]
+        else:
+            kinds = self._columns.kinds.tolist()
         out: Dict[str, int] = {}
-        for event in self.events:
-            name = KIND_NAMES[event[0]]
+        for kind in kinds:
+            name = KIND_NAMES[kind]
             out[name] = out.get(name, 0) + 1
         return out
 

@@ -25,7 +25,7 @@ import numpy as np
 from ..errors import TraceError
 from ..os.address_space import VMA
 from ..permissions import Perm
-from .trace import Trace, TraceLayout
+from .trace import Trace, TraceColumns, TraceLayout
 
 FORMAT_VERSION = 2
 
@@ -47,19 +47,14 @@ def _vma_from_meta(meta: dict) -> VMA:
 
 def save_trace(trace: Trace, path: Union[str, pathlib.Path]) -> None:
     """Write a trace (and its layout, if any) to ``path`` (.npz)."""
-    events = trace.events
-    n = len(events)
-    kinds = np.empty(n, dtype=np.uint8)
-    tids = np.empty(n, dtype=np.uint32)
-    icounts = np.empty(n, dtype=np.uint32)
-    operand_a = np.empty(n, dtype=np.uint64)
-    operand_b = np.empty(n, dtype=np.uint64)
-    for i, (kind, tid, icount, a, b) in enumerate(events):
-        kinds[i] = kind
-        tids[i] = tid
-        icounts[i] = icount
-        operand_a[i] = a
-        operand_b[i] = b
+    # The columnar view IS the file layout; building it here also leaves
+    # the arrays cached on the trace for the fast replay engine.
+    columns = trace.columns
+    kinds = columns.kinds
+    tids = columns.tids
+    icounts = columns.icounts
+    operand_a = columns.operand_a
+    operand_b = columns.operand_b
 
     attach_meta = {
         str(domain): dict(_vma_meta(vma), intent=int(intent))
@@ -113,10 +108,12 @@ def load_trace(path: Union[str, pathlib.Path]) -> Trace:
         if header.get("version") != FORMAT_VERSION:
             raise TraceError(
                 f"unsupported trace format version {header.get('version')}")
-        events = list(zip(
-            data["kinds"].tolist(), data["tids"].tolist(),
-            data["icounts"].tolist(), data["operand_a"].tolist(),
-            data["operand_b"].tolist()))
+        # Hand the arrays straight to the columnar trace: replay runs on
+        # the columns, and row tuples only materialize if something asks
+        # for `.events` (the reference interpreter).
+        columns = TraceColumns(
+            data["kinds"], data["tids"], data["icounts"],
+            data["operand_a"], data["operand_b"])
         layout = None
         if "vmas" in header:
             if "pte_vpn" not in data.files:
@@ -133,6 +130,6 @@ def load_trace(path: Union[str, pathlib.Path]) -> Trace:
     for domain, meta in header["attach_info"].items():
         attach_info[int(domain)] = (_vma_from_meta(meta),
                                     Perm(meta["intent"]))
-    return Trace(events=events, attach_info=attach_info,
+    return Trace(columns=columns, attach_info=attach_info,
                  total_instructions=header["total_instructions"],
                  label=header["label"], layout=layout)

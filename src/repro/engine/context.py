@@ -25,7 +25,7 @@ import dataclasses
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..core.schemes import scheme_by_name
-from ..cpu.timing import ReplayEngine
+from ..cpu.fast_timing import make_replay_engine
 from ..cpu.trace import Trace
 from ..errors import EngineError
 from ..mem.memory import NVM_FRAME_BASE
@@ -87,8 +87,9 @@ class ReplayContext:
         max_dram = -1
         max_nvm = NVM_FRAME_BASE - 1
         page_table = process.page_table
+        perm_of = {p.value: p for p in Perm}
         for vpn, pfn, perm, pkey, domain in layout.ptes:
-            page_table.map_page(vpn, PTE(pfn=pfn, perm=Perm(perm),
+            page_table.map_page(vpn, PTE(pfn=pfn, perm=perm_of[perm],
                                          pkey=pkey, domain=domain))
             if pfn >= NVM_FRAME_BASE:
                 max_nvm = max(max_nvm, pfn)
@@ -102,9 +103,9 @@ class ReplayContext:
                marks: Optional[Sequence[int]] = None) -> RunStats:
         """Replay ``trace`` under one scheme inside this context."""
         config = config or DEFAULT_CONFIG
-        engine = ReplayEngine(config, self.kernel, self.process,
-                              scheme_by_name(scheme),
-                              attach_info=self.attach_info)
+        engine = make_replay_engine(config, self.kernel, self.process,
+                                    scheme_by_name(scheme),
+                                    attach_info=self.attach_info)
         return engine.run(trace, marks=marks)
 
 

@@ -13,8 +13,10 @@ execution rather than re-shipping traces.
 
 from __future__ import annotations
 
+import itertools
 import multiprocessing
 import os
+import pathlib
 import time
 from typing import Callable, List, Optional, Sequence, TypeVar
 
@@ -23,6 +25,10 @@ from ..sim.stats import RunStats
 from .job import ReplayJob
 
 ENV_JOBS = "REPRO_JOBS"
+ENV_PROFILE = "REPRO_PROFILE"
+
+#: Distinguishes pstats files of jobs replayed by the same process.
+_PROFILE_SEQ = itertools.count()
 
 T = TypeVar("T")
 R = TypeVar("R")
@@ -39,6 +45,47 @@ def worker_count(override: Optional[int] = None) -> int:
         return max(1, int(raw))
     except ValueError:
         return 1
+
+
+def profile_dir(override: Optional[str] = None) -> Optional[pathlib.Path]:
+    """Resolve the replay-profiling sink (``REPRO_PROFILE``).
+
+    Off by default; a truthy value dumps one cProfile ``.pstats`` file
+    per replay job into ``profiles/`` (or into the directory named by
+    the value when it is a path rather than a plain on/off flag).
+    """
+    raw = override if override is not None else \
+        os.environ.get(ENV_PROFILE, "")
+    raw = raw.strip()
+    if not raw or raw.lower() in ("0", "false", "off", "no"):
+        return None
+    if raw.lower() in ("1", "true", "on", "yes"):
+        return pathlib.Path("profiles")
+    return pathlib.Path(raw)
+
+
+def _replay_job(trace, job: ReplayJob) -> RunStats:
+    """Replay one job, honoring the ``REPRO_PROFILE`` knob."""
+    from .context import replay_one
+    prof_dir = profile_dir()
+    if prof_dir is None:
+        return replay_one(trace, job.scheme, job.config, marks=job.marks)
+    import cProfile
+    profile = cProfile.Profile()
+    profile.enable()
+    try:
+        stats = replay_one(trace, job.scheme, job.config, marks=job.marks)
+    finally:
+        profile.disable()
+        prof_dir.mkdir(parents=True, exist_ok=True)
+        path = prof_dir / (f"{job.spec.label}-{job.scheme}-"
+                           f"{os.getpid()}-{next(_PROFILE_SEQ)}.pstats")
+        profile.dump_stats(path)
+        ev = obs.active_events()
+        if ev is not None:
+            ev.emit("job.profile", label=job.spec.label, scheme=job.scheme,
+                    path=str(path))
+    return stats
 
 
 def _fork_available() -> bool:
@@ -74,11 +121,10 @@ def _run_job(job: ReplayJob) -> RunStats:
     the pickled result).
     """
     from .cache import TraceCache
-    from .context import replay_one
     cache = TraceCache(job.cache_root)
     if not obs.enabled():
         trace = cache.get_or_generate(job.spec)
-        return replay_one(trace, job.scheme, job.config, marks=job.marks)
+        return _replay_job(trace, job)
     label = job.spec.label
     ev = obs.active_events()
     if ev is not None:
@@ -86,7 +132,7 @@ def _run_job(job: ReplayJob) -> RunStats:
     wall0 = time.perf_counter()
     cpu0 = time.process_time()
     trace = cache.get_or_generate(job.spec)
-    stats = replay_one(trace, job.scheme, job.config, marks=job.marks)
+    stats = _replay_job(trace, job)
     wall = time.perf_counter() - wall0
     cpu = time.process_time() - cpu0
     registry = obs.MetricsRegistry()

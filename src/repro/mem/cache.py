@@ -60,6 +60,83 @@ class CacheLevel:
         return sum(len(s) for s in self._sets)
 
 
+class ArrayCacheLevel:
+    """One cache level on preallocated flat slot arrays.
+
+    Decision-equivalent to :class:`CacheLevel` (same modulo set index,
+    same per-set LRU), but kept as a flat ``line -> slot`` dict plus
+    per-slot line/age lists mutated in place, so the fast replay kernel
+    (:mod:`repro.cpu.fast_timing`) can hoist the containers into locals.
+    Age stamps are strictly increasing; the minimum age in a set is the
+    least recently touched line — exactly the OrderedDict's front.
+    """
+
+    __slots__ = ("ways", "n_sets", "latency", "slot_of", "lines", "ages",
+                 "_age", "hits", "misses")
+
+    def __init__(self, size_bytes: int, ways: int, *, latency: int):
+        lines = size_bytes // LINE_SIZE
+        if lines % ways:
+            raise ValueError("line count must be a multiple of ways")
+        self.ways = ways
+        self.n_sets = lines // ways
+        self.latency = latency
+        self.slot_of: dict = {}
+        self.lines: List[int] = [-1] * lines
+        self.ages: List[int] = [0] * lines
+        self._age = 1
+        self.hits = 0
+        self.misses = 0
+
+    def lookup(self, line: int) -> bool:
+        slot = self.slot_of.get(line)
+        if slot is None:
+            self.misses += 1
+            return False
+        self.hits += 1
+        self.ages[slot] = self._age
+        self._age += 1
+        return True
+
+    def fill(self, line: int) -> Optional[int]:
+        """Insert a line; returns the evicted victim line, if any."""
+        slot_of = self.slot_of
+        slot = slot_of.get(line)
+        victim = None
+        if slot is None:
+            base = (line % self.n_sets) * self.ways
+            lines = self.lines
+            ages = self.ages
+            free = -1
+            victim_slot = base
+            victim_age = 1 << 62
+            for s in range(base, base + self.ways):
+                if lines[s] < 0:
+                    free = s
+                    break
+                age = ages[s]
+                if age < victim_age:
+                    victim_age = age
+                    victim_slot = s
+            if free < 0:
+                free = victim_slot
+                victim = lines[free]
+                del slot_of[victim]
+            lines[free] = line
+            slot_of[line] = free
+            slot = free
+        self.ages[slot] = self._age
+        self._age += 1
+        return victim
+
+    def invalidate_all(self) -> None:
+        self.slot_of.clear()
+        self.lines[:] = [-1] * len(self.lines)
+
+    def __len__(self) -> int:
+        return len(self.slot_of)
+
+
 class CacheHierarchy:
     """L1D + L2 with a main-memory latency callback for misses.
 
@@ -98,3 +175,20 @@ class CacheHierarchy:
         registry.counter("cache.l2.hits").inc(self.l2.hits)
         registry.counter("cache.l2.misses").inc(self.l2.misses)
         registry.counter("cache.mem_accesses").inc(self.mem_accesses)
+
+
+class ArrayCacheHierarchy(CacheHierarchy):
+    """:class:`CacheHierarchy` on :class:`ArrayCacheLevel` levels.
+
+    Same interface, counters and replacement decisions; the fast replay
+    engine inlines the L1 hit path against the levels' flat containers
+    and falls into the inherited slow path logic through
+    :meth:`~repro.cpu.fast_timing.FastReplayEngine` helpers.
+    """
+
+    def __init__(self, *, l1_size: int = 32 << 10, l1_ways: int = 8,
+                 l1_latency: int = 1, l2_size: int = 1 << 20,
+                 l2_ways: int = 16, l2_latency: int = 8):
+        self.l1 = ArrayCacheLevel(l1_size, l1_ways, latency=l1_latency)
+        self.l2 = ArrayCacheLevel(l2_size, l2_ways, latency=l2_latency)
+        self.mem_accesses = 0

@@ -30,7 +30,7 @@ NULL_PKEY = 0
 NULL_DOMAIN = 0
 
 
-@dataclass
+@dataclass(slots=True)
 class PTE:
     """A leaf page-table entry."""
 

@@ -25,7 +25,7 @@ NULL_PKEY = 0
 NULL_DOMAIN = 0
 
 
-@dataclass
+@dataclass(slots=True)
 class TLBEntry:
     """One cached translation."""
 
@@ -161,6 +161,184 @@ class TLBLevel:
             yield from entries.values()
 
 
+class ArrayTLBLevel:
+    """One set-associative TLB level on preallocated flat slot arrays.
+
+    Decision-equivalent to :class:`TLBLevel` — the same XOR-folded set
+    index and per-set LRU — but shaped for the fast replay kernel
+    (:mod:`repro.cpu.fast_timing`): entries are plain tuples
+
+    ``(vpn, pfn, perm, pkey, domain, line_base, mem_penalty)``
+
+    stored in flat per-slot lists with a single ``vpn -> slot`` dict for
+    O(1) lookup.  LRU order is kept as strictly increasing age stamps
+    (min age == least recently touched == ``OrderedDict.popitem(last=
+    False)``), and every container mutates in place so the kernel can
+    hoist them into locals.  ``line_base``/``mem_penalty`` are
+    engine-precomputed replay accelerators; entries installed through
+    the public :meth:`fill` carry ``pfn << 6`` and ``None``.
+    """
+
+    __slots__ = ("entries", "ways", "n_sets", "slot_of", "recs", "ages",
+                 "_age", "_vpns_by_domain", "hits", "misses")
+
+    def __init__(self, entries: int, ways: int):
+        if entries % ways:
+            raise ValueError("entries must be a multiple of ways")
+        self.entries = entries
+        self.ways = ways
+        self.n_sets = entries // ways
+        self.slot_of: Dict[int, int] = {}
+        self.recs: List[Optional[tuple]] = [None] * entries
+        self.ages: List[int] = [0] * entries
+        self._age = 1
+        self._vpns_by_domain: Dict[int, set] = {}
+        self.hits = 0
+        self.misses = 0
+
+    # -- record plumbing ------------------------------------------------------
+
+    @staticmethod
+    def rec_for(entry: TLBEntry) -> tuple:
+        return (entry.vpn, entry.pfn, entry.perm, entry.pkey, entry.domain,
+                entry.pfn << 6, None)
+
+    @staticmethod
+    def entry_for(rec: tuple) -> TLBEntry:
+        return TLBEntry(vpn=rec[0], pfn=rec[1], perm=rec[2], pkey=rec[3],
+                        domain=rec[4])
+
+    def fill_rec(self, rec: tuple) -> Optional[tuple]:
+        """Install an internal record; returns the evicted victim rec."""
+        vpn = rec[0]
+        slot_of = self.slot_of
+        slot = slot_of.get(vpn)
+        victim = None
+        if slot is None:
+            base = ((vpn ^ (vpn >> 8) ^ (vpn >> 16) ^ (vpn >> 24))
+                    % self.n_sets) * self.ways
+            recs = self.recs
+            ages = self.ages
+            free = -1
+            victim_slot = base
+            victim_age = 1 << 62
+            for s in range(base, base + self.ways):
+                if recs[s] is None:
+                    free = s
+                    break
+                age = ages[s]
+                if age < victim_age:
+                    victim_age = age
+                    victim_slot = s
+            if free < 0:
+                free = victim_slot
+                victim = recs[free]
+                del slot_of[victim[0]]
+                if victim[4]:
+                    vpns = self._vpns_by_domain.get(victim[4])
+                    if vpns is not None:
+                        vpns.discard(victim[0])
+            recs[free] = rec
+            slot_of[vpn] = free
+            slot = free
+        else:
+            self.recs[slot] = rec
+        self.ages[slot] = self._age
+        self._age += 1
+        if rec[4]:
+            self._vpns_by_domain.setdefault(rec[4], set()).add(vpn)
+        return victim
+
+    # -- TLBLevel-compatible interface ----------------------------------------
+
+    def lookup(self, vpn: int) -> Optional[TLBEntry]:
+        slot = self.slot_of.get(vpn)
+        if slot is None:
+            self.misses += 1
+            return None
+        self.hits += 1
+        self.ages[slot] = self._age
+        self._age += 1
+        return self.entry_for(self.recs[slot])
+
+    def peek(self, vpn: int) -> Optional[TLBEntry]:
+        """Lookup without touching LRU state or statistics."""
+        slot = self.slot_of.get(vpn)
+        return None if slot is None else self.entry_for(self.recs[slot])
+
+    def fill(self, entry: TLBEntry) -> Optional[TLBEntry]:
+        """Insert an entry; returns the evicted victim, if any."""
+        victim = self.fill_rec(self.rec_for(entry))
+        return None if victim is None else self.entry_for(victim)
+
+    # -- invalidation -----------------------------------------------------------
+
+    def _drop_slot(self, vpn: int, slot: int) -> tuple:
+        rec = self.recs[slot]
+        self.recs[slot] = None
+        if rec[4]:
+            vpns = self._vpns_by_domain.get(rec[4])
+            if vpns is not None:
+                vpns.discard(vpn)
+        return rec
+
+    def invalidate(self, vpn: int) -> bool:
+        slot = self.slot_of.pop(vpn, None)
+        if slot is None:
+            return False
+        self._drop_slot(vpn, slot)
+        return True
+
+    def invalidate_all(self) -> int:
+        count = len(self.slot_of)
+        self.slot_of.clear()
+        self.recs[:] = [None] * self.entries
+        self._vpns_by_domain.clear()
+        return count
+
+    def invalidate_domain(self, domain: int) -> int:
+        """Invalidate every entry belonging to one domain (O(killed))."""
+        vpns = self._vpns_by_domain.pop(domain, None)
+        if not vpns:
+            return 0
+        slot_of = self.slot_of
+        recs = self.recs
+        count = 0
+        for vpn in vpns:
+            slot = slot_of.pop(vpn, None)
+            if slot is not None:
+                recs[slot] = None
+                count += 1
+        return count
+
+    def invalidate_range(self, start_vpn: int, n_pages: int) -> int:
+        """Invalidate all entries translating pages in the VA range."""
+        end = start_vpn + n_pages
+        doomed = [vpn for vpn in self.slot_of if start_vpn <= vpn < end]
+        for vpn in doomed:
+            self._drop_slot(vpn, self.slot_of.pop(vpn))
+        return len(doomed)
+
+    def invalidate_pkey(self, pkey: int) -> int:
+        """Invalidate all entries tagged with a protection key."""
+        recs = self.recs
+        doomed = [vpn for vpn, slot in self.slot_of.items()
+                  if recs[slot][3] == pkey]
+        for vpn in doomed:
+            self._drop_slot(vpn, self.slot_of.pop(vpn))
+        return len(doomed)
+
+    # -- introspection --------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.slot_of)
+
+    def __iter__(self) -> Iterator[TLBEntry]:
+        for rec in self.recs:
+            if rec is not None:
+                yield self.entry_for(rec)
+
+
 class TwoLevelTLB:
     """L1 + L2 data TLB (Table II: 64-entry/4-way and 1536-entry/6-way)."""
 
@@ -222,3 +400,18 @@ class TwoLevelTLB:
         registry.counter("tlb.l1.misses").inc(self.l1.misses)
         registry.counter("tlb.l2.hits").inc(self.l2.hits)
         registry.counter("tlb.l2.misses").inc(self.l2.misses)
+
+
+class ArrayTwoLevelTLB(TwoLevelTLB):
+    """:class:`TwoLevelTLB` on :class:`ArrayTLBLevel` levels.
+
+    Same interface, counters and replacement decisions; the fast replay
+    engine reaches into the levels' flat containers directly, every
+    other caller (schemes issuing flushes, tests, metrics) goes through
+    the inherited public methods.
+    """
+
+    def __init__(self, *, l1_entries: int = 64, l1_ways: int = 4,
+                 l2_entries: int = 1536, l2_ways: int = 6):
+        self.l1 = ArrayTLBLevel(l1_entries, l1_ways)
+        self.l2 = ArrayTLBLevel(l2_entries, l2_ways)

@@ -104,11 +104,12 @@ class PoolHeap:
         needed = HEADER_SIZE + _align_up(size, 8)
 
         # First fit over the free list (offsets sorted for determinism).
+        amask = align - 1
         for offset in sorted(self._free):
-            chunk_size = self._free[offset]
             payload = offset + HEADER_SIZE
-            if payload != _align_up(payload, align):
+            if payload & amask:
                 continue  # misaligned candidates are skipped, not split
+            chunk_size = self._free[offset]
             if chunk_size >= needed:
                 self._remove_free(offset)
                 remainder = chunk_size - needed

@@ -42,10 +42,21 @@ class OID:
 
     @staticmethod
     def unpack(value: int) -> "OID":
-        """Decode a 64-bit on-media value back into an :class:`OID`."""
-        if not 0 <= value <= 0xFFFF_FFFF_FFFF_FFFF:
-            raise ValueError(f"OID value {value:#x} does not fit in 64 bits")
-        return OID(pool_id=value >> 32, offset=value & _MASK32)
+        """Decode a 64-bit on-media value back into an :class:`OID`.
+
+        Instances are immutable, so decoded pointers are interned: the
+        workloads unpack the same handful of live pointers over and over,
+        and the cache turns each repeat into one dict probe instead of a
+        validated dataclass construction.
+        """
+        oid = _UNPACK_CACHE.get(value)
+        if oid is None:
+            if not 0 <= value <= 0xFFFF_FFFF_FFFF_FFFF:
+                raise ValueError(
+                    f"OID value {value:#x} does not fit in 64 bits")
+            oid = OID(pool_id=value >> 32, offset=value & _MASK32)
+            _UNPACK_CACHE[value] = oid
+        return oid
 
     # -- pointer arithmetic ---------------------------------------------------
 
@@ -58,7 +69,7 @@ class OID:
     # -- predicates -----------------------------------------------------------
 
     def is_null(self) -> bool:
-        return self.pack() == NULL_OID_VALUE
+        return (self.pool_id | self.offset) == 0
 
     def __bool__(self) -> bool:
         return not self.is_null()
@@ -71,3 +82,6 @@ class OID:
 
 #: Convenience constant mirroring ``NULL`` in the C APIs.
 NULL_OID = OID(0, 0)
+
+#: Interned decoded pointers (see :meth:`OID.unpack`).
+_UNPACK_CACHE = {NULL_OID_VALUE: NULL_OID}

@@ -177,6 +177,16 @@ class SparseMemory:
         return _U32.unpack(self.read(addr, 4))[0]
 
     def read_u64(self, addr: int) -> int:
+        # Fast path: an in-page word with no persistence layer reads
+        # straight out of the backing page (a missing page is zeros,
+        # exactly what the general path assembles).
+        if not self.track_persistence and 0 <= addr and addr + 8 <= self.size:
+            off = addr & (PAGE_SIZE - 1)
+            if off <= PAGE_SIZE - 8:
+                page = self._pages.get(addr >> _PAGE_SHIFT)
+                if page is None:
+                    return 0
+                return _U64.unpack_from(page, off)[0]
         return _U64.unpack(self.read(addr, 8))[0]
 
     def write_u8(self, addr: int, value: int) -> None:
@@ -189,4 +199,15 @@ class SparseMemory:
         self.write(addr, _U32.pack(value & 0xFFFF_FFFF))
 
     def write_u64(self, addr: int, value: int) -> None:
+        # Fast path mirroring read_u64: in-page word, no pending layer.
+        if not self.track_persistence and 0 <= addr and addr + 8 <= self.size:
+            off = addr & (PAGE_SIZE - 1)
+            if off <= PAGE_SIZE - 8:
+                index = addr >> _PAGE_SHIFT
+                page = self._pages.get(index)
+                if page is None:
+                    page = bytearray(PAGE_SIZE)
+                    self._pages[index] = page
+                _U64.pack_into(page, off, value & 0xFFFF_FFFF_FFFF_FFFF)
+                return
         self.write(addr, _U64.pack(value & 0xFFFF_FFFF_FFFF_FFFF))

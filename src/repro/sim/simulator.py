@@ -20,7 +20,7 @@ from __future__ import annotations
 from typing import Dict, Iterable, Optional
 
 from ..core.schemes import NullProtection, scheme_by_name
-from ..cpu.timing import ReplayEngine
+from ..cpu.fast_timing import make_replay_engine
 from ..cpu.trace import Trace
 from ..workloads.base import Workspace
 from .config import DEFAULT_CONFIG, SimConfig
@@ -37,11 +37,13 @@ def _replay_shared(trace: Trace, workspace: Workspace, names, config,
     """Legacy path: replay sequentially against the generating workspace."""
     kernel, process = workspace.kernel, workspace.process
     results: Dict[str, RunStats] = {}
-    baseline = ReplayEngine(config, kernel, process, NullProtection).run(trace)
+    baseline = make_replay_engine(config, kernel, process,
+                                  NullProtection).run(trace)
     if include_baseline:
         results["baseline"] = baseline
     for name in names:
-        engine = ReplayEngine(config, kernel, process, scheme_by_name(name))
+        engine = make_replay_engine(config, kernel, process,
+                                    scheme_by_name(name))
         stats = engine.run(trace)
         stats.baseline_cycles = baseline.cycles
         results[name] = stats

@@ -24,7 +24,6 @@ Two policies reproduce the two evaluation set-ups:
 from __future__ import annotations
 
 import random
-from contextlib import contextmanager
 from dataclasses import replace as _vma_copy
 from typing import Dict, Optional, Set, Tuple
 
@@ -35,6 +34,19 @@ from ..os.kernel import Kernel
 from ..os.process import Attachment, Thread
 from ..pmo.oid import OID
 from ..pmo.pool import Pool
+
+
+class _NullScope:
+    """Reusable no-op scope (policies without per-op state)."""
+
+    def __enter__(self):
+        return None
+
+    def __exit__(self, *exc):
+        return False
+
+
+_NULL_SCOPE = _NullScope()
 
 
 class PermissionPolicy:
@@ -55,10 +67,9 @@ class PermissionPolicy:
     def after_access(self, tid: int, domain: int, is_write: bool) -> None:
         """Called after each traced PMO access."""
 
-    @contextmanager
     def operation(self, tid: int):
         """Scope of one data-structure operation."""
-        yield
+        return _NULL_SCOPE
 
 
 class PerAccessPolicy(PermissionPolicy):
@@ -99,20 +110,54 @@ class PerOpPolicy(PermissionPolicy):
             self.workspace.recorder.perm(tid, domain, Perm.RW)
             granted.add(domain)
 
-    @contextmanager
     def operation(self, tid: int):
-        if tid in self._granted:
+        return _PerOpScope(self, tid)
+
+
+class _PerOpScope:
+    """One PerOpPolicy operation window (hand-rolled for call economy)."""
+
+    __slots__ = ("_policy", "_tid")
+
+    def __init__(self, policy: "PerOpPolicy", tid: int):
+        self._policy = policy
+        self._tid = tid
+
+    def __enter__(self):
+        policy = self._policy
+        if self._tid in policy._granted:
             raise SimulationError("nested operation() scopes")
-        self._granted[tid] = set()
-        try:
-            yield
-        finally:
-            for domain in sorted(self._granted.pop(tid)):
-                self.workspace.recorder.perm(tid, domain, Perm.R)
+        policy._granted[self._tid] = set()
+        return None
+
+    def __exit__(self, *exc):
+        policy = self._policy
+        recorder = policy.workspace.recorder
+        for domain in sorted(policy._granted.pop(self._tid)):
+            recorder.perm(self._tid, domain, Perm.R)
+        return False
 
 
 class UnprotectedPolicy(PermissionPolicy):
     """No permission instrumentation at all (pure baseline traces)."""
+
+
+class _UntracedScope:
+    """Suspends a workspace's recording flag (nesting-safe)."""
+
+    __slots__ = ("_ws", "_saved")
+
+    def __init__(self, workspace: "Workspace"):
+        self._ws = workspace
+
+    def __enter__(self):
+        self._saved = self._ws._recording
+        self._ws._recording = False
+        return None
+
+    def __exit__(self, *exc):
+        self._ws._recording = self._saved
+        return False
 
 
 class PoolHandle:
@@ -121,6 +166,11 @@ class PoolHandle:
     def __init__(self, pool: Pool, attachment: Attachment):
         self.pool = pool
         self.attachment = attachment
+        # Flattened hot-path fields (VMA base, pmo_id and the pool's
+        # backing store are all fixed for an attachment's lifetime).
+        self._vbase = attachment.vma.base
+        self._domain = attachment.pmo_id
+        self._mem = pool.memory
 
     @property
     def domain(self) -> int:
@@ -183,25 +233,18 @@ class Workspace:
 
     # -- recording control --------------------------------------------------------------
 
-    @contextmanager
     def untraced(self):
         """Suspend event recording (setup phases: initial node population)."""
-        saved = self._recording
-        self._recording = False
-        try:
-            yield
-        finally:
-            self._recording = saved
+        return _UntracedScope(self)
 
     @property
     def recording(self) -> bool:
         return self._recording
 
-    @contextmanager
     def operation(self, tid: Optional[int] = None):
         """One data-structure operation (permission-policy scope)."""
-        with self.policy.operation(tid if tid is not None else self.tid):
-            yield
+        return self.policy.operation(
+            tid if tid is not None else self.current_tid)
 
     def compute(self, instructions: int) -> None:
         """Model non-memory work (loop control, comparisons, hashing)."""
@@ -252,6 +295,10 @@ class PMem:
 
     def __init__(self, workspace: Workspace):
         self._ws = workspace
+        # Hot-path handle: the page-table dict is owned by the process
+        # for the workspace's whole lifetime and is mutated in place,
+        # never rebound, so its bound ``get`` stays valid.
+        self._pte_get = workspace.process.page_table._flat.get
 
     def _resolve(self, oid: OID, offset: int) -> Tuple[PoolHandle, int, int]:
         handle = self._ws.pools[oid.pool_id]
@@ -284,17 +331,43 @@ class PMem:
 
     def read_u64(self, oid: OID, offset: int = 0,
                  *, tid: Optional[int] = None) -> int:
-        handle, addr, va = self._resolve(oid, offset)
-        self._trace(tid if tid is not None else self._ws.tid,
-                    handle, va, 8, False)
-        return handle.pool.memory.read_u64(addr)
+        # The single hottest call of every workload: _resolve, the
+        # kernel's ensure_mapped and _trace inlined into one frame (same
+        # decisions, one page-table probe instead of three call layers).
+        ws = self._ws
+        handle = ws.pools[oid.pool_id]
+        addr = oid.offset + offset
+        va = handle._vbase + addr
+        if self._pte_get(va >> 12) is None:
+            ws.kernel.handle_page_fault(ws.process, va)
+        if ws._recording:
+            if tid is None:
+                tid = ws.current_tid
+            policy = ws.policy
+            domain = handle._domain
+            policy.before_access(tid, domain, False)
+            ws.recorder.load(tid, va, 8)
+            policy.after_access(tid, domain, False)
+        return handle._mem.read_u64(addr)
 
     def write_u64(self, oid: OID, offset: int, value: int,
                   *, tid: Optional[int] = None) -> None:
-        handle, addr, va = self._resolve(oid, offset)
-        self._trace(tid if tid is not None else self._ws.tid,
-                    handle, va, 8, True)
-        handle.pool.memory.write_u64(addr, value)
+        # Mirrors read_u64's inlined hot path.
+        ws = self._ws
+        handle = ws.pools[oid.pool_id]
+        addr = oid.offset + offset
+        va = handle._vbase + addr
+        if self._pte_get(va >> 12) is None:
+            ws.kernel.handle_page_fault(ws.process, va)
+        if ws._recording:
+            if tid is None:
+                tid = ws.current_tid
+            policy = ws.policy
+            domain = handle._domain
+            policy.before_access(tid, domain, True)
+            ws.recorder.store(tid, va, 8)
+            policy.after_access(tid, domain, True)
+        handle._mem.write_u64(addr, value)
 
     def read_oid(self, oid: OID, offset: int = 0,
                  *, tid: Optional[int] = None) -> OID:

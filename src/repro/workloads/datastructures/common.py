@@ -81,4 +81,6 @@ class PoolSet:
 
 
 def is_null(oid: Optional[OID]) -> bool:
-    return oid is None or oid == NULL_OID or oid.is_null()
+    # A null pointer is (pool 0, offset 0) — the field test covers both
+    # the NULL_OID comparison and the packed-value check.
+    return oid is None or (oid.pool_id | oid.offset) == 0

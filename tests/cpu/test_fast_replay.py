@@ -1,0 +1,219 @@
+"""Differential suite: the fast replay engine vs the reference interpreter.
+
+The array-backed engine (``repro.cpu.fast_timing``) is an optimization,
+not a model change — for every scheme and every trace it must produce
+**bit-identical** ``RunStats`` (cycles, buckets, counters, marks,
+metrics) to the reference interpreter (``repro.cpu.timing``).  These
+tests replay real generated traces (micro multi-pool, a datastructure
+bench, the multi-tenant service) under both engines and diff the full
+result, including the exact float bit patterns of the cycle totals.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.cpu.fast_timing import (FastReplayEngine, fast_replay_enabled,
+                                   make_replay_engine)
+from repro.cpu.timing import ReplayEngine
+from repro.engine.context import ReplayContext, replay_one
+from repro.errors import ProtectionFault
+from repro.sim.config import DEFAULT_CONFIG
+from repro.workloads.base import Workspace
+from repro.workloads.micro import MicroParams, generate_micro_trace
+
+SCHEMES = ("baseline", "lowerbound", "mpk", "mpk_virt", "libmpk",
+           "domain_virt")
+
+
+@pytest.fixture(scope="module")
+def micro_trace():
+    # Multi-pool red-black tree: the paper's headline configuration
+    # (8 pools keeps default MPK inside its 15-key budget).
+    trace, _ = generate_micro_trace(MicroParams(
+        benchmark="rbt", n_pools=8, initial_nodes=24, operations=80))
+    return trace
+
+
+@pytest.fixture(scope="module")
+def datastructure_trace():
+    trace, _ = generate_micro_trace(MicroParams(
+        benchmark="avl", n_pools=4, initial_nodes=24, operations=60))
+    return trace
+
+
+@pytest.fixture(scope="module")
+def service_trace():
+    from repro.service.params import ServiceParams
+    from repro.service.server import generate_service_trace
+    trace, _ = generate_service_trace(ServiceParams(
+        n_clients=10, n_requests=120))
+    return trace
+
+
+def _replay_both(monkeypatch, trace, scheme, *, marks=None):
+    monkeypatch.setenv("REPRO_FAST", "0")
+    ref = replay_one(trace, scheme, marks=marks)
+    monkeypatch.setenv("REPRO_FAST", "1")
+    fast = replay_one(trace, scheme, marks=marks)
+    return ref, fast
+
+
+def _assert_identical(ref, fast):
+    # repr() equality first: catches any last-bit float drift that a
+    # plain == would also catch, but with a readable diff on failure.
+    assert repr(ref.cycles) == repr(fast.cycles)
+    assert {k: repr(v) for k, v in ref.buckets.items()} == \
+        {k: repr(v) for k, v in fast.buckets.items()}
+    assert dataclasses.asdict(ref) == dataclasses.asdict(fast)
+
+
+class TestEngineSelection:
+    def test_fast_by_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_FAST", raising=False)
+        assert fast_replay_enabled()
+
+    def test_knob_disables(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FAST", "0")
+        assert not fast_replay_enabled()
+
+    def _engine_for(self, scheme="baseline"):
+        from repro.core.schemes import scheme_by_name
+        ws = Workspace(seed=3)
+        return make_replay_engine(DEFAULT_CONFIG, ws.kernel, ws.process,
+                                  scheme_by_name(scheme))
+
+    def test_selects_fast_engine(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FAST", "1")
+        assert isinstance(self._engine_for(), FastReplayEngine)
+
+    def test_knob_selects_reference(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FAST", "0")
+        engine = self._engine_for()
+        assert isinstance(engine, ReplayEngine)
+        assert not isinstance(engine, FastReplayEngine)
+
+    def test_event_tracing_selects_reference(self, monkeypatch):
+        # The fast kernels emit no per-event records, so an active event
+        # sink must force the reference interpreter.
+        from repro import obs
+        monkeypatch.setenv("REPRO_FAST", "1")
+        monkeypatch.setenv("REPRO_EVENTS", "ring")
+        obs.reset()
+        try:
+            engine = self._engine_for()
+            assert not isinstance(engine, FastReplayEngine)
+        finally:
+            monkeypatch.delenv("REPRO_EVENTS")
+            obs.reset()
+
+
+class TestBitIdenticalReplay:
+    @pytest.mark.parametrize("scheme", SCHEMES)
+    def test_micro(self, monkeypatch, micro_trace, scheme):
+        ref, fast = _replay_both(monkeypatch, micro_trace, scheme)
+        _assert_identical(ref, fast)
+
+    @pytest.mark.parametrize("scheme", SCHEMES)
+    def test_datastructure(self, monkeypatch, datastructure_trace, scheme):
+        ref, fast = _replay_both(monkeypatch, datastructure_trace, scheme)
+        _assert_identical(ref, fast)
+
+    @pytest.mark.parametrize("scheme",
+                             [s for s in SCHEMES if s != "mpk"])
+    def test_service(self, monkeypatch, service_trace, scheme):
+        # Default MPK cannot attach one key per tenant at this scale —
+        # that wall is the paper's point, so mpk is exercised on the
+        # micro/datastructure traces instead.
+        ref, fast = _replay_both(monkeypatch, service_trace, scheme)
+        _assert_identical(ref, fast)
+
+
+class TestMarks:
+    @pytest.mark.parametrize("scheme", ("baseline", "domain_virt",
+                                        "mpk_virt", "libmpk"))
+    def test_mark_cycles_identical(self, monkeypatch, micro_trace, scheme):
+        n = len(micro_trace)
+        marks = [0, 1, n // 3, n // 2, n - 1]
+        ref, fast = _replay_both(monkeypatch, micro_trace, scheme,
+                                 marks=marks)
+        assert ref.mark_cycles is not None
+        assert [repr(c) for c in ref.mark_cycles] == \
+            [repr(c) for c in fast.mark_cycles]
+        _assert_identical(ref, fast)
+
+
+class TestMetricsParity:
+    @pytest.mark.parametrize("scheme", ("domain_virt", "mpk_virt",
+                                        "libmpk"))
+    def test_harvested_metrics_match(self, monkeypatch, micro_trace,
+                                     scheme):
+        from repro import obs
+        monkeypatch.setenv("REPRO_METRICS", "1")
+        obs.reset()
+        try:
+            ref, fast = _replay_both(monkeypatch, micro_trace, scheme)
+        finally:
+            monkeypatch.delenv("REPRO_METRICS")
+            obs.reset()
+        assert ref.metrics is not None
+        assert fast.metrics is not None
+        assert ref.metrics == fast.metrics
+        assert repr(ref.cycles) == repr(fast.cycles)
+
+
+class TestProtectionFaultParity:
+    def _violating_trace(self):
+        # An uninstrumented write: every enforcing scheme must fault.
+        ws = Workspace(seed=5)
+        handle = ws.create_and_attach("p0", 8 << 20)
+        oid = handle.pool.pmalloc(64)
+        ws.mem.write_u64(oid, 0, 1)
+        return ws.finish()
+
+    @pytest.mark.parametrize("scheme", ("domain_virt", "mpk_virt",
+                                        "libmpk", "mpk"))
+    def test_same_fault(self, monkeypatch, scheme):
+        trace = self._violating_trace()
+        monkeypatch.setenv("REPRO_FAST", "0")
+        with pytest.raises(ProtectionFault) as ref:
+            replay_one(trace, scheme)
+        monkeypatch.setenv("REPRO_FAST", "1")
+        with pytest.raises(ProtectionFault) as fast:
+            replay_one(trace, scheme)
+        assert str(ref.value) == str(fast.value)
+        for attr in ("vaddr", "domain", "thread", "is_write"):
+            assert getattr(ref.value, attr) == getattr(fast.value, attr)
+
+    @pytest.mark.parametrize("scheme", ("domain_virt", "mpk_virt",
+                                        "libmpk"))
+    def test_unenforced_run_identical(self, monkeypatch, scheme):
+        # With enforcement off the run completes, counting the faults —
+        # and completed runs are bit-identical under both engines.
+        trace = self._violating_trace()
+        config = DEFAULT_CONFIG.with_overrides(enforce_protection=False)
+        monkeypatch.setenv("REPRO_FAST", "0")
+        ref = replay_one(trace, scheme, config)
+        monkeypatch.setenv("REPRO_FAST", "1")
+        fast = replay_one(trace, scheme, config)
+        assert ref.protection_faults > 0
+        _assert_identical(ref, fast)
+
+
+class TestRepeatedUse:
+    def test_cached_analysis_is_stable(self, monkeypatch, micro_trace):
+        # The radiograph and penalty streams are cached on the trace's
+        # column store; repeated replays must keep returning identical
+        # results (no cross-replay state leak).
+        monkeypatch.setenv("REPRO_FAST", "1")
+        first = replay_one(micro_trace, "domain_virt")
+        second = replay_one(micro_trace, "domain_virt")
+        _assert_identical(first, second)
+
+    def test_context_reuse_matches_fresh_context(self, monkeypatch,
+                                                 micro_trace):
+        monkeypatch.setenv("REPRO_FAST", "1")
+        fresh = replay_one(micro_trace, "libmpk")
+        context = ReplayContext.from_trace(micro_trace)
+        rebuilt = context.replay(micro_trace, "libmpk")
+        _assert_identical(fresh, rebuilt)

@@ -1,0 +1,107 @@
+"""Tests for the CI throughput-regression gate."""
+
+import importlib.util
+import json
+import pathlib
+
+import pytest
+
+_SCRIPT = (pathlib.Path(__file__).parents[2] / "benchmarks" /
+           "check_regression.py")
+_spec = importlib.util.spec_from_file_location("check_regression", _SCRIPT)
+check_regression = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(check_regression)
+
+
+def _bench_json(tmp_path, name, results):
+    path = tmp_path / name
+    path.write_text(json.dumps({"params": {}, "results": results}))
+    return path
+
+
+def _entry(events_per_s):
+    return {"events": 1000, "mean_s": 0.1, "min_s": 0.09,
+            "events_per_s": events_per_s}
+
+
+class TestCompare:
+    def test_equal_results_pass(self):
+        results = {"replay:baseline": _entry(500_000.0)}
+        assert check_regression.compare(results, results, 0.30) == []
+
+    def test_improvement_passes(self):
+        base = {"replay:baseline": _entry(500_000.0)}
+        cur = {"replay:baseline": _entry(2_000_000.0)}
+        assert check_regression.compare(base, cur, 0.30) == []
+
+    def test_small_drop_within_threshold_passes(self):
+        base = {"replay:baseline": _entry(500_000.0)}
+        cur = {"replay:baseline": _entry(400_000.0)}  # -20%
+        assert check_regression.compare(base, cur, 0.30) == []
+
+    def test_large_drop_fails(self):
+        base = {"replay:baseline": _entry(500_000.0)}
+        cur = {"replay:baseline": _entry(300_000.0)}  # -40%
+        failures = check_regression.compare(base, cur, 0.30)
+        assert len(failures) == 1
+        assert "replay:baseline" in failures[0]
+
+    def test_missing_benchmark_fails(self):
+        base = {"replay:baseline": _entry(500_000.0),
+                "generate:micro-rbt": _entry(50_000.0)}
+        cur = {"replay:baseline": _entry(500_000.0)}
+        failures = check_regression.compare(base, cur, 0.30)
+        assert len(failures) == 1
+        assert "generate:micro-rbt" in failures[0]
+
+    def test_new_benchmark_not_gated(self):
+        base = {"replay:baseline": _entry(500_000.0)}
+        cur = {"replay:baseline": _entry(500_000.0),
+               "replay:new_scheme": _entry(10.0)}
+        assert check_regression.compare(base, cur, 0.30) == []
+
+    def test_null_current_throughput_fails(self):
+        base = {"replay:baseline": _entry(500_000.0)}
+        cur = {"replay:baseline": {"events": 1000, "mean_s": None,
+                                   "min_s": None, "events_per_s": None}}
+        failures = check_regression.compare(base, cur, 0.30)
+        assert len(failures) == 1
+
+    def test_unmeasured_baseline_constrains_nothing(self):
+        base = {"replay:baseline": {"events": 1000, "events_per_s": None}}
+        cur = {}
+        assert check_regression.compare(base, cur, 0.30) == []
+
+
+class TestMain:
+    def test_exit_zero_on_pass(self, tmp_path, capsys):
+        base = _bench_json(tmp_path, "base.json",
+                           {"replay:baseline": _entry(500_000.0)})
+        cur = _bench_json(tmp_path, "cur.json",
+                          {"replay:baseline": _entry(600_000.0)})
+        assert check_regression.main([str(base), str(cur)]) == 0
+        assert "OK" in capsys.readouterr().out
+
+    def test_exit_one_on_regression(self, tmp_path, capsys):
+        base = _bench_json(tmp_path, "base.json",
+                           {"replay:baseline": _entry(500_000.0)})
+        cur = _bench_json(tmp_path, "cur.json",
+                          {"replay:baseline": _entry(100_000.0)})
+        assert check_regression.main([str(base), str(cur)]) == 1
+        assert "FAIL" in capsys.readouterr().err
+
+    def test_custom_threshold(self, tmp_path):
+        base = _bench_json(tmp_path, "base.json",
+                           {"replay:baseline": _entry(500_000.0)})
+        cur = _bench_json(tmp_path, "cur.json",
+                          {"replay:baseline": _entry(440_000.0)})  # -12%
+        assert check_regression.main([str(base), str(cur),
+                                      "--threshold", "0.10"]) == 1
+        assert check_regression.main([str(base), str(cur),
+                                      "--threshold", "0.20"]) == 0
+
+    def test_bad_threshold_rejected(self, tmp_path):
+        base = _bench_json(tmp_path, "base.json", {})
+        with pytest.raises(SystemExit):
+            check_regression.main([str(base), str(base),
+                                   "--threshold", "1.5"])

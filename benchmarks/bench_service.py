@@ -17,10 +17,14 @@ import pytest
 
 from repro.engine import replay_one
 from repro.service import (ServiceParams, account, batch_boundaries,
-                           build_plan, generate_service_trace)
+                           build_plan, generate_service_trace,
+                           generate_service_trace_keyed)
 from repro.sim.config import DEFAULT_CONFIG
 
 PARAMS = ServiceParams(n_clients=64, n_requests=600)
+#: The scheme-keyed closed loop: calibration + feedback dispatch.
+CLOSED = ServiceParams(n_clients=16, n_requests=200, arrival="closed",
+                       dispatch="replay", pattern="burst")
 
 #: Accumulated machine-readable results, flushed by the module fixture.
 _RESULTS = {}
@@ -84,6 +88,17 @@ def test_service_generation_throughput(benchmark):
         lambda: generate_service_trace(PARAMS), rounds=3, iterations=1)
     assert len(trace) > 0
     _record("generate:service-64c", benchmark, len(trace))
+
+
+def test_closed_loop_generation_throughput(benchmark):
+    # Scheme-keyed generation: the first round pays the calibration
+    # replay, later rounds hit the process-local clock memo — the mean
+    # mirrors what a sweep over several client counts amortizes to.
+    trace, _ws = benchmark.pedantic(
+        lambda: generate_service_trace_keyed(CLOSED, "domain_virt"),
+        rounds=3, iterations=1)
+    assert len(trace) > 0
+    _record("generate:service-closed-dv", benchmark, len(trace))
 
 
 def test_accounting_throughput(benchmark, generated):

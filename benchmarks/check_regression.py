@@ -1,29 +1,35 @@
 #!/usr/bin/env python
-"""CI throughput-regression gate for the engine micro-benchmarks.
+"""CI throughput-regression gate for the simulator micro-benchmarks.
 
-Compares a freshly generated ``BENCH_engine.json`` against a committed
-baseline and fails (exit 1) when any benchmark's ``events_per_s``
-dropped by more than the threshold (default 30%, generous enough to
-absorb shared-runner noise while still catching a real slowdown — the
-kind of accidental O(n^2) or de-inlining that costs 2x, not 1.1x).
+Compares freshly generated bench results (``BENCH_engine.json``,
+``BENCH_service.json``) against committed baselines and fails (exit 1)
+when any benchmark's ``events_per_s`` dropped by more than the threshold
+(default 30%, generous enough to absorb shared-runner noise while still
+catching a real slowdown — the kind of accidental O(n^2) or de-inlining
+that costs 2x, not 1.1x).
 
 Usage::
 
-    python benchmarks/check_regression.py BASELINE CURRENT [--threshold 0.30]
+    python benchmarks/check_regression.py BASELINE CURRENT \
+        [BASELINE2 CURRENT2 ...] [--threshold 0.30]
 
-In CI the committed file *is* the baseline, so the workflow snapshots it
-before the bench run overwrites it::
+Each positional pair is gated independently with one shared threshold.
+In CI the committed files *are* the baselines, so the workflow snapshots
+them before the bench run overwrites them::
 
-    git show HEAD:benchmarks/out/BENCH_engine.json > /tmp/baseline.json
-    PYTHONPATH=src python -m pytest -q benchmarks/bench_engine_throughput.py
-    python benchmarks/check_regression.py /tmp/baseline.json \
-        benchmarks/out/BENCH_engine.json
+    git show HEAD:benchmarks/out/BENCH_engine.json > /tmp/engine.json
+    git show HEAD:benchmarks/out/BENCH_service.json > /tmp/service.json
+    PYTHONPATH=src python -m pytest -q benchmarks/bench_engine_throughput.py \
+        benchmarks/bench_service.py
+    python benchmarks/check_regression.py \
+        /tmp/engine.json benchmarks/out/BENCH_engine.json \
+        /tmp/service.json benchmarks/out/BENCH_service.json
 
 Improvements and new benchmarks never fail the gate; a benchmark that
 *disappeared* from the current results does (a silently skipped bench
 would otherwise hide exactly the regressions the gate exists to catch).
-After an intentional engine change, refresh the baseline by committing
-the regenerated ``benchmarks/out/BENCH_engine.json``.
+After an intentional change, refresh a baseline by committing the
+regenerated ``benchmarks/out/BENCH_*.json``.
 """
 
 from __future__ import annotations
@@ -77,11 +83,11 @@ def compare(baseline: dict, current: dict, threshold: float) -> list[str]:
 
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
-        description="fail when engine throughput regressed vs a baseline")
-    parser.add_argument("baseline", type=pathlib.Path,
-                        help="committed BENCH_engine.json to compare against")
-    parser.add_argument("current", type=pathlib.Path,
-                        help="freshly generated BENCH_engine.json")
+        description="fail when bench throughput regressed vs a baseline")
+    parser.add_argument("paths", type=pathlib.Path, nargs="+",
+                        metavar="BASELINE CURRENT",
+                        help="one or more committed/freshly-generated "
+                             "result-file pairs")
     parser.add_argument("--threshold", type=float,
                         default=DEFAULT_THRESHOLD,
                         help="allowed fractional drop in events_per_s "
@@ -89,11 +95,16 @@ def main(argv=None) -> int:
     args = parser.parse_args(argv)
     if not 0 < args.threshold < 1:
         parser.error("--threshold must be a fraction in (0, 1)")
+    if len(args.paths) % 2 != 0:
+        parser.error("paths must come in BASELINE CURRENT pairs")
 
-    print(f"throughput gate: {args.current} vs baseline {args.baseline} "
-          f"(allowed drop {args.threshold * 100:.0f}%)")
-    failures = compare(load_results(args.baseline),
-                       load_results(args.current), args.threshold)
+    failures = []
+    for i in range(0, len(args.paths), 2):
+        baseline, current = args.paths[i], args.paths[i + 1]
+        print(f"throughput gate: {current} vs baseline {baseline} "
+              f"(allowed drop {args.threshold * 100:.0f}%)")
+        failures.extend(compare(load_results(baseline),
+                                load_results(current), args.threshold))
     if failures:
         print(f"\nFAIL: {len(failures)} regression(s):", file=sys.stderr)
         for failure in failures:

@@ -211,6 +211,56 @@ class Engine:
             cell[name] = stat
         return cell
 
+    def replay_marked_keyed(self, spec: WorkloadSpec,
+                            schemes: Iterable[str],
+                            config: Optional[SimConfig] = None, *,
+                            include_baseline: bool = True
+                            ) -> Dict[str, RunStats]:
+        """Scheme-keyed marked replay: one spec *variant* per scheme.
+
+        ``dispatch="replay"`` service runs schedule per scheme, so each
+        scheme replays its own ``spec.keyed(scheme)`` trace with marks
+        derived from *that* trace's batch boundaries.  With
+        ``include_baseline`` every variant is additionally replayed
+        under the baseline scheme (on the variant's own schedule) to
+        wire up ``baseline_cycles``; unlike :meth:`replay_marked` there
+        is no shared ``"baseline"`` entry in the result — each scheme's
+        baseline belongs to its own schedule.
+        """
+        config = config or self.config
+        names = list(dict.fromkeys(schemes))
+        variants = {name: spec.keyed(name) for name in names}
+        self.warm(list(variants.values()))
+        from ..service.server import batch_boundaries
+        root = self._root_token()
+        grid: List[ReplayJob] = []
+        spans: List[Tuple[str, int]] = []  # (name, jobs in its span)
+        for name in names:
+            vspec = variants[name]
+            marks = tuple(batch_boundaries(self.trace_for(vspec)))
+            pair = (BASELINE, name) if include_baseline and \
+                name != BASELINE else (name,)
+            for scheme in pair:
+                grid.append(ReplayJob(spec=vspec, scheme=scheme,
+                                      config=config, cache_root=root,
+                                      marks=marks))
+            spans.append((name, len(pair)))
+        ev = obs.active_events()
+        if ev is not None:
+            for job in grid:
+                ev.emit("job.submit", label=job.spec.label, scheme=job.scheme)
+        stats = replay_jobs(grid, jobs=self.jobs)
+        cell: Dict[str, RunStats] = {}
+        position = 0
+        for name, width in spans:
+            chunk = stats[position:position + width]
+            position += width
+            result = chunk[-1]
+            if width == 2 or name == BASELINE:
+                result.baseline_cycles = chunk[0].cycles
+            cell[name] = result
+        return cell
+
     def replay_many(self, specs: Sequence[WorkloadSpec],
                     schemes: Iterable[str], *,
                     config: Optional[SimConfig] = None,

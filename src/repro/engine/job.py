@@ -46,6 +46,12 @@ class WorkloadSpec:
 
     suite: str
     params: object  # MicroParams | WhisperParams (frozen dataclasses)
+    #: Scheme-keyed service specs (``dispatch="replay"``): the dispatch
+    #: schedule is derived from this scheme's replayed completions, so
+    #: each (params, scheme) pair is its own deterministic cacheable
+    #: trace.  ``None`` (every other suite, and nominal-dispatch
+    #: service runs) keeps the pre-existing spec identity.
+    scheme: Optional[str] = None
 
     @classmethod
     def micro(cls, benchmark: str, n_pools: int, *, scale: float = 1.0,
@@ -66,14 +72,27 @@ class WorkloadSpec:
         params = ServiceParams(**overrides).scaled(scale)
         return cls(suite="service", params=params)
 
+    def keyed(self, scheme: str) -> "WorkloadSpec":
+        """The scheme-keyed variant of a service spec."""
+        if self.suite != "service":
+            raise EngineError(
+                f"scheme-keyed specs exist only for the service suite "
+                f"(got {self.suite!r})")
+        return dataclasses.replace(self, scheme=scheme)
+
     # -- identity ---------------------------------------------------------------
 
     def describe(self) -> dict:
         """JSON-safe identity document (everything that shapes the trace)."""
         from ..cpu.tracefile import FORMAT_VERSION
-        return {"suite": self.suite,
-                "format": FORMAT_VERSION,
-                "params": dataclasses.asdict(self.params)}
+        document = {"suite": self.suite,
+                    "format": FORMAT_VERSION,
+                    "params": dataclasses.asdict(self.params)}
+        if self.scheme is not None:
+            # Only keyed specs carry the key, so unkeyed hashes are
+            # unchanged from before scheme-keyed specs existed.
+            document["scheme"] = self.scheme
+        return document
 
     def cache_key(self) -> str:
         """Stable content hash — the persistent trace cache's file key."""
@@ -82,8 +101,11 @@ class WorkloadSpec:
     @property
     def label(self) -> str:
         if self.suite == "service":
-            return (f"service-{getattr(self.params, 'n_clients', 0)}c-"
-                    f"{getattr(self.params, 'batching', '?')}")
+            label = (f"service-{getattr(self.params, 'n_clients', 0)}c-"
+                     f"{getattr(self.params, 'batching', '?')}")
+            if self.scheme is not None:
+                label += f"-{self.scheme}"
+            return label
         benchmark = getattr(self.params, "benchmark", "?")
         if self.suite == "micro":
             return f"micro-{benchmark}-{getattr(self.params, 'n_pools', 0)}"
@@ -93,11 +115,18 @@ class WorkloadSpec:
 
     def generate(self) -> Tuple[Trace, Workspace]:
         """Run the instrumented workload; returns its trace + workspace."""
+        if self.scheme is not None and self.suite != "service":
+            raise EngineError(
+                f"scheme-keyed specs exist only for the service suite "
+                f"(got {self.suite!r})")
         if self.suite == "micro":
             return generate_micro_trace(self.params)
         if self.suite == "whisper":
             return generate_whisper_trace(self.params)
         if self.suite == "service":
+            if self.scheme is not None:
+                from ..service.closed import generate_service_trace_keyed
+                return generate_service_trace_keyed(self.params, self.scheme)
             from ..service.server import generate_service_trace
             return generate_service_trace(self.params)
         raise EngineError(

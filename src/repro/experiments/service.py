@@ -8,24 +8,40 @@ growing the client count is exactly the domain-count sweep of Figure 6,
 but measured at the request level where queueing amplifies per-switch
 costs into tail latency.
 
-Scheme names accept the serving-layer aliases ``mpkv`` (MPK
-virtualization) and ``dv`` (domain virtualization) alongside the
-canonical registry names.  Plain ``mpk`` is allowed and *expected to
-fail* past 16 clients — the 16-key limit is reported as a row, not an
-exception, because hitting that wall is the finding.
+Two loop modes:
+
+* ``--loop open`` (default) with ``--dispatch nominal``: one fixed
+  nominal-clock schedule shared by every scheme, re-timed per scheme
+  onto per-worker wall clocks — one trace per client count;
+* ``--loop closed`` (implies ``--dispatch replay`` unless overridden):
+  dispatch is driven by scheme-calibrated completions, so every scheme
+  gets its *own* deterministic schedule/trace
+  (``WorkloadSpec.keyed``) and completions gate when clients issue
+  again — the queueing feedback a real server exhibits.
+
+``--arrivals burst|diurnal`` modulates the offered rate over time
+(composable with either loop).  Scheme names accept the serving-layer
+aliases ``mpkv`` (MPK virtualization) and ``dv`` (domain
+virtualization) alongside the canonical registry names.  Plain ``mpk``
+is allowed and *expected to fail* past 16 clients — the 16-key limit is
+reported as a row, not an exception, because hitting that wall is the
+finding.
 
 CLI::
 
     python -m repro.experiments service --clients 8,64,256 --schemes mpkv,dv
+    python -m repro.experiments service --loop=closed --arrivals=burst
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..errors import PkeyError
-from ..service import ServiceSummary, account, batch_boundaries, build_plan
+from ..service import (ServiceSummary, account, batch_boundaries, build_plan,
+                       build_plan_keyed)
 from .reporting import format_table
 from .runner import ExperimentRunner
 
@@ -39,11 +55,77 @@ SCHEME_ALIASES = {
 DEFAULT_CLIENTS = (8, 64, 256, 1024)
 #: Schemes compared by default: the paper's two proposals.
 DEFAULT_SCHEMES = ("mpkv", "dv")
+#: Shrunk sweep under ``REPRO_SMOKE=1`` (CI exercises the modes, not
+#: the scale).
+SMOKE_CLIENTS = (6, 12)
+SMOKE_REQUESTS = 160
 
 
 def resolve_scheme(name: str) -> str:
     """Canonical scheme-registry name for a CLI/serving alias."""
     return SCHEME_ALIASES.get(name, name)
+
+
+def _summaries_nominal(engine, runner, spec, names, frequency):
+    """One shared schedule/trace, every scheme re-timed onto it."""
+    plan = build_plan(spec.params)
+    trace = engine.trace_for(spec)
+    marks = batch_boundaries(trace)
+    row: Dict[str, Optional[ServiceSummary]] = {}
+    # Schemes that fault on too many domains (plain MPK past 16 keys)
+    # replay separately so one wall does not kill the batch.
+    fragile = [n for n in names if resolve_scheme(n) == "mpk"
+               and spec.params.n_clients > 16]
+    sturdy = [n for n in names if n not in fragile]
+    if sturdy:
+        cell = engine.replay_marked(
+            spec, [resolve_scheme(n) for n in sturdy], marks, runner.config)
+        for name in sturdy:
+            row[name] = account(plan, trace, cell[resolve_scheme(name)],
+                                frequency_hz=frequency)
+    for name in fragile:
+        try:
+            cell = engine.replay_marked(spec, ["mpk"], marks, runner.config,
+                                        include_baseline=False)
+            row[name] = account(plan, trace, cell["mpk"],
+                                frequency_hz=frequency)
+        except PkeyError:
+            row[name] = None
+    engine.release(spec)
+    return row
+
+
+def _summaries_keyed(engine, runner, spec, names, frequency):
+    """One schedule/trace *per scheme* (``dispatch="replay"``)."""
+    row: Dict[str, Optional[ServiceSummary]] = {}
+    fragile = [n for n in names if resolve_scheme(n) == "mpk"
+               and spec.params.n_clients > 16]
+    sturdy = [n for n in names if n not in fragile]
+
+    def account_keyed(name: str, stats) -> ServiceSummary:
+        canonical = resolve_scheme(name)
+        vspec = spec.keyed(canonical)
+        plan = build_plan_keyed(spec.params, canonical)
+        summary = account(plan, engine.trace_for(vspec), stats,
+                          frequency_hz=frequency)
+        engine.release(vspec)
+        return summary
+
+    if sturdy:
+        cell = engine.replay_marked_keyed(
+            spec, [resolve_scheme(n) for n in sturdy], runner.config)
+        for name in sturdy:
+            row[name] = account_keyed(name, cell[resolve_scheme(name)])
+    for name in fragile:
+        # The calibration replay itself hits the 16-key wall, so the
+        # failure surfaces at trace generation rather than replay.
+        try:
+            cell = engine.replay_marked_keyed(spec, ["mpk"], runner.config,
+                                              include_baseline=False)
+            row[name] = account_keyed(name, cell["mpk"])
+        except PkeyError:
+            row[name] = None
+    return row
 
 
 def run_service(runner: Optional[ExperimentRunner] = None, *,
@@ -56,7 +138,8 @@ def run_service(runner: Optional[ExperimentRunner] = None, *,
     ``None`` marks a scheme that cannot run at that client count (plain
     ``mpk`` beyond the 16-key hardware limit).  ``overrides`` are
     :class:`~repro.service.ServiceParams` fields and become part of the
-    trace-cache identity.
+    trace-cache identity; ``dispatch="replay"`` switches every row to
+    scheme-keyed schedules.
     """
     runner = runner or ExperimentRunner()
     engine = runner.engine
@@ -65,33 +148,10 @@ def run_service(runner: Optional[ExperimentRunner] = None, *,
     out: Dict[int, Dict[str, Optional[ServiceSummary]]] = {}
     for n_clients in clients:
         spec = runner.service_spec(n_clients=n_clients, **overrides)
-        plan = build_plan(spec.params)
-        trace = engine.trace_for(spec)
-        marks = batch_boundaries(trace)
-        row: Dict[str, Optional[ServiceSummary]] = {}
-        # Schemes that fault on too many domains (plain MPK past 16
-        # keys) replay separately so one wall does not kill the batch.
-        fragile = [n for n in names if resolve_scheme(n) == "mpk"
-                   and n_clients > 16]
-        sturdy = [n for n in names if n not in fragile]
-        if sturdy:
-            cell = engine.replay_marked(
-                spec, [resolve_scheme(n) for n in sturdy], marks,
-                runner.config)
-            for name in sturdy:
-                row[name] = account(plan, trace, cell[resolve_scheme(name)],
-                                    frequency_hz=frequency)
-        for name in fragile:
-            try:
-                cell = engine.replay_marked(spec, ["mpk"], marks,
-                                            runner.config,
-                                            include_baseline=False)
-                row[name] = account(plan, trace, cell["mpk"],
-                                    frequency_hz=frequency)
-            except PkeyError:
-                row[name] = None
+        summaries = _summaries_keyed if spec.params.dispatch == "replay" \
+            else _summaries_nominal
+        row = summaries(engine, runner, spec, names, frequency)
         out[n_clients] = {name: row[name] for name in names}
-        engine.release(spec)
     return out
 
 
@@ -101,22 +161,29 @@ def report_service(runner: Optional[ExperimentRunner] = None, *,
                    **overrides) -> str:
     data = run_service(runner, clients=clients, schemes=schemes, **overrides)
     headers = ["Clients", "Scheme", "Served", "Rejected", "Batches",
-               "Switches", "p50 (cyc)", "p95 (cyc)", "p99 (cyc)",
+               "Switches", "Busy %", "p50 (cyc)", "p95 (cyc)", "p99 (cyc)",
                "Throughput (req/s)"]
     rows: List[List[object]] = []
     for n_clients, per_scheme in data.items():
         for name, summary in per_scheme.items():
             if summary is None:
                 rows.append([n_clients, name, "-", "-", "-", "-", "-", "-",
-                             "-", "FAIL (16-key limit)"])
+                             "-", "-", "FAIL (16-key limit)"])
                 continue
             rows.append([
                 n_clients, name, summary.n_served, summary.n_rejected,
                 summary.n_batches, summary.perm_switches,
+                round(100.0 * summary.busy_fraction, 1),
                 summary.p50, summary.p95, summary.p99,
                 summary.throughput_rps])
+    loop = overrides.get("arrival", "open")
+    dispatch = overrides.get("dispatch", "nominal")
+    pattern = overrides.get("pattern", "poisson")
+    workers = overrides.get("workers", 1)
     return format_table(
-        "Service: multi-tenant PMO serving (one domain per client)",
+        f"Service: multi-tenant PMO serving (one domain per client, "
+        f"{loop} loop, {dispatch} dispatch, {pattern} arrivals, "
+        f"{workers} worker{'s' if workers != 1 else ''})",
         headers, rows)
 
 
@@ -146,8 +213,24 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser.add_argument("--requests", type=int, default=None,
                         help="offered requests per run (default: "
                              "ServiceParams.n_requests)")
+    parser.add_argument("--loop", choices=("open", "closed"),
+                        default=None,
+                        help="arrival loop; --loop=closed implies "
+                             "--dispatch=replay (scheme-keyed schedules) "
+                             "unless --dispatch says otherwise")
+    parser.add_argument("--dispatch", choices=("nominal", "replay"),
+                        default=None,
+                        help="dispatch clock: nominal = one fixed schedule "
+                             "for all schemes; replay = per-scheme "
+                             "calibrated schedules")
+    parser.add_argument("--arrivals", choices=("poisson", "burst",
+                                               "diurnal"),
+                        default=None, dest="pattern",
+                        help="arrival-rate pattern over time")
+    parser.add_argument("--workers", type=int, default=None,
+                        help="worker threads serving batches")
     parser.add_argument("--arrival", choices=("open", "closed"),
-                        default=None, help="arrival discipline")
+                        default=None, help=argparse.SUPPRESS)  # legacy alias
     parser.add_argument("--batching", choices=("none", "client"),
                         default=None, help="batching policy")
     parser.add_argument("--seed", type=int, default=None,
@@ -156,12 +239,26 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     overrides = {}
     if args.requests is not None:
         overrides["n_requests"] = args.requests
-    if args.arrival is not None:
-        overrides["arrival"] = args.arrival
+    loop = args.loop or args.arrival
+    if loop is not None:
+        overrides["arrival"] = loop
+        if args.loop == "closed" and args.dispatch is None:
+            overrides["dispatch"] = "replay"
+    if args.dispatch is not None:
+        overrides["dispatch"] = args.dispatch
+    if args.pattern is not None:
+        overrides["pattern"] = args.pattern
+    if args.workers is not None:
+        overrides["workers"] = args.workers
     if args.batching is not None:
         overrides["batching"] = args.batching
     if args.seed is not None:
         overrides["seed"] = args.seed
+    smoke = os.environ.get("REPRO_SMOKE", "").strip().lower()
+    if smoke not in ("", "0", "false", "off", "no"):
+        if args.clients is DEFAULT_CLIENTS:
+            args.clients = SMOKE_CLIENTS
+        overrides.setdefault("n_requests", SMOKE_REQUESTS)
     print(report_service(clients=args.clients, schemes=args.schemes,
                          **overrides))
     return 0

@@ -6,29 +6,43 @@ This package makes that server an executable, measurable workload:
 
 * :mod:`~repro.service.params` — one frozen knob set per run;
 * :mod:`~repro.service.traffic` — seeded open/closed-loop arrivals with
-  Zipfian client popularity;
-* :mod:`~repro.service.batching` — admission control and domain-aware
-  batching (same-client coalescing amortizes permission switches);
+  Zipfian client popularity and poisson/burst/diurnal rate patterns;
+* :mod:`~repro.service.batching` — admission control, domain-aware
+  batching (same-client coalescing amortizes permission switches), and
+  the per-worker dispatch simulation on a pluggable clock;
+* :mod:`~repro.service.closed` — scheme-keyed schedules: a dispatch
+  clock calibrated from a marked replay, so ``dispatch="replay"`` runs
+  (and the true closed loop) get one deterministic plan per scheme;
 * :mod:`~repro.service.server` — executes the plan into an ordinary
   replayable trace (one SETPERM window per batch, deny-by-default);
-* :mod:`~repro.service.latency` — re-times marked replays into
-  per-request latency and p50/p95/p99/throughput summaries.
+* :mod:`~repro.service.latency` — re-times marked replays onto
+  per-worker wall clocks into per-request latency and
+  p50/p95/p99/throughput summaries.
 
 See ``docs/SERVICE.md`` for the architecture and the metric contract.
 """
 
-from .batching import Batch, ServicePlan, build_plan
+from .batching import (Batch, CalibratedClock, DispatchClock, NominalClock,
+                       ServicePlan, build_plan)
+from .closed import (build_plan_keyed, generate_service_trace_keyed,
+                     scheme_clock)
 from .latency import ServiceSummary, account, served_batches
-from .params import ARRIVALS, BATCHINGS, ServiceParams, \
-    nominal_request_cycles
-from .server import ServiceWorkload, batch_boundaries, \
-    generate_service_trace
-from .traffic import Request, generate_requests
+from .params import ARRIVALS, BATCHINGS, DISPATCHES, PATTERNS, \
+    ServiceParams, nominal_request_cycles
+from .server import BatchMark, ServiceWorkload, batch_boundaries, \
+    batch_markers, generate_service_trace, worker_slots
+from .traffic import Request, generate_requests, rate_multiplier
 
 __all__ = [
     "ARRIVALS",
     "BATCHINGS",
     "Batch",
+    "BatchMark",
+    "CalibratedClock",
+    "DISPATCHES",
+    "DispatchClock",
+    "NominalClock",
+    "PATTERNS",
     "Request",
     "ServiceParams",
     "ServicePlan",
@@ -36,9 +50,15 @@ __all__ = [
     "ServiceWorkload",
     "account",
     "batch_boundaries",
+    "batch_markers",
     "build_plan",
+    "build_plan_keyed",
     "generate_requests",
     "generate_service_trace",
+    "generate_service_trace_keyed",
     "nominal_request_cycles",
+    "rate_multiplier",
+    "scheme_clock",
     "served_batches",
+    "worker_slots",
 ]

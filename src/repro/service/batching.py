@@ -1,4 +1,4 @@
-"""Domain-aware batching and admission control.
+"""Domain-aware batching, admission control, and dispatch simulation.
 
 The scheduler's job is deciding, at trace-generation time, the *order*
 the server executes work in: which requests are admitted, and how queued
@@ -10,23 +10,91 @@ knob separating MPK virtualization's shootdown bill from domain
 virtualization's PTLB bill under client churn: batching reduces the
 *rate* of domain hopping without reducing the offered load.
 
-The dispatch simulation runs on the nominal clock
-(:func:`~repro.service.params.nominal_request_cycles`); per-scheme
-replays later re-time the same schedule.  Fixing the schedule at
-generation is what keeps a service run a pure, cacheable trace.
+The dispatch simulation keeps one free-time clock **per worker slot**
+and assigns each batch to the earliest-free worker (ties to the lowest
+slot), so the planned schedule and the per-worker wall-clock accounting
+(:mod:`repro.service.latency`) speak the same model.  How long a batch
+occupies its worker comes from a pluggable :class:`DispatchClock`:
+
+* :class:`NominalClock` — the fixed analytic estimate
+  (:func:`~repro.service.params.nominal_request_cycles`); every scheme
+  shares one schedule, which keeps a service run a single cacheable
+  trace (``dispatch="nominal"``, the default);
+* :class:`CalibratedClock` — a ``window + n * per_request`` model fitted
+  from one scheme's marked replay (:mod:`repro.service.closed`); each
+  scheme gets its *own* schedule — and with ``arrival="closed"`` its
+  completions gate when clients issue again, the true closed loop
+  (``dispatch="replay"``).
 
 Admission control is a bounded queue: an arrival finding ``max_queue``
 requests already waiting is rejected (counted, excluded from the trace)
-— the standard overload valve of a real server.
+— the standard overload valve of a real server.  In the closed loop a
+rejected client backs off (thinks again) and retries; every retry is a
+fresh offered request against the ``n_requests`` budget.
 """
 
 from __future__ import annotations
 
+import heapq
 from dataclasses import dataclass, field
-from typing import List, Tuple
+from typing import List, Optional, Tuple
 
+from ..errors import SimulationError
 from .params import ServiceParams, nominal_request_cycles
-from .traffic import Request, generate_requests
+from .traffic import Request, generate_requests, think_gap
+
+
+class DispatchClock:
+    """How long work occupies a worker, as the dispatch simulation sees it.
+
+    Implementations must be deterministic pure functions of the batch
+    size — the planner replays no traces itself.  ``scheme`` names the
+    scheme the clock was derived from (``None`` = scheme-agnostic).
+    """
+
+    def request_cycles(self) -> float:
+        """Duration of a lone single-request batch."""
+        raise NotImplementedError
+
+    def batch_cycles(self, n_requests: int) -> float:
+        """Duration of one batch of ``n_requests`` coalesced requests."""
+        raise NotImplementedError
+
+
+class NominalClock(DispatchClock):
+    """The fixed analytic estimate; one schedule shared by all schemes."""
+
+    def __init__(self, params: ServiceParams):
+        self.scheme: Optional[str] = None
+        self._service = nominal_request_cycles(params)
+
+    def request_cycles(self) -> float:
+        return self._service
+
+    def batch_cycles(self, n_requests: int) -> float:
+        return self._service * n_requests
+
+
+@dataclass(frozen=True)
+class CalibratedClock(DispatchClock):
+    """``window + n * per_request`` fitted from one scheme's replay.
+
+    ``window_cycles`` is the fixed cost of opening/closing the batch's
+    permission window under the scheme (SETPERM pair, shootdowns, the
+    flush tail it induces); ``per_request_cycles`` the marginal cost of
+    one more coalesced request.  Built by
+    :func:`repro.service.closed.scheme_clock`.
+    """
+
+    scheme: str
+    window_cycles: float
+    per_request_cycles: float
+
+    def request_cycles(self) -> float:
+        return self.window_cycles + self.per_request_cycles
+
+    def batch_cycles(self, n_requests: int) -> float:
+        return self.window_cycles + self.per_request_cycles * n_requests
 
 
 @dataclass(frozen=True)
@@ -47,6 +115,9 @@ class ServicePlan:
     params: ServiceParams
     batches: List[Batch]
     rejected: List[Request] = field(default_factory=list)
+    #: Dispatch-simulation iterations taken to build the schedule
+    #: (observability: how hard the loop worked, not a cycle count).
+    loop_iterations: int = 0
 
     @property
     def n_served(self) -> int:
@@ -59,23 +130,55 @@ class ServicePlan:
         return sum(len(batch.requests) - 1 for batch in self.batches)
 
 
-def build_plan(params: ServiceParams) -> ServicePlan:
-    """Simulate admission + batching over the offered stream.
+def _take_batch(params: ServiceParams, queue: List[Request]) -> List[Request]:
+    """Pop the next batch's members off the queue (head-of-line client)."""
+    head = queue[0]
+    if params.batching == "client":
+        members = [request for request in queue[:params.batch_window]
+                   if request.client == head.client]
+        members = members[:params.batch_limit]
+    else:
+        members = [head]
+    for request in members:
+        queue.remove(request)
+    return members
 
-    Deterministic: the same params always produce the identical plan.
+
+def build_plan(params: ServiceParams,
+               clock: Optional[DispatchClock] = None) -> ServicePlan:
+    """Simulate admission + batching + per-worker dispatch.
+
+    Deterministic: the same (params, clock) always produce the identical
+    plan.  ``dispatch="replay"`` params need a scheme-calibrated clock —
+    build those plans via
+    :func:`repro.service.closed.build_plan_keyed`.
     """
+    if clock is None:
+        if params.dispatch == "replay":
+            raise SimulationError(
+                "dispatch='replay' schedules are scheme-keyed; build them "
+                "with repro.service.closed.build_plan_keyed(params, scheme)")
+        clock = NominalClock(params)
+    if params.arrival == "closed" and params.dispatch == "replay":
+        return _closed_feedback_plan(params, clock)
+    return _stream_plan(params, clock)
+
+
+def _stream_plan(params: ServiceParams, clock: DispatchClock) -> ServicePlan:
+    """Dispatch a pre-generated arrival stream (open loop, and the
+    nominal closed loop whose feedback was resolved at stream time)."""
     stream = generate_requests(params)
-    service = nominal_request_cycles(params)
+    workers = max(1, params.workers)
+    free = [0.0] * workers
     queue: List[Request] = []
     batches: List[Batch] = []
     rejected: List[Request] = []
-    clock = 0.0
+    iterations = 0
     position = 0  # next unconsumed arrival in the stream
 
-    def admit_until(now: float) -> int:
+    def admit_until(now: float) -> None:
         """Move arrivals with ``arrival <= now`` into the queue."""
         nonlocal position
-        admitted = 0
         while position < len(stream) and stream[position].arrival <= now:
             request = stream[position]
             position += 1
@@ -83,29 +186,91 @@ def build_plan(params: ServiceParams) -> ServicePlan:
                 rejected.append(request)
             else:
                 queue.append(request)
-                admitted += 1
-        return admitted
 
     while position < len(stream) or queue:
+        iterations += 1
+        slot = min(range(workers), key=lambda w: free[w])
+        now = free[slot]
         if not queue:
-            # Idle server: jump to the next arrival.
-            clock = max(clock, stream[position].arrival)
-        admit_until(clock)
+            # Idle worker: jump to the next arrival.
+            now = max(now, stream[position].arrival)
+        admit_until(now)
         if not queue:
+            free[slot] = now
             continue
         head = queue[0]
-        if params.batching == "client":
-            members = [request for request in queue[:params.batch_window]
-                       if request.client == head.client]
-            members = members[:params.batch_limit]
-        else:
-            members = [head]
-        for request in members:
-            queue.remove(request)
+        members = _take_batch(params, queue)
         batches.append(Batch(
             index=len(batches), client=head.client,
-            requests=tuple(members),
-            worker=len(batches) % max(1, params.workers)))
-        clock += service * len(members)
+            requests=tuple(members), worker=slot))
+        free[slot] = now + clock.batch_cycles(len(members))
 
-    return ServicePlan(params=params, batches=batches, rejected=rejected)
+    return ServicePlan(params=params, batches=batches, rejected=rejected,
+                       loop_iterations=iterations)
+
+
+def _closed_feedback_plan(params: ServiceParams,
+                          clock: DispatchClock) -> ServicePlan:
+    """The true closed loop: completions gate the next issue.
+
+    Each client keeps one outstanding request; a served batch schedules
+    its members' clients to think (pattern-modulated) and issue again,
+    and a rejected client backs off the same way.  Because the clock is
+    scheme-calibrated, a slower scheme pushes completions — and thus the
+    *whole subsequent arrival process* — later: the schedules genuinely
+    diverge per scheme instead of being one stream re-timed.
+    """
+    import random
+    rng = random.Random(params.seed)
+    workers = max(1, params.workers)
+    free = [0.0] * workers
+    #: (next issue time, client) — a heap keeps client order stable.
+    pending = [(think_gap(params, rng, 0.0), client)
+               for client in range(params.n_clients)]
+    heapq.heapify(pending)
+    queue: List[Request] = []
+    batches: List[Batch] = []
+    rejected: List[Request] = []
+    issued = 0
+    iterations = 0
+
+    while True:
+        iterations += 1
+        slot = min(range(workers), key=lambda w: free[w])
+        now = free[slot]
+        # Admit every issue due by now; rejected clients back off + retry
+        # (each retry is a fresh offered request against the budget).
+        while pending and issued < params.n_requests and \
+                pending[0][0] <= now:
+            ready, client = heapq.heappop(pending)
+            request = Request(
+                rid=issued, client=client, arrival=ready,
+                is_write=rng.random() >= params.read_fraction)
+            issued += 1
+            if params.max_queue and len(queue) >= params.max_queue:
+                rejected.append(request)
+                heapq.heappush(
+                    pending, (ready + think_gap(params, rng, ready), client))
+            else:
+                queue.append(request)
+        if not queue:
+            if issued >= params.n_requests or not pending:
+                break
+            # Idle worker: jump to the next issue.
+            free[slot] = max(now, pending[0][0])
+            continue
+        head = queue[0]
+        members = _take_batch(params, queue)
+        completion = now + clock.batch_cycles(len(members))
+        batches.append(Batch(
+            index=len(batches), client=head.client,
+            requests=tuple(members), worker=slot))
+        free[slot] = completion
+        for request in members:
+            heapq.heappush(
+                pending,
+                (completion + think_gap(params, rng, completion),
+                 request.client))
+
+    return ServicePlan(params=params, batches=batches, rejected=rejected,
+                       loop_iterations=iterations)

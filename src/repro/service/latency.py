@@ -3,22 +3,25 @@
 One marked replay (``Engine.replay_marked`` with
 :func:`~repro.service.server.batch_boundaries`) yields the elapsed-cycle
 clock at every batch completion under one scheme.  This module re-times
-that serial replay onto the arrival wall clock and distributes batch
+that replay onto the arrival wall clock and distributes batch
 completions back to individual requests:
 
-* the replay is a single core executing batches back to back, so the
-  k-th inter-mark delta ``C_k - C_{k-1}`` is batch k's *service
+* the replay is a single core executing the scheduled interleaving, so
+  the k-th inter-mark delta ``C_k - C_{k-1}`` is batch k's *service
   duration* under the scheme (including its share of permission-switch,
   DTTLB/PTLB and shootdown overhead);
-* on the wall clock a batch cannot start before the server is free nor
-  before its members have arrived, so its completion is
-  ``W_k = max(W_{k-1}, latest arrival in batch) + (C_k - C_{k-1})``;
-* every member request's latency is ``W_k - arrival``.
+* the wall clock is kept **per worker slot**: batch k on worker w
+  cannot start before that worker is free nor before its members have
+  arrived, so its completion is
+  ``W_w = max(W_w, latest arrival in batch) + (C_k - C_{k-1})``
+  — exact for any worker count, and bit-identical to the old serial
+  recurrence when ``workers == 1``;
+* every member request's latency is ``W_w - arrival``.
 
-Exact for a single worker (the default).  With ``workers > 1`` the
-round-robin interleaving means a delta can include slices of other
-workers' batches; the accounting still conserves total cycles and is
-documented as an approximation in ``docs/SERVICE.md``.
+Which worker served which batch is carried by the trace's batch markers
+(:func:`~repro.service.server.batch_markers`), not inferred from the
+order workers first close a window — a worker idle through its first
+scheduling quantum no longer shifts the attribution.
 
 Percentiles come from :class:`repro.obs.metrics.Histogram` — the obs
 layer's exact-sample histogram — so the summary's p50/p95/p99 match
@@ -32,45 +35,40 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 from .. import obs
-from ..cpu.trace import PERM, Trace
 from ..errors import SimulationError
+from ..cpu.trace import Trace
 from ..obs.metrics import Histogram
-from ..permissions import Perm
 from ..sim.stats import RunStats
 from .batching import Batch, ServicePlan
+from .server import batch_markers
 
 
 def served_batches(trace: Trace, plan: ServicePlan) -> List[Batch]:
     """The plan's batches in the order the trace actually served them.
 
     With one worker this is plan order.  With several, the round-robin
-    scheduler interleaves the per-worker partitions; each window-close
-    PERM event's tid identifies the worker, and within one worker
-    batches complete in partition order.  Worker slots are matched to
-    tids by first appearance, which is slot order because the scheduler
-    starts tasks in spawn order.
+    scheduler interleaves the per-worker partitions; each batch marker
+    carries the serving worker's slot (recovered from the trace's
+    INIT_PERM roster), and within one worker batches complete in
+    partition order.
     """
-    none = int(Perm.NONE)
-    closing_tids = [event[1] for event in trace.events
-                    if event[0] == PERM and event[4] == none]
-    if len(closing_tids) != len(plan.batches):
+    markers = batch_markers(trace)
+    if len(markers) != len(plan.batches):
         raise SimulationError(
-            f"trace closed {len(closing_tids)} permission windows but the "
+            f"trace closed {len(markers)} permission windows but the "
             f"plan has {len(plan.batches)} batches — trace/plan mismatch")
     partitions: Dict[int, List[Batch]] = {}
     for batch in plan.batches:
         partitions.setdefault(batch.worker, []).append(batch)
     cursor: Dict[int, int] = {slot: 0 for slot in partitions}
-    tid_slot: Dict[int, int] = {}
     order: List[Batch] = []
-    for tid in closing_tids:
-        slot = tid_slot.setdefault(tid, len(tid_slot))
+    for marker in markers:
+        slot = marker.worker
         position = cursor.get(slot, 0)
         if slot not in partitions or position >= len(partitions[slot]):
             raise SimulationError(
-                f"trace uses more worker threads (or more batches on "
-                f"worker slot {slot}) than the plan assigns — "
-                f"trace/plan mismatch")
+                f"trace serves more batches on worker slot {slot} than "
+                f"the plan assigns it — trace/plan mismatch")
         cursor[slot] = position + 1
         order.append(partitions[slot][position])
     return order
@@ -90,11 +88,17 @@ class ServiceSummary:
     perm_switches: int
     #: Replayed execution cycles (busy time on the core).
     cycles: float
-    #: Wall-clock cycles from first arrival to last completion.
+    #: Wall-clock cycles from first arrival to last completion (the
+    #: latest of the per-worker wall clocks).
     wall_cycles: float
     #: Served requests per second of simulated wall time.
     throughput_rps: float
     latency: Histogram = field(default_factory=Histogram)
+    #: Worker slot -> replayed cycles spent serving its batches.
+    worker_busy: Dict[int, float] = field(default_factory=dict)
+    #: Dispatch-simulation iterations behind the plan (see
+    #: :class:`~repro.service.batching.ServicePlan`).
+    loop_iterations: int = 0
     stats: Optional[RunStats] = None
 
     @property
@@ -113,6 +117,14 @@ class ServiceSummary:
     def mean_latency(self) -> float:
         return self.latency.mean
 
+    @property
+    def busy_fraction(self) -> float:
+        """Mean worker utilization: busy cycles over wall cycles."""
+        if not self.worker_busy or self.wall_cycles <= 0:
+            return 0.0
+        return sum(self.worker_busy.values()) / (
+            len(self.worker_busy) * self.wall_cycles)
+
     def to_dict(self) -> Dict[str, object]:
         """JSON-safe export (results archive, bench harness)."""
         return {
@@ -126,6 +138,9 @@ class ServiceSummary:
             "cycles": self.cycles,
             "wall_cycles": self.wall_cycles,
             "throughput_rps": self.throughput_rps,
+            "worker_busy_cycles": {str(slot): self.worker_busy[slot]
+                                   for slot in sorted(self.worker_busy)},
+            "loop_iterations": self.loop_iterations,
             "latency_cycles": {"mean": self.mean_latency, "p50": self.p50,
                                "p95": self.p95, "p99": self.p99,
                                "max": self.latency.max},
@@ -140,25 +155,30 @@ def account(plan: ServicePlan, trace: Trace, stats: RunStats, *,
     (``service.*`` names, see :mod:`repro.obs.schema`) when
     observability is enabled.
     """
-    if stats.mark_cycles is None:
+    if stats.mark_cycles is None and plan.batches:
         raise SimulationError(
             "RunStats has no mark_cycles; replay with "
             "marks=batch_boundaries(trace)")
     order = served_batches(trace, plan)
-    if len(stats.mark_cycles) != len(order):
+    marks = stats.mark_cycles or []
+    if len(marks) != len(order):
         raise SimulationError(
-            f"{len(stats.mark_cycles)} marks for {len(order)} batches")
+            f"{len(marks)} marks for {len(order)} batches")
 
     latency = Histogram()
-    wall = 0.0
+    walls: Dict[int, float] = {}
+    busy: Dict[int, float] = {}
     previous = 0.0
-    for batch, elapsed in zip(order, stats.mark_cycles):
+    for batch, elapsed in zip(order, marks):
         delta = elapsed - previous
         previous = elapsed
         ready = max(request.arrival for request in batch.requests)
-        wall = max(wall, ready) + delta
+        done = max(walls.get(batch.worker, 0.0), ready) + delta
+        walls[batch.worker] = done
+        busy[batch.worker] = busy.get(batch.worker, 0.0) + delta
         for request in batch.requests:
-            latency.observe(wall - request.arrival)
+            latency.observe(done - request.arrival)
+    wall = max(walls.values()) if walls else 0.0
 
     served = plan.n_served
     throughput = served * frequency_hz / wall if wall > 0 else 0.0
@@ -174,6 +194,8 @@ def account(plan: ServicePlan, trace: Trace, stats: RunStats, *,
         wall_cycles=wall,
         throughput_rps=throughput,
         latency=latency,
+        worker_busy={slot: busy[slot] for slot in sorted(busy)},
+        loop_iterations=plan.loop_iterations,
         stats=stats)
     _publish(summary, plan)
     return summary
@@ -187,8 +209,13 @@ def _publish(summary: ServiceSummary, plan: ServicePlan) -> None:
         registry.counter("service.requests.rejected").inc(summary.n_rejected)
         registry.counter("service.requests.coalesced").inc(summary.coalesced)
         registry.counter("service.batches").inc(summary.n_batches)
+        registry.counter("service.loop_iterations").inc(
+            summary.loop_iterations)
         registry.histogram("service.latency_cycles").merge(
             summary.latency.as_dict())
+        busy = registry.histogram("service.worker_busy_cycles")
+        for slot in sorted(summary.worker_busy):
+            busy.observe(summary.worker_busy[slot])
         registry.gauge("service.throughput_rps").set(summary.throughput_rps)
     ev = obs.active_events()
     if ev is not None:

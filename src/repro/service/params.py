@@ -17,6 +17,10 @@ from dataclasses import dataclass, replace
 
 #: Arrival disciplines the traffic generator understands.
 ARRIVALS = ("open", "closed")
+#: Arrival-rate patterns modulating either discipline over time.
+PATTERNS = ("poisson", "burst", "diurnal")
+#: Dispatch clocks the planner can drive the schedule with.
+DISPATCHES = ("nominal", "replay")
 #: Batching policies the scheduler understands.
 BATCHINGS = ("none", "client")
 
@@ -42,6 +46,20 @@ class ServiceParams:
     interarrival_cycles: float = 300.0
     #: Closed loop: per-client think time in cycles after a completion.
     think_cycles: float = 20000.0
+    #: Time-varying shape of the offered rate: ``poisson`` — stationary;
+    #: ``burst`` — a periodic on/off spike multiplying the rate by
+    #: ``burst_factor`` during the first ``burst_fraction`` of every
+    #: ``burst_period_cycles`` window; ``diurnal`` — a sinusoid of
+    #: relative amplitude ``diurnal_amplitude`` over
+    #: ``diurnal_period_cycles``.  Modulates interarrival gaps (open
+    #: loop) and think times (closed loop); seeded and deterministic
+    #: like everything else here.
+    pattern: str = "poisson"
+    burst_factor: float = 8.0
+    burst_fraction: float = 0.1
+    burst_period_cycles: float = 50000.0
+    diurnal_period_cycles: float = 200000.0
+    diurnal_amplitude: float = 0.8
     #: Zipf exponent of client popularity (0 = uniform).  Hot clients are
     #: what domain-aware batching exploits.
     zipf: float = 0.9
@@ -76,14 +94,34 @@ class ServiceParams:
     workers: int = 1
     #: Batches served per scheduling quantum when ``workers > 1``.
     quantum: int = 4
+    #: Clock driving the dispatch simulation: ``nominal`` — the fixed
+    #: analytic estimate (:func:`nominal_request_cycles`), one schedule
+    #: shared by every scheme; ``replay`` — a per-scheme clock calibrated
+    #: from a marked replay (:mod:`repro.service.closed`), so each scheme
+    #: gets its own schedule and completions feed back into dispatch.
+    dispatch: str = "nominal"
 
     def __post_init__(self):
         if self.arrival not in ARRIVALS:
             raise ValueError(f"unknown arrival discipline {self.arrival!r}; "
                              f"choose from {ARRIVALS}")
+        if self.pattern not in PATTERNS:
+            raise ValueError(f"unknown arrival pattern {self.pattern!r}; "
+                             f"choose from {PATTERNS}")
+        if self.dispatch not in DISPATCHES:
+            raise ValueError(f"unknown dispatch clock {self.dispatch!r}; "
+                             f"choose from {DISPATCHES}")
         if self.batching not in BATCHINGS:
             raise ValueError(f"unknown batching policy {self.batching!r}; "
                              f"choose from {BATCHINGS}")
+        if self.burst_factor < 1.0:
+            raise ValueError("burst_factor must be at least 1")
+        if not 0.0 < self.burst_fraction <= 1.0:
+            raise ValueError("burst_fraction must be in (0, 1]")
+        if self.burst_period_cycles <= 0 or self.diurnal_period_cycles <= 0:
+            raise ValueError("pattern periods must be positive")
+        if not 0.0 <= self.diurnal_amplitude < 1.0:
+            raise ValueError("diurnal_amplitude must be in [0, 1)")
         if self.n_clients < 1:
             raise ValueError("n_clients must be at least 1")
         if self.batch_limit < 1:

@@ -9,22 +9,26 @@ serving — inside an explicit SETPERM window per batch.
 The server executes a :class:`~repro.service.batching.ServicePlan`
 (fixed at generation time) into an ordinary replayable trace:
 
-* batches are partitioned round-robin over the worker pool and, with
-  more than one worker, interleaved by the
+* batches carry the worker slot the planner's earliest-free dispatch
+  assigned them to and, with more than one worker, the per-slot
+  partitions are interleaved by the
   :class:`~repro.os.scheduler.RoundRobinScheduler` (context switches in
   the trace exercise the schemes' DTTLB/PTLB flush paths);
 * each batch is one permission window — ``SETPERM(domain, RW)``, the
   member requests' reads/writes/compute, ``SETPERM(domain, NONE)`` —
   so the trace's window-close events double as the batch-completion
-  markers the latency accounting snapshots
-  (:func:`batch_boundaries`).
+  markers the latency accounting snapshots, each carrying its worker
+  slot (:func:`batch_markers` / :func:`batch_boundaries`).
 """
 
 from __future__ import annotations
 
-from typing import List, Tuple
+from typing import Dict, List, NamedTuple, Tuple
 
-from ..cpu.trace import PERM, Trace
+import numpy as np
+
+from ..cpu.trace import INIT_PERM, PERM, Trace
+from ..errors import SimulationError
 from ..permissions import Perm
 from ..pmo.oid import OID
 from ..workloads.base import PoolHandle, UnprotectedPolicy, Workspace
@@ -139,15 +143,72 @@ def generate_service_trace(params: ServiceParams) -> Tuple[Trace, Workspace]:
     return workload.finish(), workload.ws
 
 
+class BatchMark(NamedTuple):
+    """One batch-completion marker recovered from the trace itself."""
+
+    #: Event index *after* the batch's window-close SETPERM (the replay
+    #: mark; the snapshot there is the batch's completion cycle).
+    index: int
+    #: Worker slot (0-based) that served the batch.
+    worker: int
+
+
+def worker_slots(trace: Trace) -> Dict[int, int]:
+    """tid -> worker slot, recovered from the trace's INIT_PERM prologue.
+
+    The server spawns its whole worker pool *before* attaching any
+    client pool, then records the deny-by-default ``INIT_PERM`` for
+    every worker tid in slot order — so the first-appearance order of
+    tids among INIT_PERM events is exactly the slot order, for any
+    service trace, including one loaded from the persistent cache.
+    """
+    columns = trace.columns
+
+    def build() -> Dict[int, int]:
+        slots: Dict[int, int] = {}
+        for tid in columns.tids[columns.kinds == INIT_PERM].tolist():
+            if tid not in slots:
+                slots[tid] = len(slots)
+        return slots
+
+    return columns.replay_cache(("service.worker_slots",), build)
+
+
+def batch_markers(trace: Trace) -> List[BatchMark]:
+    """Each batch's completion marker, with its worker slot attached.
+
+    Service traces close every window with ``SETPERM(domain, NONE)`` and
+    emit no other NONE switches, so both the boundary and the serving
+    worker (the closing event's tid, mapped through
+    :func:`worker_slots`) are recoverable from the trace alone — the
+    slot is carried by the marker instead of re-inferred from whichever
+    worker happened to close a window first.
+    """
+    columns = trace.columns
+
+    def build() -> List[BatchMark]:
+        slots = worker_slots(trace)
+        closes = np.nonzero((columns.kinds == PERM)
+                            & (columns.operand_b == int(Perm.NONE)))[0]
+        markers: List[BatchMark] = []
+        for index, tid in zip((closes + 1).tolist(),
+                              columns.tids[closes].tolist()):
+            slot = slots.get(tid)
+            if slot is None:
+                raise SimulationError(
+                    f"window-close SETPERM by tid {tid} which is "
+                    f"outside the trace's worker roster")
+            markers.append(BatchMark(index=index, worker=slot))
+        return markers
+
+    return columns.replay_cache(("service.batch_markers",), build)
+
+
 def batch_boundaries(trace: Trace) -> List[int]:
     """Event indices *after* each batch's window-close SETPERM.
 
-    Service traces close every window with ``SETPERM(domain, NONE)`` and
-    emit no other NONE switches, so the boundaries are recoverable from
-    any trace — including one loaded from the persistent cache with no
-    plan object in sight.  Passed as ``marks`` to the replay engine, the
-    k-th snapshot is the cycle the k-th batch (in trace order) completed.
+    Passed as ``marks`` to the replay engine, the k-th snapshot is the
+    cycle the k-th batch (in trace order) completed.  The slot-carrying
+    view of the same markers is :func:`batch_markers`.
     """
-    none = int(Perm.NONE)
-    return [index + 1 for index, event in enumerate(trace.events)
-            if event[0] == PERM and event[4] == none]
+    return [marker.index for marker in batch_markers(trace)]

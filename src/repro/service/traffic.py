@@ -13,8 +13,16 @@ that separates throughput from latency measurements):
   rate; the server's speed does not slow the clients down, so queues
   (and tail latency) grow when a scheme cannot keep up;
 * **closed loop** — each client keeps at most one request outstanding
-  and thinks for ``think_cycles`` after each completion, using the
-  nominal service model for completion feedback at generation time.
+  and thinks for ``think_cycles`` after each completion.  The stream
+  produced *here* uses the nominal service model for completion
+  feedback; the scheme-aware closed loop (``dispatch="replay"``) skips
+  this module's stream entirely and issues requests from inside the
+  dispatch simulation (:mod:`repro.service.batching`).
+
+Either discipline composes with an arrival-rate *pattern*
+(:func:`rate_multiplier`): ``poisson`` is stationary, ``burst`` spikes
+the rate periodically, ``diurnal`` follows a sinusoid — modulating
+interarrival gaps (open loop) or think times (closed loop).
 
 Client popularity is Zipf-distributed (hot tenants), reusing the
 exemplar-accurate :class:`~repro.workloads.micro.ZipfSampler`.
@@ -23,12 +31,49 @@ exemplar-accurate :class:`~repro.workloads.micro.ZipfSampler`.
 from __future__ import annotations
 
 import heapq
+import math
 import random
 from dataclasses import dataclass
 from typing import List
 
 from ..workloads.micro import ZipfSampler
 from .params import ServiceParams, nominal_request_cycles
+
+
+def rate_multiplier(params: ServiceParams, now: float) -> float:
+    """Instantaneous offered-rate multiplier of the arrival pattern.
+
+    ``poisson`` is identically 1.0; ``burst`` returns ``burst_factor``
+    during the first ``burst_fraction`` of every ``burst_period_cycles``
+    window and 1.0 otherwise; ``diurnal`` is a sinusoid of relative
+    amplitude ``diurnal_amplitude`` (always positive, so the process
+    never stalls).  Gaps are drawn at rate ``multiplier / mean_gap`` —
+    a standard thinning-free approximation of an inhomogeneous Poisson
+    process that keeps generation single-pass and seeded.
+    """
+    if params.pattern == "burst":
+        phase = now % params.burst_period_cycles
+        if phase < params.burst_fraction * params.burst_period_cycles:
+            return params.burst_factor
+        return 1.0
+    if params.pattern == "diurnal":
+        return 1.0 + params.diurnal_amplitude * math.sin(
+            2.0 * math.pi * now / params.diurnal_period_cycles)
+    return 1.0
+
+
+def arrival_gap(params: ServiceParams, rng: random.Random,
+                now: float) -> float:
+    """One open-loop interarrival gap drawn at the current rate."""
+    return rng.expovariate(
+        rate_multiplier(params, now) / params.interarrival_cycles)
+
+
+def think_gap(params: ServiceParams, rng: random.Random,
+              now: float) -> float:
+    """One closed-loop think time drawn at the current rate."""
+    return rng.expovariate(
+        rate_multiplier(params, now) / params.think_cycles)
 
 
 @dataclass(frozen=True)
@@ -56,7 +101,7 @@ def _open_loop(params: ServiceParams, rng: random.Random) -> List[Request]:
     clock = 0.0
     requests: List[Request] = []
     for rid in range(params.n_requests):
-        clock += rng.expovariate(1.0 / params.interarrival_cycles)
+        clock += arrival_gap(params, rng, clock)
         requests.append(Request(
             rid=rid, client=sampler.sample(), arrival=clock,
             is_write=rng.random() >= params.read_fraction))
@@ -72,7 +117,7 @@ def _closed_loop(params: ServiceParams, rng: random.Random) -> List[Request]:
     """
     service = nominal_request_cycles(params)
     #: (next arrival time, client) — a heap keeps client order stable.
-    pending = [(rng.expovariate(1.0 / params.think_cycles), client)
+    pending = [(think_gap(params, rng, 0.0), client)
                for client in range(params.n_clients)]
     heapq.heapify(pending)
     server_free = 0.0
@@ -86,6 +131,6 @@ def _closed_loop(params: ServiceParams, rng: random.Random) -> List[Request]:
         server_free = completion
         heapq.heappush(
             pending,
-            (completion + rng.expovariate(1.0 / params.think_cycles), client))
+            (completion + think_gap(params, rng, completion), client))
     requests.sort(key=lambda request: (request.arrival, request.rid))
     return requests

@@ -51,6 +51,20 @@ def service_trace():
     return trace
 
 
+@pytest.fixture(scope="module")
+def closed_service_trace():
+    # A scheme-keyed closed-loop schedule under bursty arrivals — the
+    # dispatch-simulation refactor's new trace shape (and the traces
+    # Engine.replay_marked_keyed feeds both engines).
+    from repro.service.closed import generate_service_trace_keyed
+    from repro.service.params import ServiceParams
+    trace, _ = generate_service_trace_keyed(
+        ServiceParams(n_clients=6, n_requests=100, arrival="closed",
+                      dispatch="replay", pattern="burst"),
+        "domain_virt")
+    return trace
+
+
 def _replay_both(monkeypatch, trace, scheme, *, marks=None):
     monkeypatch.setenv("REPRO_FAST", "0")
     ref = replay_one(trace, scheme, marks=marks)
@@ -138,6 +152,22 @@ class TestMarks:
         ref, fast = _replay_both(monkeypatch, micro_trace, scheme,
                                  marks=marks)
         assert ref.mark_cycles is not None
+        assert [repr(c) for c in ref.mark_cycles] == \
+            [repr(c) for c in fast.mark_cycles]
+        _assert_identical(ref, fast)
+
+
+    @pytest.mark.parametrize("scheme", ("baseline", "domain_virt",
+                                        "mpk_virt", "libmpk"))
+    def test_marked_closed_loop_service(self, monkeypatch,
+                                        closed_service_trace, scheme):
+        # The marks the service accounting consumes: every batch's
+        # window-close boundary, on the keyed closed-loop trace.
+        from repro.service.server import batch_boundaries
+        marks = batch_boundaries(closed_service_trace)
+        assert marks
+        ref, fast = _replay_both(monkeypatch, closed_service_trace,
+                                 scheme, marks=marks)
         assert [repr(c) for c in ref.mark_cycles] == \
             [repr(c) for c in fast.mark_cycles]
         _assert_identical(ref, fast)

@@ -105,3 +105,48 @@ class TestMain:
         with pytest.raises(SystemExit):
             check_regression.main([str(base), str(base),
                                    "--threshold", "1.5"])
+
+
+class TestMultiPair:
+    """Several BASELINE CURRENT pairs gated by one invocation (the CI
+    shape: engine and service files together)."""
+
+    def test_all_pairs_pass(self, tmp_path, capsys):
+        engine_base = _bench_json(tmp_path, "eb.json",
+                                  {"replay:baseline": _entry(500_000.0)})
+        service_base = _bench_json(tmp_path, "sb.json",
+                                   {"account:service-64c": _entry(300_000.0)})
+        assert check_regression.main(
+            [str(engine_base), str(engine_base),
+             str(service_base), str(service_base)]) == 0
+        assert "OK" in capsys.readouterr().out
+
+    def test_regression_in_second_pair_fails(self, tmp_path, capsys):
+        engine_base = _bench_json(tmp_path, "eb.json",
+                                  {"replay:baseline": _entry(500_000.0)})
+        service_base = _bench_json(tmp_path, "sb.json",
+                                   {"account:service-64c": _entry(300_000.0)})
+        service_cur = _bench_json(tmp_path, "sc.json",
+                                  {"account:service-64c": _entry(100_000.0)})
+        assert check_regression.main(
+            [str(engine_base), str(engine_base),
+             str(service_base), str(service_cur)]) == 1
+        assert "account:service-64c" in capsys.readouterr().err
+
+    def test_failures_accumulate_across_pairs(self, tmp_path, capsys):
+        base_a = _bench_json(tmp_path, "a.json",
+                             {"replay:baseline": _entry(500_000.0)})
+        cur_a = _bench_json(tmp_path, "a2.json",
+                            {"replay:baseline": _entry(100_000.0)})
+        base_b = _bench_json(tmp_path, "b.json",
+                             {"account:service-64c": _entry(300_000.0)})
+        cur_b = _bench_json(tmp_path, "b2.json",
+                            {"account:service-64c": _entry(50_000.0)})
+        assert check_regression.main(
+            [str(base_a), str(cur_a), str(base_b), str(cur_b)]) == 1
+        assert "2 regression(s)" in capsys.readouterr().err
+
+    def test_odd_path_count_rejected(self, tmp_path):
+        base = _bench_json(tmp_path, "base.json", {})
+        with pytest.raises(SystemExit):
+            check_regression.main([str(base), str(base), str(base)])

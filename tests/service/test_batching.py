@@ -71,10 +71,21 @@ class TestAdmissionControl:
 
 
 class TestWorkerAssignment:
-    def test_round_robin_over_worker_slots(self):
+    def test_earliest_free_uses_every_slot(self):
         plan = build_plan(ServiceParams(**SATURATED, workers=3))
+        # Saturated load keeps all three workers busy, and the first
+        # batch lands on slot 0 (ties break to the lowest slot).
+        assert {batch.worker for batch in plan.batches} == {0, 1, 2}
+        assert plan.batches[0].worker == 0
+
+    def test_earliest_free_balances_saturated_load(self):
+        plan = build_plan(ServiceParams(**SATURATED, workers=3))
+        requests = [0, 0, 0]
         for batch in plan.batches:
-            assert batch.worker == batch.index % 3
+            requests[batch.worker] += len(batch.requests)
+        # Under saturation no worker idles while another drowns.
+        assert min(requests) > 0
+        assert max(requests) <= 2 * min(requests)
 
     def test_single_worker_everything_on_slot_zero(self):
         plan = build_plan(ServiceParams(**SATURATED))

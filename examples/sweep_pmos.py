@@ -6,45 +6,66 @@ overhead of libmpk vs the two hardware schemes as the number of attached
 PMOs grows — and renders it as a log2 ASCII chart, mirroring the paper's
 2^k y-axis.
 
+The sweep itself lives in ``scenarios/sweep_pmos.yaml``; this script
+loads that document, applies the command-line overrides, and replays the
+compiled grid point by point so it can narrate progress.  Running the
+scenario through ``python -m repro.experiments run sweep_pmos`` replays
+the exact same specs (shared trace cache) with the stock leaderboard
+report instead of the chart.
+
 Run:  python examples/sweep_pmos.py [benchmark] [ops]
       benchmark in {avl, rbt, bt, ll, ss} (default avl)
       REPRO_SMOKE=1 shrinks the sweep
 """
 
-import os
+import dataclasses
 import sys
 
+from repro.engine import Engine
 from repro.experiments.figure6 import FIGURE6_SCHEMES
 from repro.experiments.reporting import format_table, log2_chart
-from repro.sim.simulator import (MULTI_PMO_SCHEMES, overhead_over_lowerbound,
-                                 replay_trace)
-from repro.workloads.micro import MICRO_LABELS, MicroParams, \
-    generate_micro_trace
-
-SMOKE = os.environ.get("REPRO_SMOKE", "") not in ("", "0")
-POINTS = (16, 32, 64) if SMOKE else (16, 32, 64, 128, 256)
+from repro.scenario import SCENARIO_DIR, compile_scenario, load_scenario
+from repro.sim.simulator import MULTI_PMO_SCHEMES, overhead_over_lowerbound
+from repro.workloads.micro import MICRO_LABELS
 
 
 def main() -> None:
-    benchmark = sys.argv[1] if len(sys.argv) > 1 else "avl"
-    operations = int(sys.argv[2]) if len(sys.argv) > 2 else (
-        120 if SMOKE else 600)
+    scenario = load_scenario(SCENARIO_DIR / "sweep_pmos.yaml")
+    overrides = {}
+    if len(sys.argv) > 1:
+        overrides["benchmark"] = sys.argv[1]
+    if len(sys.argv) > 2:
+        overrides["operations"] = int(sys.argv[2])
+    if overrides:
+        params = dict(scenario.params)
+        params.update(overrides)
+        smoke_params = dict(scenario.smoke_params)
+        smoke_params.update(overrides)  # argv ops beats the smoke default
+        scenario = dataclasses.replace(
+            scenario, params=tuple(params.items()),
+            smoke_params=tuple(smoke_params.items()))
+    compiled = compile_scenario(scenario, scale=1.0)
+    benchmark = compiled.cells[0].spec.params.benchmark
 
+    engine = Engine()
     series = {scheme: {} for scheme in FIGURE6_SCHEMES}
-    for n_pools in POINTS:
-        params = MicroParams(benchmark=benchmark, n_pools=n_pools,
-                             operations=operations, initial_nodes=64)
-        trace, ws = generate_micro_trace(params)
-        results = replay_trace(trace, ws, MULTI_PMO_SCHEMES)
+    points = []
+    for cell in compiled.cells:
+        n_pools = cell.axes_dict["n_pools"]
+        results = engine.replay_grid([(cell.spec, cell.config)],
+                                     MULTI_PMO_SCHEMES)[0]
         for scheme in FIGURE6_SCHEMES:
             series[scheme][n_pools] = overhead_over_lowerbound(
                 results, scheme)
+        points.append(n_pools)
+        events = len(engine.trace_for(cell.spec))
         evictions = results["mpk_virt"].evictions
         print(f"  swept {n_pools:4d} PMOs "
-              f"({len(trace)} events, {evictions} key evictions)")
+              f"({events} events, {evictions} key evictions)")
+        engine.release(cell.spec)
 
-    headers = ["Scheme"] + [f"{x} PMOs" for x in POINTS]
-    rows = [[scheme] + [series[scheme][x] for x in POINTS]
+    headers = ["Scheme"] + [f"{x} PMOs" for x in points]
+    rows = [[scheme] + [series[scheme][x] for x in points]
             for scheme in FIGURE6_SCHEMES]
     print()
     print(format_table(

@@ -31,6 +31,7 @@ class DomainVirtScheme(ProtectionScheme):
     """Hardware domain virtualization (DRT + PT + PTLB)."""
 
     name = "domain_virt"
+    registry_tags = {"multi_pmo": 3, "single_pmo": 2}
 
     def __init__(self, *args, **kwargs):
         super().__init__(*args, **kwargs)

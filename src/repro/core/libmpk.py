@@ -31,6 +31,7 @@ class LibmpkScheme(ProtectionScheme):
     """Software MPK virtualization: exceptions + pkey_mprotect + shootdowns."""
 
     name = "libmpk"
+    registry_tags = {"multi_pmo": 1}
 
     def __init__(self, *args, **kwargs):
         super().__init__(*args, **kwargs)

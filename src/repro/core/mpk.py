@@ -50,6 +50,8 @@ class MPKScheme(ProtectionScheme):
     """Default MPK: one key per domain, hard 15-domain limit."""
 
     name = "mpk"
+    #: Table V only — plain MPK cannot exceed 15 protection domains.
+    registry_tags = {"single_pmo": 0}
 
     def __init__(self, *args, **kwargs):
         super().__init__(*args, **kwargs)

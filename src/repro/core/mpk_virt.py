@@ -43,6 +43,7 @@ class MPKVirtScheme(ProtectionScheme):
     """Hardware MPK virtualization (DTT + DTTLB + key remapping)."""
 
     name = "mpk_virt"
+    registry_tags = {"multi_pmo": 2, "single_pmo": 1}
 
     def __init__(self, *args, **kwargs):
         super().__init__(*args, **kwargs)

@@ -21,10 +21,11 @@ the replay engine stays scheme-agnostic.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Dict, List, Type
+from typing import TYPE_CHECKING, Dict, List, Tuple, Type
 
 from .. import obs
 from ..permissions import Perm
+from ..registry import Registry
 from ..mem.tlb import TLBEntry, TwoLevelTLB
 from ..os.address_space import VMA
 from ..os.process import Process
@@ -38,6 +39,13 @@ class ProtectionScheme:
     """Base class; the default implementation is the unprotected baseline."""
 
     name = "baseline"
+    #: Evaluation sets this scheme belongs to, as ``{tag: rank}``; the
+    #: rank orders members within a tag so the paper's scheme tuples
+    #: (``repro.sim.simulator.MULTI_PMO_SCHEMES`` /
+    #: ``SINGLE_PMO_SCHEMES``) are *derived* from the registry instead
+    #: of hard-coded.  Known tags: ``multi_pmo`` (Figure 6/7, Table
+    #: VII), ``single_pmo`` (Table V).
+    registry_tags: Dict[str, int] = {}
 
     def __init__(self, config: SimConfig, process: Process,
                  tlb: TwoLevelTLB, stats: RunStats):
@@ -108,31 +116,63 @@ class LowerboundScheme(NullProtection):
     """
 
     name = "lowerbound"
+    registry_tags = {"multi_pmo": 0}
 
     def perm_switch(self, tid: int, domain: int, perm: Perm) -> None:
         self.stats.charge("perm_change", self.config.mpk.wrpkru_cycles)
 
 
-_REGISTRY: Dict[str, Type[ProtectionScheme]] = {}
+#: The scheme plugin registry.  Built-in schemes self-register on import
+#: of their modules (listed in ``discover``); third-party schemes
+#: register through ``REPRO_PLUGINS`` / entry points (see
+#: :mod:`repro.registry`).
+SCHEMES = Registry("scheme", discover=(
+    "repro.core.libmpk",
+    "repro.core.domain_virt",
+    "repro.core.mpk",
+    "repro.core.mpk_virt",
+))
 
 
 def register_scheme(cls: Type[ProtectionScheme]) -> Type[ProtectionScheme]:
-    """Class decorator adding a scheme to the global registry."""
-    _REGISTRY[cls.name] = cls
-    return cls
+    """Class decorator adding a scheme to the registry.
+
+    The scheme's ``name`` and ``registry_tags`` class attributes carry
+    the registration metadata, so a scheme module is self-contained:
+    defining + decorating the class is the whole integration.
+    """
+    return SCHEMES.register(cls.name, tags=cls.registry_tags)(cls)
 
 
 def scheme_by_name(name: str) -> Type[ProtectionScheme]:
-    from . import libmpk, domain_virt, mpk, mpk_virt  # noqa: F401 (register)
-    if name not in _REGISTRY:
-        raise KeyError(
-            f"unknown scheme {name!r}; known: {sorted(_REGISTRY)}")
-    return _REGISTRY[name]
+    """The scheme class registered as ``name``.
+
+    Unknown names raise a ``KeyError`` listing every registered scheme.
+    """
+    return SCHEMES.get(name)
 
 
 def available_schemes() -> List[str]:
-    from . import libmpk, domain_virt, mpk, mpk_virt  # noqa: F401 (register)
-    return sorted(_REGISTRY)
+    return SCHEMES.names()
+
+
+def schemes_tagged(tag: str) -> Tuple[str, ...]:
+    """Scheme names carrying ``tag``, in registry-rank order — the
+    source of the paper's evaluation tuples."""
+    return SCHEMES.tagged(tag)
+
+
+#: Short scheme aliases accepted by the serving layer, the scenario
+#: compiler and every CLI (-> canonical registry names).
+SCHEME_ALIASES = {
+    "mpkv": "mpk_virt",
+    "dv": "domain_virt",
+}
+
+
+def resolve_scheme(name: str) -> str:
+    """Canonical scheme-registry name for a CLI/serving alias."""
+    return SCHEME_ALIASES.get(name, name)
 
 
 register_scheme(NullProtection)

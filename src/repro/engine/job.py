@@ -20,14 +20,15 @@ from typing import Optional, Tuple
 
 from ..cpu.trace import Trace
 from ..errors import EngineError
-from ..service.params import ServiceParams
 from ..sim.config import DEFAULT_CONFIG, SimConfig
 from ..workloads.base import Workspace
-from ..workloads.micro import MicroParams, generate_micro_trace
-from ..workloads.whisper import WhisperParams, generate_whisper_trace
+from ..workloads.families import workload_by_name, workload_names
 
-#: Suites the engine knows how to generate.
-SUITES = ("micro", "whisper", "service")
+
+def suite_names() -> Tuple[str, ...]:
+    """Suites the engine knows how to generate (the workload-family
+    registry's names; plugins extend it — see ``docs/SCENARIOS.md``)."""
+    return tuple(workload_names())
 
 
 def _canonical(document) -> bytes:
@@ -54,40 +55,64 @@ class WorkloadSpec:
     scheme: Optional[str] = None
 
     @classmethod
+    def build(cls, suite: str, *, scale: float = 1.0,
+              **overrides) -> "WorkloadSpec":
+        """Construct a spec for any registered workload family.
+
+        ``overrides`` are the family's params fields; ``scale`` is the
+        ``REPRO_OPS`` hook (applied through the params' ``scaled``).
+        The scenario compiler builds every spec through here, so a
+        compiled spec is **constructed identically** to a handwritten
+        one — same params class, same defaults, same hash.
+        """
+        family = workload_by_name(suite)
+        params = family.params_type(**overrides).scaled(scale)
+        return cls(suite=suite, params=params)
+
+    @classmethod
     def micro(cls, benchmark: str, n_pools: int, *, scale: float = 1.0,
               **overrides) -> "WorkloadSpec":
-        params = MicroParams(benchmark=benchmark, n_pools=n_pools,
-                             **overrides).scaled(scale)
-        return cls(suite="micro", params=params)
+        return cls.build("micro", scale=scale, benchmark=benchmark,
+                         n_pools=n_pools, **overrides)
 
     @classmethod
     def whisper(cls, benchmark: str, *, scale: float = 1.0,
                 **overrides) -> "WorkloadSpec":
-        params = WhisperParams(benchmark=benchmark,
-                               **overrides).scaled(scale)
-        return cls(suite="whisper", params=params)
+        return cls.build("whisper", scale=scale, benchmark=benchmark,
+                         **overrides)
 
     @classmethod
     def service(cls, *, scale: float = 1.0, **overrides) -> "WorkloadSpec":
-        params = ServiceParams(**overrides).scaled(scale)
-        return cls(suite="service", params=params)
+        return cls.build("service", scale=scale, **overrides)
 
     def keyed(self, scheme: str) -> "WorkloadSpec":
-        """The scheme-keyed variant of a service spec."""
-        if self.suite != "service":
+        """The scheme-keyed variant of a spec (service-style suites)."""
+        if workload_by_name(self.suite).generate_keyed is None:
             raise EngineError(
-                f"scheme-keyed specs exist only for the service suite "
-                f"(got {self.suite!r})")
+                f"scheme-keyed specs exist only for suites with keyed "
+                f"generation (the service suite); got {self.suite!r}")
         return dataclasses.replace(self, scheme=scheme)
 
     # -- identity ---------------------------------------------------------------
 
     def describe(self) -> dict:
-        """JSON-safe identity document (everything that shapes the trace)."""
+        """JSON-safe identity document (everything that shapes the trace).
+
+        Params fields declared with ``metadata={"elide_default": True}``
+        are dropped while they hold their default value: a knob added
+        *after* traces were cached does not change the identity of runs
+        that never touch it, so the content-addressed cache (and every
+        pinned golden hash) survives parameter-space growth.
+        """
         from ..cpu.tracefile import FORMAT_VERSION
+        params = dataclasses.asdict(self.params)
+        for field in dataclasses.fields(self.params):
+            if field.metadata.get("elide_default") and \
+                    params.get(field.name) == field.default:
+                del params[field.name]
         document = {"suite": self.suite,
                     "format": FORMAT_VERSION,
-                    "params": dataclasses.asdict(self.params)}
+                    "params": params}
         if self.scheme is not None:
             # Only keyed specs carry the key, so unkeyed hashes are
             # unchanged from before scheme-keyed specs existed.
@@ -114,23 +139,26 @@ class WorkloadSpec:
     # -- generation --------------------------------------------------------------
 
     def generate(self) -> Tuple[Trace, Workspace]:
-        """Run the instrumented workload; returns its trace + workspace."""
-        if self.scheme is not None and self.suite != "service":
-            raise EngineError(
-                f"scheme-keyed specs exist only for the service suite "
-                f"(got {self.suite!r})")
-        if self.suite == "micro":
-            return generate_micro_trace(self.params)
-        if self.suite == "whisper":
-            return generate_whisper_trace(self.params)
-        if self.suite == "service":
-            if self.scheme is not None:
-                from ..service.closed import generate_service_trace_keyed
-                return generate_service_trace_keyed(self.params, self.scheme)
-            from ..service.server import generate_service_trace
-            return generate_service_trace(self.params)
-        raise EngineError(
-            f"unknown workload suite {self.suite!r}; known: {SUITES}")
+        """Run the instrumented workload; returns its trace + workspace.
+
+        Generation is dispatched through the workload-family registry
+        (:mod:`repro.workloads.families`) — a registered plugin family
+        replays, caches and fans out exactly like the built-in suites.
+        """
+        try:
+            family = workload_by_name(self.suite)
+        except KeyError as error:
+            # Registry lookups raise a helpful KeyError; the engine's
+            # contract for a malformed spec is EngineError.
+            raise EngineError(str(error)) from None
+        if self.scheme is not None:
+            if family.generate_keyed is None:
+                raise EngineError(
+                    f"scheme-keyed specs exist only for suites with "
+                    f"keyed generation (the service suite); got "
+                    f"{self.suite!r}")
+            return family.generate_keyed(self.params, self.scheme)
+        return family.generate(self.params)
 
 
 @dataclasses.dataclass(frozen=True)

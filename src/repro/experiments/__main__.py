@@ -26,10 +26,15 @@ def main(argv=None) -> int:
         # aliases), so it dispatches before the table/figure parser.
         from .service import main as service_main
         return service_main(argv[1:])
+    if argv and argv[0] in ("run", "list"):
+        # Scenario subcommands take scenario references, not report
+        # names, so they also dispatch before the table/figure parser.
+        from ..scenario.run import main as scenario_main
+        return scenario_main(argv)
     parser = argparse.ArgumentParser(
         prog="python -m repro.experiments",
-        description="Regenerate the paper's tables and figures "
-                    "(or run the 'service' sweep).")
+        description="Regenerate the paper's tables and figures, run the "
+                    "'service' sweep, or 'run'/'list' scenario files.")
     parser.add_argument("targets", nargs="+",
                         choices=sorted(REPORTS) + ["all"],
                         help="which table/figure to regenerate")

@@ -10,18 +10,54 @@ virtualization near-zero at small PMO counts (working set TLB-resident,
 no key remaps) and rising as the TLB starts thrashing; domain
 virtualization flat and low; a crossover between the two hardware schemes
 whose position depends on the benchmark's locality (later for B+ tree).
+
+The sweep is expressed as a scenario document (:func:`scenario_document`)
+compiled through :mod:`repro.scenario` — the bundled
+``scenarios/figure6.yaml`` and this driver produce byte-identical specs,
+so they share cached traces.  This module also registers the ``figure6``
+report kind, so ``repro.experiments run`` can render any scenario whose
+``report:`` is ``figure6``.
 """
 
 from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence
 
-from ..sim.simulator import MULTI_PMO_SCHEMES, overhead_over_lowerbound
+from ..scenario import CompiledScenario, Scenario, compile_scenario
+from ..scenario.run import Outcome, register_report, replay_compiled
+from ..sim.simulator import overhead_over_lowerbound
 from ..workloads.micro import MICRO_BENCHMARKS, MICRO_LABELS
 from .reporting import format_table, log2_chart
 from .runner import ExperimentRunner, sweep_points
 
 FIGURE6_SCHEMES = ("libmpk", "mpk_virt", "domain_virt")
+
+
+def scenario_document(benchmarks: Sequence[str],
+                      points: Sequence[int]) -> Dict[str, object]:
+    """The Figure 6 sweep as a declarative scenario document."""
+    return {
+        "scenario": "figure6",
+        "title": "Figure 6: overhead% over lowerbound vs #PMOs",
+        "workload": "micro",
+        "schemes": ["@multi_pmo"],
+        "sweep": {"benchmark": list(benchmarks), "n_pools": list(points)},
+        "report": "figure6",
+    }
+
+
+def _series_from_outcomes(outcomes: Sequence[Outcome]
+                          ) -> Dict[str, Dict[str, Dict[int, float]]]:
+    """benchmark -> scheme -> {n_pools: overhead%} from a compiled run."""
+    data: Dict[str, Dict[str, Dict[int, float]]] = {}
+    for cell, results in outcomes:
+        axes = cell.axes_dict
+        series = data.setdefault(
+            axes["benchmark"], {scheme: {} for scheme in FIGURE6_SCHEMES})
+        for scheme in FIGURE6_SCHEMES:
+            series[scheme][axes["n_pools"]] = overhead_over_lowerbound(
+                results, scheme)
+    return data
 
 
 def run_figure6(runner: Optional[ExperimentRunner] = None,
@@ -32,36 +68,27 @@ def run_figure6(runner: Optional[ExperimentRunner] = None,
 
     The sweep is the most expensive experiment, so results are memoised
     on the runner's engine (Figure 7 and Table VII consumers reuse
-    them).  Each benchmark's sweep points replay as one engine batch, so
-    with ``REPRO_JOBS`` > 1 the points (and their per-scheme replays)
-    fan out over worker processes.
+    them).  The scenario compiler chunks the grid by benchmark (the
+    first sweep axis), so each benchmark's points replay as one engine
+    batch — with ``REPRO_JOBS`` > 1 the points (and their per-scheme
+    replays) fan out over worker processes — and its traces are
+    released before the next benchmark generates.
     """
     runner = runner or ExperimentRunner()
     points = tuple(points) if points is not None else sweep_points()
     benchmarks = tuple(benchmarks)
 
     def compute() -> Dict[str, Dict[str, Dict[int, float]]]:
-        data: Dict[str, Dict[str, Dict[int, float]]] = {}
-        for benchmark in benchmarks:
-            grid = [(benchmark, n_pools) for n_pools in points]
-            batch = runner.replay_micro_batch(grid, MULTI_PMO_SCHEMES,
-                                              release=True)
-            series: Dict[str, Dict[int, float]] = {
-                scheme: {} for scheme in FIGURE6_SCHEMES}
-            for n_pools, results in zip(points, batch):
-                for scheme in FIGURE6_SCHEMES:
-                    series[scheme][n_pools] = overhead_over_lowerbound(
-                        results, scheme)
-            data[benchmark] = series
-        return data
+        compiled = compile_scenario(
+            Scenario.from_document(scenario_document(benchmarks, points)),
+            smoke=False, scale=runner.scale, base_config=runner.config)
+        outcomes = replay_compiled(compiled, runner.engine, release=True)
+        return _series_from_outcomes(outcomes)
 
     return runner.memoize(("figure6", benchmarks, points), compute)
 
 
-def report_figure6(runner: Optional[ExperimentRunner] = None,
-                   benchmarks: Sequence[str] = MICRO_BENCHMARKS,
-                   points: Optional[Sequence[int]] = None) -> str:
-    data = run_figure6(runner, benchmarks, points)
+def _render_series(data: Dict[str, Dict[str, Dict[int, float]]]) -> str:
     sections: List[str] = []
     for benchmark, series in data.items():
         xs = sorted(next(iter(series.values())))
@@ -74,6 +101,19 @@ def report_figure6(runner: Optional[ExperimentRunner] = None,
         sections.append(log2_chart(
             f"{MICRO_LABELS[benchmark]} (log2 view)", series))
     return "\n\n".join(sections)
+
+
+def report_figure6(runner: Optional[ExperimentRunner] = None,
+                   benchmarks: Sequence[str] = MICRO_BENCHMARKS,
+                   points: Optional[Sequence[int]] = None) -> str:
+    return _render_series(run_figure6(runner, benchmarks, points))
+
+
+@register_report("figure6")
+def _figure6_report(compiled: CompiledScenario,
+                    outcomes: Sequence[Outcome]) -> str:
+    """Scenario report kind: per-benchmark tables + log2 charts."""
+    return _render_series(_series_from_outcomes(outcomes))
 
 
 if __name__ == "__main__":  # pragma: no cover - CLI convenience

@@ -12,6 +12,12 @@ Every experiment driver goes through :class:`ExperimentRunner`, which
 * exposes the engine's result-memoization table so expensive derived
   results (the Figure 6 sweep) are shared between drivers.
 
+Batch sweeps no longer live here: drivers express their grids as
+scenario documents compiled through :mod:`repro.scenario` (with the
+runner's ``scale``/``config``, so CLI runs and scenario runs share
+cache entries) and replay them via
+:func:`repro.scenario.run.replay_compiled`.
+
 With observability on (``REPRO_EVENTS`` / ``REPRO_METRICS``; see
 :mod:`repro.obs`), :meth:`ExperimentRunner.metrics_snapshot` exports the
 metrics merged across all replays this process has driven so far.
@@ -24,7 +30,7 @@ unoverridden trace can never alias each other.
 from __future__ import annotations
 
 import os
-from typing import Callable, Dict, Hashable, Iterable, List, Optional, Tuple
+from typing import Callable, Dict, Hashable, Iterable, Optional, Tuple
 
 from .. import obs
 from ..cpu.trace import Trace
@@ -106,26 +112,6 @@ class ExperimentRunner:
                        schemes: Iterable[str]) -> Dict[str, RunStats]:
         return self.engine.replay(self.whisper_spec(benchmark), schemes,
                                   self.config)
-
-    def replay_micro_batch(self, points: Iterable[Tuple[str, int]],
-                           schemes: Iterable[str], *,
-                           release: bool = False
-                           ) -> List[Dict[str, RunStats]]:
-        """Replay many (benchmark, n_pools) points as one job batch.
-
-        The engine fans the whole (point x scheme) grid over its
-        workers, so this is the parallel entry point for sweeps.
-        """
-        specs = [self.micro_spec(benchmark, n_pools)
-                 for benchmark, n_pools in points]
-        return self.engine.replay_many(specs, schemes, config=self.config,
-                                       release=release)
-
-    def replay_whisper_batch(self, benchmarks: Iterable[str],
-                             schemes: Iterable[str]
-                             ) -> List[Dict[str, RunStats]]:
-        specs = [self.whisper_spec(benchmark) for benchmark in benchmarks]
-        return self.engine.replay_many(specs, schemes, config=self.config)
 
     def drop_micro_trace(self, benchmark: str, n_pools: int) -> None:
         """Free a cached trace (the 1024-PMO traces are large)."""

@@ -16,34 +16,41 @@ the special section ``both`` applies the field to ``mpk_virt`` *and*
 
 from __future__ import annotations
 
-from dataclasses import replace
-from typing import List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence
 
-from ..engine import Engine, WorkloadSpec
-from ..sim.config import DEFAULT_CONFIG, SimConfig
+from ..engine import Engine
+# apply_override moved to sim.config (the scenario compiler uses it
+# without importing the experiments package); re-exported here for
+# compatibility.
+from ..scenario import Scenario, compile_scenario
+from ..sim.config import DEFAULT_CONFIG, SimConfig, apply_override
 from ..sim.simulator import MULTI_PMO_SCHEMES, overhead_over_lowerbound
 from .reporting import format_table
 
 SWEPT_SCHEMES = ("libmpk", "mpk_virt", "domain_virt")
 
+__all__ = ["SWEPT_SCHEMES", "apply_override", "scenario_document",
+           "sweep_config", "report_sweep", "elasticity"]
 
-def apply_override(config: SimConfig, field_path: str, value) -> SimConfig:
-    """Return a config copy with ``section.field`` (or ``both.field``)
-    replaced by ``value``."""
-    section_name, _, field_name = field_path.partition(".")
-    if not field_name:
-        raise ValueError(f"field path {field_path!r} must be "
-                         "'section.field'")
-    sections = (["mpk_virt", "libmpk"] if section_name == "both"
-                else [section_name])
-    overrides = {}
-    for name in sections:
-        section = getattr(config, name, None)
-        if section is None or not hasattr(section, field_name):
-            raise ValueError(
-                f"unknown configuration field {name}.{field_name}")
-        overrides[name] = replace(section, **{field_name: value})
-    return config.with_overrides(**overrides)
+
+def scenario_document(field_path: str, values: Sequence,
+                      *, benchmark: str = "avl", n_pools: int = 256,
+                      operations: int = 1200) -> Dict[str, object]:
+    """One ablation sweep as a declarative scenario document.
+
+    The sweep axis is a dotted configuration path, so the compiler
+    varies the :class:`~repro.sim.SimConfig` per cell while the
+    workload spec (and therefore the cached trace) stays fixed.
+    """
+    return {
+        "scenario": "sensitivity",
+        "title": f"Sensitivity: {field_path}",
+        "workload": "micro",
+        "params": {"benchmark": benchmark, "n_pools": n_pools,
+                   "operations": operations},
+        "schemes": ["@multi_pmo"],
+        "sweep": {field_path: list(values)},
+    }
 
 
 def sweep_config(field_path: str, values: Sequence,
@@ -58,15 +65,18 @@ def sweep_config(field_path: str, values: Sequence,
     > 1 the sweep's (value x scheme) grid fans out over workers.
     """
     base_config = base_config or DEFAULT_CONFIG
-    spec = WorkloadSpec.micro(benchmark, n_pools, operations=operations)
-    configs = [apply_override(base_config, field_path, value)
-               for value in values]
-    cells = Engine(base_config).replay_configs(spec, configs,
-                                               MULTI_PMO_SCHEMES)
-    return [[f"{field_path}={value}"]
+    compiled = compile_scenario(
+        Scenario.from_document(scenario_document(
+            field_path, values, benchmark=benchmark, n_pools=n_pools,
+            operations=operations)),
+        smoke=False, scale=1.0, base_config=base_config)
+    grid = Engine(base_config).replay_grid(
+        [(cell.spec, cell.config) for cell in compiled.cells],
+        MULTI_PMO_SCHEMES)
+    return [[cell.label]
             + [overhead_over_lowerbound(results, scheme)
                for scheme in SWEPT_SCHEMES]
-            for value, results in zip(values, cells)]
+            for cell, results in zip(compiled.cells, grid)]
 
 
 def report_sweep(field_path: str, values: Sequence, **kwargs) -> str:

@@ -39,17 +39,18 @@ import argparse
 import os
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from ..core.schemes import SCHEME_ALIASES, resolve_scheme
 from ..errors import PkeyError
+from ..scenario import Scenario, compile_scenario
 from ..service import (ServiceSummary, account, batch_boundaries, build_plan,
                        build_plan_keyed)
 from .reporting import format_table
 from .runner import ExperimentRunner
 
-#: Serving-layer scheme aliases -> scheme registry names.
-SCHEME_ALIASES = {
-    "mpkv": "mpk_virt",
-    "dv": "domain_virt",
-}
+__all__ = ["SCHEME_ALIASES", "resolve_scheme", "summaries_for_spec",
+           "run_service", "report_service", "main",
+           "DEFAULT_CLIENTS", "DEFAULT_SCHEMES",
+           "SMOKE_CLIENTS", "SMOKE_REQUESTS"]
 
 #: Client counts of the default sweep (one domain per client).
 DEFAULT_CLIENTS = (8, 64, 256, 1024)
@@ -61,31 +62,26 @@ SMOKE_CLIENTS = (6, 12)
 SMOKE_REQUESTS = 160
 
 
-def resolve_scheme(name: str) -> str:
-    """Canonical scheme-registry name for a CLI/serving alias."""
-    return SCHEME_ALIASES.get(name, name)
-
-
-def _summaries_nominal(engine, runner, spec, names, frequency):
+def _summaries_nominal(engine, spec, names, config, frequency):
     """One shared schedule/trace, every scheme re-timed onto it."""
     plan = build_plan(spec.params)
     trace = engine.trace_for(spec)
     marks = batch_boundaries(trace)
     row: Dict[str, Optional[ServiceSummary]] = {}
-    # Schemes that fault on too many domains (plain MPK past 16 keys)
-    # replay separately so one wall does not kill the batch.
-    fragile = [n for n in names if resolve_scheme(n) == "mpk"
-               and spec.params.n_clients > 16]
+    # Plain MPK faults once the trace's domains outrun the 16 hardware
+    # keys (pools plus the runtime's own regions), so it always replays
+    # separately — one wall must not kill the batch.
+    fragile = [n for n in names if resolve_scheme(n) == "mpk"]
     sturdy = [n for n in names if n not in fragile]
     if sturdy:
         cell = engine.replay_marked(
-            spec, [resolve_scheme(n) for n in sturdy], marks, runner.config)
+            spec, [resolve_scheme(n) for n in sturdy], marks, config)
         for name in sturdy:
             row[name] = account(plan, trace, cell[resolve_scheme(name)],
                                 frequency_hz=frequency)
     for name in fragile:
         try:
-            cell = engine.replay_marked(spec, ["mpk"], marks, runner.config,
+            cell = engine.replay_marked(spec, ["mpk"], marks, config,
                                         include_baseline=False)
             row[name] = account(plan, trace, cell["mpk"],
                                 frequency_hz=frequency)
@@ -95,11 +91,10 @@ def _summaries_nominal(engine, runner, spec, names, frequency):
     return row
 
 
-def _summaries_keyed(engine, runner, spec, names, frequency):
+def _summaries_keyed(engine, spec, names, config, frequency):
     """One schedule/trace *per scheme* (``dispatch="replay"``)."""
     row: Dict[str, Optional[ServiceSummary]] = {}
-    fragile = [n for n in names if resolve_scheme(n) == "mpk"
-               and spec.params.n_clients > 16]
+    fragile = [n for n in names if resolve_scheme(n) == "mpk"]
     sturdy = [n for n in names if n not in fragile]
 
     def account_keyed(name: str, stats) -> ServiceSummary:
@@ -113,19 +108,51 @@ def _summaries_keyed(engine, runner, spec, names, frequency):
 
     if sturdy:
         cell = engine.replay_marked_keyed(
-            spec, [resolve_scheme(n) for n in sturdy], runner.config)
+            spec, [resolve_scheme(n) for n in sturdy], config)
         for name in sturdy:
             row[name] = account_keyed(name, cell[resolve_scheme(name)])
     for name in fragile:
         # The calibration replay itself hits the 16-key wall, so the
         # failure surfaces at trace generation rather than replay.
         try:
-            cell = engine.replay_marked_keyed(spec, ["mpk"], runner.config,
+            cell = engine.replay_marked_keyed(spec, ["mpk"], config,
                                               include_baseline=False)
             row[name] = account_keyed(name, cell["mpk"])
         except PkeyError:
             row[name] = None
     return row
+
+
+def summaries_for_spec(runner: ExperimentRunner, spec, names: Sequence[str],
+                       *, config=None
+                       ) -> Dict[str, Optional[ServiceSummary]]:
+    """Serving summaries of one compiled service spec, per scheme name.
+
+    The scenario executor's entry point for ``runner: service``
+    workload families; ``names`` may be aliases (``mpkv``/``dv``) and
+    key the result as given.  ``None`` marks a scheme that cannot run
+    at this client count (plain ``mpk`` beyond the 16-key limit).
+    """
+    config = config or runner.config
+    frequency = config.processor.frequency_hz
+    summaries = _summaries_keyed if spec.params.dispatch == "replay" \
+        else _summaries_nominal
+    return summaries(runner.engine, spec, list(dict.fromkeys(names)),
+                     config, frequency)
+
+
+def scenario_document(clients: Sequence[int], schemes: Sequence[str],
+                      overrides: Dict[str, object]) -> Dict[str, object]:
+    """The service sweep as a declarative scenario document."""
+    return {
+        "scenario": "service-sweep",
+        "title": "Service: multi-tenant PMO serving",
+        "workload": "service",
+        "params": dict(overrides),
+        "schemes": list(schemes),
+        "sweep": {"n_clients": list(clients)},
+        "report": "service",
+    }
 
 
 def run_service(runner: Optional[ExperimentRunner] = None, *,
@@ -140,18 +167,23 @@ def run_service(runner: Optional[ExperimentRunner] = None, *,
     :class:`~repro.service.ServiceParams` fields and become part of the
     trace-cache identity; ``dispatch="replay"`` switches every row to
     scheme-keyed schedules.
+
+    The sweep is expressed as a scenario document and compiled through
+    :mod:`repro.scenario`, so the CLI sweep and a bundled scenario file
+    with the same knobs produce byte-identical specs (and share cached
+    traces).
     """
     runner = runner or ExperimentRunner()
-    engine = runner.engine
-    frequency = runner.config.processor.frequency_hz
     names = list(dict.fromkeys(schemes))
+    compiled = compile_scenario(
+        Scenario.from_document(scenario_document(clients, names, overrides)),
+        smoke=False, scale=runner.scale, base_config=runner.config)
     out: Dict[int, Dict[str, Optional[ServiceSummary]]] = {}
-    for n_clients in clients:
-        spec = runner.service_spec(n_clients=n_clients, **overrides)
-        summaries = _summaries_keyed if spec.params.dispatch == "replay" \
-            else _summaries_nominal
-        row = summaries(engine, runner, spec, names, frequency)
-        out[n_clients] = {name: row[name] for name in names}
+    for cell in compiled.cells:
+        row = summaries_for_spec(runner, cell.spec, compiled.schemes,
+                                 config=cell.config)
+        out[cell.axes_dict["n_clients"]] = \
+            {name: row[name] for name in compiled.schemes}
     return out
 
 
@@ -223,10 +255,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                         help="dispatch clock: nominal = one fixed schedule "
                              "for all schemes; replay = per-scheme "
                              "calibrated schedules")
-    parser.add_argument("--arrivals", choices=("poisson", "burst",
-                                               "diurnal"),
+    from ..service.arrivals import pattern_names
+    parser.add_argument("--arrivals", choices=tuple(pattern_names()),
                         default=None, dest="pattern",
-                        help="arrival-rate pattern over time")
+                        help="arrival-rate pattern over time (from the "
+                             "arrival-pattern registry)")
     parser.add_argument("--workers", type=int, default=None,
                         help="worker threads serving batches")
     parser.add_argument("--arrival", choices=("open", "closed"),

@@ -13,8 +13,10 @@ higher (the PTLB lookup rides on every PMO access).
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import Dict, List, Optional, Sequence
 
+from ..scenario import Scenario, compile_scenario
+from ..scenario.run import replay_compiled
 from ..sim.simulator import SINGLE_PMO_SCHEMES
 from ..workloads.whisper import WHISPER_BENCHMARKS, WHISPER_LABELS
 from .reporting import format_table
@@ -24,6 +26,17 @@ HEADERS = ("Benchmark", "Switches/sec", "MPK %", "MPK Virt %",
            "Domain Virt %")
 
 
+def scenario_document(benchmarks: Sequence[str]) -> Dict[str, object]:
+    """The Table V grid as a declarative scenario document."""
+    return {
+        "scenario": "table5",
+        "title": "Table V: single-PMO WHISPER overheads",
+        "workload": "whisper",
+        "schemes": ["@single_pmo"],
+        "sweep": {"benchmark": list(benchmarks)},
+    }
+
+
 def run_table5(runner: Optional[ExperimentRunner] = None,
                benchmarks=WHISPER_BENCHMARKS) -> List[List[object]]:
     """Compute Table V rows; returns one row per benchmark plus Average."""
@@ -31,7 +44,11 @@ def run_table5(runner: Optional[ExperimentRunner] = None,
     frequency = runner.config.processor.frequency_hz
     rows: List[List[object]] = []
     sums = [0.0, 0.0, 0.0, 0.0]
-    batch = runner.replay_whisper_batch(benchmarks, SINGLE_PMO_SCHEMES)
+    compiled = compile_scenario(
+        Scenario.from_document(scenario_document(benchmarks)),
+        smoke=False, scale=runner.scale, base_config=runner.config)
+    batch = [results for _, results
+             in replay_compiled(compiled, runner.engine, release=False)]
     for benchmark, results in zip(benchmarks, batch):
         base = results["baseline"].cycles
         switches_per_sec = results["mpk"].switches_per_second(frequency, base)

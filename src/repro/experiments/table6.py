@@ -10,13 +10,28 @@ lowest (long traversals per switch pair).
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import Dict, List, Optional, Sequence
 
+from ..scenario import Scenario, compile_scenario
+from ..scenario.run import replay_compiled
 from ..workloads.micro import MICRO_BENCHMARKS, MICRO_LABELS
 from .reporting import format_table
 from .runner import ExperimentRunner
 
 HEADERS = ("Benchmark", "Switches/sec", "Lowerbound overhead %")
+
+
+def scenario_document(benchmarks: Sequence[str],
+                      n_pools: int) -> Dict[str, object]:
+    """The Table VI grid as a declarative scenario document."""
+    return {
+        "scenario": "table6",
+        "title": "Table VI: lowerbound overhead / switch rates",
+        "workload": "micro",
+        "params": {"n_pools": n_pools},
+        "schemes": ["lowerbound"],
+        "sweep": {"benchmark": list(benchmarks)},
+    }
 
 
 def run_table6(runner: Optional[ExperimentRunner] = None,
@@ -25,8 +40,11 @@ def run_table6(runner: Optional[ExperimentRunner] = None,
     runner = runner or ExperimentRunner()
     frequency = runner.config.processor.frequency_hz
     rows: List[List[object]] = []
-    batch = runner.replay_micro_batch(
-        [(benchmark, n_pools) for benchmark in benchmarks], ("lowerbound",))
+    compiled = compile_scenario(
+        Scenario.from_document(scenario_document(benchmarks, n_pools)),
+        smoke=False, scale=runner.scale, base_config=runner.config)
+    batch = [results for _, results
+             in replay_compiled(compiled, runner.engine, release=False)]
     for benchmark, results in zip(benchmarks, batch):
         base = results["baseline"].cycles
         stats = results["lowerbound"]

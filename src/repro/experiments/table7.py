@@ -15,6 +15,8 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence
 
+from ..scenario import Scenario, compile_scenario
+from ..scenario.run import replay_compiled
 from ..sim.stats import RunStats
 from ..workloads.micro import MICRO_BENCHMARKS, MICRO_LABELS
 from .reporting import format_table
@@ -44,6 +46,19 @@ def _breakdown(stats: RunStats, rows, *, residual_row: str) -> Dict[str, float]:
     return out
 
 
+def scenario_document(benchmarks: Sequence[str],
+                      n_pools: int) -> Dict[str, object]:
+    """The Table VII grid as a declarative scenario document."""
+    return {
+        "scenario": "table7",
+        "title": "Table VII: overhead breakdown",
+        "workload": "micro",
+        "params": {"n_pools": n_pools},
+        "schemes": ["mpk_virt", "domain_virt"],
+        "sweep": {"benchmark": list(benchmarks)},
+    }
+
+
 def run_table7(runner: Optional[ExperimentRunner] = None,
                *, n_pools: int = 1024,
                benchmarks: Sequence[str] = MICRO_BENCHMARKS
@@ -52,9 +67,11 @@ def run_table7(runner: Optional[ExperimentRunner] = None,
     runner = runner or ExperimentRunner()
     out: Dict[str, Dict[str, Dict[str, float]]] = {
         "mpk_virt": {}, "domain_virt": {}}
-    batch = runner.replay_micro_batch(
-        [(benchmark, n_pools) for benchmark in benchmarks],
-        ("mpk_virt", "domain_virt"), release=True)
+    compiled = compile_scenario(
+        Scenario.from_document(scenario_document(benchmarks, n_pools)),
+        smoke=False, scale=runner.scale, base_config=runner.config)
+    batch = [results for _, results
+             in replay_compiled(compiled, runner.engine, release=True)]
     for benchmark, results in zip(benchmarks, batch):
         out["mpk_virt"][benchmark] = _breakdown(
             results["mpk_virt"], MPKV_ROWS,

@@ -1,0 +1,174 @@
+"""Named plugin registries — the extension seam of the experiment stack.
+
+Every pluggable axis of the reproduction (protection schemes, workload
+families, arrival disciplines/patterns, scenario report kinds) is a
+:class:`Registry`: a name -> plugin table with
+
+* a ``register(name)`` decorator so plugins are **self-registering** —
+  defining the module that contains them is all it takes;
+* lazy **discovery**: each registry names the modules that ship its
+  built-in plugins, imported on first lookup (so importing the registry
+  itself stays free of heavyweight dependencies and import cycles);
+* entry-point-style **third-party discovery**: the ``REPRO_PLUGINS``
+  environment variable (comma-separated module paths) and, when the
+  package is installed, ``importlib.metadata`` entry points in the
+  ``repro.plugins`` group are imported once before the first lookup —
+  an external package can add a scheme or arrival pattern without
+  touching this repository;
+* helpful failure: an unknown name raises :class:`RegistryKeyError`
+  (a ``KeyError``) listing every registered name;
+* **tags** with ranks, so callers can derive ordered plugin tuples
+  (e.g. the paper's multi-PMO scheme set) from registry metadata
+  instead of hard-coded literals.
+
+See ``docs/SCENARIOS.md`` for the extension-point walkthrough.
+"""
+
+from __future__ import annotations
+
+import importlib
+import os
+from typing import Callable, Dict, Iterable, List, Optional, Tuple, TypeVar
+
+ENV_PLUGINS = "REPRO_PLUGINS"
+ENTRY_POINT_GROUP = "repro.plugins"
+
+T = TypeVar("T")
+
+#: Module paths already imported for plugin discovery (process-wide, so
+#: one ``REPRO_PLUGINS`` module registering into several registries is
+#: imported exactly once).
+_LOADED_MODULES: set = set()
+_EXTERNAL_DONE = False
+
+
+def _import_once(module_path: str) -> None:
+    if module_path not in _LOADED_MODULES:
+        _LOADED_MODULES.add(module_path)
+        importlib.import_module(module_path)
+
+
+def load_external_plugins() -> None:
+    """Import third-party plugin modules (``REPRO_PLUGINS`` + entry
+    points).  Idempotent; called before a registry's first lookup."""
+    global _EXTERNAL_DONE
+    if _EXTERNAL_DONE:
+        return
+    _EXTERNAL_DONE = True
+    for module_path in os.environ.get(ENV_PLUGINS, "").split(","):
+        module_path = module_path.strip()
+        if module_path:
+            _import_once(module_path)
+    try:
+        from importlib.metadata import entry_points
+        for entry in entry_points(group=ENTRY_POINT_GROUP):
+            _import_once(entry.value.partition(":")[0])
+    except Exception:  # pragma: no cover - metadata backend quirks
+        pass
+
+
+class RegistryKeyError(KeyError):
+    """Unknown plugin name; the message lists every registered name."""
+
+    def __init__(self, kind: str, name: str, known: Iterable[str]):
+        self.kind = kind
+        self.name = name
+        self.known = tuple(sorted(known))
+        roster = ", ".join(self.known) if self.known else "<none>"
+        super().__init__(
+            f"unknown {kind} {name!r}; registered: {roster} "
+            f"(plugins self-register on import — add modules via the "
+            f"{ENV_PLUGINS} environment variable or the "
+            f"{ENTRY_POINT_GROUP!r} entry-point group)")
+
+    def __str__(self) -> str:  # KeyError.__str__ repr()s its arg
+        return self.args[0]
+
+
+class Registry:
+    """One named plugin table (see the module docstring)."""
+
+    def __init__(self, kind: str, *, discover: Iterable[str] = ()):
+        #: Human-readable plugin kind ("scheme", "workload family", ...)
+        #: used in error messages.
+        self.kind = kind
+        self._discover = tuple(discover)
+        self._plugins: Dict[str, object] = {}
+        #: name -> {tag: rank}; rank orders members within a tag.
+        self._tags: Dict[str, Dict[str, int]] = {}
+        self._discovered = False
+
+    # -- registration -------------------------------------------------------------
+
+    def register(self, name: str, *, tags: Dict[str, int] = None
+                 ) -> Callable[[T], T]:
+        """Decorator registering ``obj`` under ``name``.
+
+        ``tags`` maps tag names to ranks; :meth:`tagged` returns a tag's
+        members ordered by (rank, name).  Re-registering a name with a
+        different object is an error — plugins must not silently shadow
+        each other.
+        """
+        def decorator(obj: T) -> T:
+            existing = self._plugins.get(name)
+            if existing is not None and existing is not obj:
+                raise ValueError(
+                    f"duplicate {self.kind} {name!r}: {existing!r} is "
+                    f"already registered")
+            self._plugins[name] = obj
+            self._tags[name] = dict(tags or {})
+            return obj
+        return decorator
+
+    # -- discovery ----------------------------------------------------------------
+
+    def _ensure_discovered(self) -> None:
+        if self._discovered:
+            return
+        self._discovered = True  # set first: discovery may re-enter
+        for module_path in self._discover:
+            _import_once(module_path)
+        load_external_plugins()
+
+    # -- lookup -------------------------------------------------------------------
+
+    def get(self, name: str):
+        """The plugin registered as ``name``.
+
+        Raises :class:`RegistryKeyError` (a ``KeyError`` whose message
+        lists every registered name) when ``name`` is unknown.
+        """
+        self._ensure_discovered()
+        try:
+            return self._plugins[name]
+        except KeyError:
+            raise RegistryKeyError(self.kind, name, self._plugins) from None
+
+    def __contains__(self, name: str) -> bool:
+        self._ensure_discovered()
+        return name in self._plugins
+
+    def names(self) -> List[str]:
+        """Every registered name, sorted."""
+        self._ensure_discovered()
+        return sorted(self._plugins)
+
+    def items(self) -> List[Tuple[str, object]]:
+        self._ensure_discovered()
+        return sorted(self._plugins.items())
+
+    def tagged(self, tag: str) -> Tuple[str, ...]:
+        """Names carrying ``tag``, ordered by (rank, name).
+
+        This is how ordered plugin sets (the paper's scheme tuples) are
+        derived from registry metadata instead of literals.
+        """
+        self._ensure_discovered()
+        members = [(ranks[tag], name)
+                   for name, ranks in self._tags.items() if tag in ranks]
+        return tuple(name for _, name in sorted(members))
+
+    def tags_of(self, name: str) -> Dict[str, int]:
+        """The tag -> rank mapping ``name`` was registered with."""
+        self.get(name)  # raise helpfully on unknown names
+        return dict(self._tags[name])

@@ -1,0 +1,31 @@
+"""Declarative scenario specs: documents -> compiled jobs -> reports.
+
+The scenario layer turns an experiment into data (``docs/SCENARIOS.md``):
+
+* :mod:`repro.scenario.spec` — parse + validate scenario documents;
+* :mod:`repro.scenario.compile` — resolve them into hash-transparent
+  (:class:`~repro.engine.job.WorkloadSpec`, config) grids;
+* :mod:`repro.scenario.run` — execute grids and render registered
+  report kinds (imported lazily by the CLI; importing this package
+  stays light);
+* :mod:`repro.scenario.library` — the bundled ``scenarios/`` files.
+"""
+
+from .compile import (CompiledScenario, ScenarioCell, compile_scenario,
+                      smoke_active)
+from .library import SCENARIO_DIR, bundled_scenarios, find_scenario
+from .spec import Scenario, ScenarioError, expand_schemes, load_scenario
+
+__all__ = [
+    "CompiledScenario",
+    "SCENARIO_DIR",
+    "Scenario",
+    "ScenarioCell",
+    "ScenarioError",
+    "bundled_scenarios",
+    "compile_scenario",
+    "expand_schemes",
+    "find_scenario",
+    "load_scenario",
+    "smoke_active",
+]

@@ -1,0 +1,41 @@
+"""The bundled scenario library (repo-root ``scenarios/``).
+
+Every table/figure/service experiment ships as a scenario file; the
+``repro.experiments run``/``list`` subcommands resolve names through
+here.  A reference is either a path to a scenario file or the bare name
+of a bundled one (``tenant_churn`` == ``scenarios/tenant_churn.yaml``).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict
+
+from .spec import Scenario, ScenarioError, load_scenario
+
+#: Repo-root scenario directory (this file is src/repro/scenario/...).
+SCENARIO_DIR = Path(__file__).resolve().parents[3] / "scenarios"
+
+
+def bundled_scenarios(directory: Path = None) -> Dict[str, Path]:
+    """name -> path of every bundled scenario file, sorted by name."""
+    directory = SCENARIO_DIR if directory is None else Path(directory)
+    if not directory.is_dir():
+        return {}
+    paths = [path for pattern in ("*.yaml", "*.yml")
+             for path in directory.glob(pattern)]
+    return {path.stem: path for path in sorted(paths)}
+
+
+def find_scenario(reference: str) -> Scenario:
+    """Resolve a CLI reference: an existing file path, or a bundled name."""
+    path = Path(reference)
+    if path.suffix in (".yaml", ".yml") or path.exists():
+        return load_scenario(path)
+    bundled = bundled_scenarios()
+    if reference in bundled:
+        return load_scenario(bundled[reference])
+    roster = ", ".join(bundled) if bundled else "<none>"
+    raise ScenarioError(
+        f"unknown scenario {reference!r}; bundled scenarios: {roster} "
+        f"(or pass a path to a scenario file)")

@@ -1,0 +1,206 @@
+"""Declarative scenario documents — experiments as data.
+
+A *scenario* is a small document (a YAML file or a plain Python dict)
+naming everything one experiment needs:
+
+.. code-block:: yaml
+
+    scenario: figure6            # name (defaults to the file stem)
+    title: "Figure 6 sweep"      # report heading (optional)
+    description: "..."           # shown by `repro.experiments list`
+    workload: micro              # workload-family registry name
+    params:                      # family params overrides
+      benchmark: avl
+    config:                      # dotted SimConfig overrides
+      memory.nvm_latency: 600
+    schemes: ["@multi_pmo"]      # names, aliases, or "@tag" sets
+    sweep:                       # cross-product axes, document order
+      n_pools: [16, 64, 256]
+      mpk_virt.usable_keys: [8, 16]   # dotted axis -> config sweep
+    report: leaderboard          # report-kind registry name
+    smoke:                       # REPRO_SMOKE=1 substitutions
+      params: {operations: 120}
+      sweep: {n_pools: [16, 32]}
+
+Every axis the document can name is a **registry**: workload families
+(:mod:`repro.workloads.families`), schemes (:mod:`repro.core.schemes`,
+with ``@tag`` expanding to the registry-tag-derived tuples and the
+``mpkv``/``dv`` aliases accepted), arrival patterns/disciplines
+(validated inside the service params themselves) and report kinds
+(:mod:`repro.scenario.run`).  Validation happens at parse time, with
+the registries' name-listing errors passed through, so a typo fails
+before any trace is generated.
+
+This module is deliberately free of :mod:`repro.experiments` imports —
+drivers import scenarios, never the reverse.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Mapping, Optional, Sequence, Tuple
+
+from ..core.schemes import resolve_scheme, scheme_by_name, schemes_tagged
+from ..workloads.families import workload_by_name
+
+#: Top-level keys a scenario document may carry.
+DOCUMENT_KEYS = frozenset((
+    "scenario", "title", "description", "workload", "params", "config",
+    "schemes", "sweep", "report", "smoke"))
+#: Keys allowed inside the ``smoke`` section.
+SMOKE_KEYS = frozenset(("params", "sweep", "schemes"))
+
+
+class ScenarioError(ValueError):
+    """A malformed scenario document (unknown key, bad name, ...)."""
+
+
+def expand_schemes(names: Sequence[str]) -> Tuple[str, ...]:
+    """Validated scheme list with ``@tag`` entries expanded in place.
+
+    Names stay *as given* (aliases like ``mpkv`` are kept for row
+    labels); validation resolves aliases and hits the scheme registry,
+    so unknown names fail with the registry's name-listing message.
+    """
+    out = []
+    for name in names:
+        if name.startswith("@"):
+            members = schemes_tagged(name[1:])
+            if not members:
+                raise ScenarioError(
+                    f"scheme tag {name!r} matches no registered scheme")
+            out.extend(members)
+            continue
+        try:
+            scheme_by_name(resolve_scheme(name))
+        except KeyError as error:
+            raise ScenarioError(str(error)) from None
+        out.append(name)
+    return tuple(dict.fromkeys(out))
+
+
+def _check_params(workload: str, params: Mapping, *, where: str) -> None:
+    """Fail early when ``params`` names a field the family lacks."""
+    family = workload_by_name(workload)
+    known = {field.name for field in dataclasses.fields(family.params_type)}
+    unknown = sorted(set(params) - known)
+    if unknown:
+        raise ScenarioError(
+            f"{where} names unknown {workload!r} params "
+            f"{', '.join(map(repr, unknown))}; known fields: "
+            f"{', '.join(sorted(known))}")
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One parsed, validated scenario document."""
+
+    name: str
+    workload: str
+    title: str = ""
+    description: str = ""
+    #: Family params overrides applied to every cell.
+    params: Tuple[Tuple[str, object], ...] = ()
+    #: Dotted ``section.field`` SimConfig overrides applied everywhere.
+    config: Tuple[Tuple[str, object], ...] = ()
+    #: Scheme names as given (``@tag`` already expanded).
+    schemes: Tuple[str, ...] = ()
+    #: Ordered sweep axes: (axis, values).  A dotted axis sweeps a
+    #: config field; a plain axis sweeps a params field.
+    sweep: Tuple[Tuple[str, Tuple[object, ...]], ...] = ()
+    report: str = "leaderboard"
+    #: Raw ``smoke`` section (substitutions under ``REPRO_SMOKE=1``).
+    smoke_params: Tuple[Tuple[str, object], ...] = ()
+    smoke_sweep: Optional[Tuple[Tuple[str, Tuple[object, ...]], ...]] = None
+    smoke_schemes: Optional[Tuple[str, ...]] = None
+
+    @classmethod
+    def from_document(cls, document: Mapping, *,
+                      name: Optional[str] = None) -> "Scenario":
+        """Parse + validate one scenario document (dict or YAML load)."""
+        if not isinstance(document, Mapping):
+            raise ScenarioError(
+                f"a scenario document must be a mapping, got "
+                f"{type(document).__name__}")
+        unknown = sorted(set(document) - DOCUMENT_KEYS)
+        if unknown:
+            raise ScenarioError(
+                f"unknown scenario keys {', '.join(map(repr, unknown))}; "
+                f"allowed: {', '.join(sorted(DOCUMENT_KEYS))}")
+        name = document.get("scenario") or name
+        if not name:
+            raise ScenarioError("a scenario needs a 'scenario:' name")
+        workload = document.get("workload", "micro")
+        try:
+            workload_by_name(workload)
+        except KeyError as error:
+            raise ScenarioError(str(error)) from None
+
+        params = dict(document.get("params") or {})
+        _check_params(workload, params, where="'params'")
+        config = dict(document.get("config") or {})
+        for path in config:
+            if "." not in path:
+                raise ScenarioError(
+                    f"config override {path!r} must be 'section.field'")
+
+        sweep: Dict[str, Tuple[object, ...]] = {}
+        for axis, values in (document.get("sweep") or {}).items():
+            if not isinstance(values, (list, tuple)) or not values:
+                raise ScenarioError(
+                    f"sweep axis {axis!r} needs a non-empty list of values")
+            if "." not in axis:
+                _check_params(workload, {axis: None},
+                              where=f"sweep axis {axis!r}")
+            sweep[axis] = tuple(values)
+
+        schemes = expand_schemes(tuple(document.get("schemes") or ()))
+
+        smoke = dict(document.get("smoke") or {})
+        unknown = sorted(set(smoke) - SMOKE_KEYS)
+        if unknown:
+            raise ScenarioError(
+                f"unknown smoke keys {', '.join(map(repr, unknown))}; "
+                f"allowed: {', '.join(sorted(SMOKE_KEYS))}")
+        smoke_params = dict(smoke.get("params") or {})
+        _check_params(workload, smoke_params, where="'smoke.params'")
+        smoke_sweep = smoke.get("sweep")
+        if smoke_sweep is not None:
+            smoke_sweep = tuple(
+                (axis, tuple(values)) for axis, values in smoke_sweep.items())
+        smoke_schemes = smoke.get("schemes")
+        if smoke_schemes is not None:
+            smoke_schemes = expand_schemes(tuple(smoke_schemes))
+
+        return cls(
+            name=str(name),
+            workload=workload,
+            title=str(document.get("title") or ""),
+            description=str(document.get("description") or ""),
+            params=tuple(params.items()),
+            config=tuple(config.items()),
+            schemes=schemes,
+            sweep=tuple(sweep.items()),
+            report=str(document.get("report") or "leaderboard"),
+            smoke_params=tuple(smoke_params.items()),
+            smoke_sweep=smoke_sweep,
+            smoke_schemes=smoke_schemes,
+        )
+
+
+def load_scenario(path) -> Scenario:
+    """Load + validate a scenario file (YAML; JSON is a YAML subset)."""
+    path = Path(path)
+    try:
+        text = path.read_text()
+    except OSError as error:
+        raise ScenarioError(f"cannot read scenario file {path}: "
+                            f"{error}") from None
+    import yaml
+    try:
+        document = yaml.safe_load(text)
+    except yaml.YAMLError as error:
+        raise ScenarioError(f"invalid YAML in {path}: {error}") from None
+    return Scenario.from_document(document, name=path.stem)

@@ -13,16 +13,28 @@ clock); see ``docs/SERVICE.md`` for the full knob contract.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
+from dataclasses import dataclass, field, replace
 
-#: Arrival disciplines the traffic generator understands.
-ARRIVALS = ("open", "closed")
-#: Arrival-rate patterns modulating either discipline over time.
-PATTERNS = ("poisson", "burst", "diurnal")
+from .arrivals import (discipline_by_name, discipline_names,
+                       pattern_by_name, pattern_names)
+
 #: Dispatch clocks the planner can drive the schedule with.
 DISPATCHES = ("nominal", "replay")
 #: Batching policies the scheduler understands.
 BATCHINGS = ("none", "client")
+
+
+def __getattr__(name: str):
+    # ``ARRIVALS``/``PATTERNS`` are derived from the arrival registries,
+    # whose discovery imports :mod:`repro.service.traffic` — which
+    # imports this module.  Resolving them lazily (PEP 562) keeps the
+    # historical ``from repro.service.params import ARRIVALS`` working
+    # without an import cycle.
+    if name == "ARRIVALS":
+        return tuple(discipline_names())
+    if name == "PATTERNS":
+        return tuple(pattern_names())
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
 @dataclass(frozen=True)
@@ -60,6 +72,25 @@ class ServiceParams:
     burst_period_cycles: float = 50000.0
     diurnal_period_cycles: float = 200000.0
     diurnal_amplitude: float = 0.8
+    #: ``churn`` pattern: the connected-tenant window rotates by its own
+    #: width every this many cycles (one connect/disconnect wave).
+    #: Declared ``elide_default`` so runs that never churn keep their
+    #: pre-existing trace-cache keys.
+    churn_period_cycles: float = field(
+        default=50000.0, metadata={"elide_default": True})
+    #: ``churn`` pattern: fraction of tenants connected at any instant.
+    churn_active_fraction: float = field(
+        default=0.25, metadata={"elide_default": True})
+    #: Revocation storm: every this many served batches, the serving
+    #: worker sweeps ``SETPERM(NONE)`` over a fraction of all client
+    #: domains (a mass-revocation event — lease expiry, key rotation, a
+    #: tenant eviction wave).  0 disables the storm; ``elide_default``
+    #: keeps storm-free cache keys unchanged.
+    revoke_every_batches: int = field(
+        default=0, metadata={"elide_default": True})
+    #: Fraction of client domains swept by each storm.
+    revoke_fraction: float = field(
+        default=1.0, metadata={"elide_default": True})
     #: Zipf exponent of client popularity (0 = uniform).  Hot clients are
     #: what domain-aware batching exploits.
     zipf: float = 0.9
@@ -102,12 +133,17 @@ class ServiceParams:
     dispatch: str = "nominal"
 
     def __post_init__(self):
-        if self.arrival not in ARRIVALS:
-            raise ValueError(f"unknown arrival discipline {self.arrival!r}; "
-                             f"choose from {ARRIVALS}")
-        if self.pattern not in PATTERNS:
-            raise ValueError(f"unknown arrival pattern {self.pattern!r}; "
-                             f"choose from {PATTERNS}")
+        # Arrival disciplines and patterns are registries now; the
+        # lookups below both validate the name (their KeyError lists the
+        # registered names) and warm the plugin for generation time.
+        try:
+            discipline_by_name(self.arrival)
+        except KeyError as error:
+            raise ValueError(str(error)) from None
+        try:
+            pattern_by_name(self.pattern)
+        except KeyError as error:
+            raise ValueError(str(error)) from None
         if self.dispatch not in DISPATCHES:
             raise ValueError(f"unknown dispatch clock {self.dispatch!r}; "
                              f"choose from {DISPATCHES}")
@@ -122,6 +158,14 @@ class ServiceParams:
             raise ValueError("pattern periods must be positive")
         if not 0.0 <= self.diurnal_amplitude < 1.0:
             raise ValueError("diurnal_amplitude must be in [0, 1)")
+        if self.churn_period_cycles <= 0:
+            raise ValueError("churn_period_cycles must be positive")
+        if not 0.0 < self.churn_active_fraction <= 1.0:
+            raise ValueError("churn_active_fraction must be in (0, 1]")
+        if self.revoke_every_batches < 0:
+            raise ValueError("revoke_every_batches must be non-negative")
+        if not 0.0 < self.revoke_fraction <= 1.0:
+            raise ValueError("revoke_fraction must be in (0, 1]")
         if self.n_clients < 1:
             raise ValueError("n_clients must be at least 1")
         if self.batch_limit < 1:

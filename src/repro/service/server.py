@@ -18,7 +18,12 @@ The server executes a :class:`~repro.service.batching.ServicePlan`
   member requests' reads/writes/compute, ``SETPERM(domain, NONE)`` —
   so the trace's window-close events double as the batch-completion
   markers the latency accounting snapshots, each carrying its worker
-  slot (:func:`batch_markers` / :func:`batch_boundaries`).
+  slot (:func:`batch_markers` / :func:`batch_boundaries`);
+* with ``revoke_every_batches > 0`` the serving worker follows every
+  k-th batch with a revocation storm — a ``SETPERM(NONE)`` sweep over
+  client domains (:meth:`ServiceWorkload.revoke_storm`); the marker
+  recovery distinguishes those sweeps from window closes by matching
+  each ``NONE`` against the worker's currently open windows.
 """
 
 from __future__ import annotations
@@ -32,6 +37,7 @@ from ..errors import SimulationError
 from ..permissions import Perm
 from ..pmo.oid import OID
 from ..workloads.base import PoolHandle, UnprotectedPolicy, Workspace
+from ..workloads.families import register_family
 from .batching import Batch, ServicePlan, build_plan
 from .params import ServiceParams
 
@@ -89,28 +95,60 @@ class ServiceWorkload:
             ws.stack_access(tid=tid, n=params.stack_per_request)
         ws.recorder.perm(tid, pool.domain, Perm.NONE)
 
+    def revoke_storm(self, tid: int) -> None:
+        """One mass-revocation sweep by the serving worker.
+
+        Emits ``SETPERM(domain, NONE)`` over the first
+        ``revoke_fraction`` of the client domains — a lease-expiry /
+        key-rotation / tenant-eviction wave.  The swept domains hold no
+        open serving window (the storm runs between batches), so the
+        switches are *not* batch boundaries; :func:`batch_markers`
+        recognises that by matching closes against open windows.
+        """
+        swept = max(1, round(self.params.n_clients *
+                             self.params.revoke_fraction))
+        for pool in self.pools[:swept]:
+            self.ws.recorder.perm(tid, pool.domain, Perm.NONE)
+
     def serve(self, plan: ServicePlan) -> None:
-        """Execute the whole plan (worker pool, scheduler interleaving)."""
+        """Execute the whole plan (worker pool, scheduler interleaving).
+
+        With ``revoke_every_batches = k > 0`` the worker that served
+        every k-th batch (in plan order — the storm schedule is fixed at
+        generation time, like everything else) follows it with a
+        :meth:`revoke_storm` sweep.
+        """
         params = self.params
+        every = params.revoke_every_batches
+        #: batch index (plan order) -> storm follows it.
+        storm_after = frozenset(
+            index for index in range(len(plan.batches))
+            if every and (index + 1) % every == 0)
+
         if max(1, params.workers) == 1:
             tid = self.worker_tids[0]
-            for batch in plan.batches:
+            for index, batch in enumerate(plan.batches):
                 self.serve_batch(batch, tid)
+                if index in storm_after:
+                    self.revoke_storm(tid)
             return
 
         from ..os.scheduler import RoundRobinScheduler
         scheduler = RoundRobinScheduler(self.ws, quantum=params.quantum)
-        partitions: List[List[Batch]] = [[] for _ in self.worker_tids]
-        for batch in plan.batches:
-            partitions[batch.worker].append(batch)
+        partitions: List[List[Tuple[Batch, bool]]] = \
+            [[] for _ in self.worker_tids]
+        for index, batch in enumerate(plan.batches):
+            partitions[batch.worker].append((batch, index in storm_after))
 
         process = self.ws.process
         for slot, thread in enumerate(process.threads):
             my_batches = partitions[slot]
 
             def body(thread=thread, my_batches=my_batches):
-                for batch in my_batches:
+                for batch, storm in my_batches:
                     self.serve_batch(batch, thread.tid)
+                    if storm:
+                        self.revoke_storm(thread.tid)
                     yield
 
             scheduler.spawn(lambda thread, body=body: body(thread=thread),
@@ -141,6 +179,19 @@ def generate_service_trace(params: ServiceParams) -> Tuple[Trace, Workspace]:
     workload = ServiceWorkload(params)
     workload.serve(plan)
     return workload.finish(), workload.ws
+
+
+def _generate_keyed(params: ServiceParams, scheme: str):
+    # Deferred import: ``closed`` calibrates through the replay engine,
+    # which this module must not pull in at import time.
+    from .closed import generate_service_trace_keyed
+    return generate_service_trace_keyed(params, scheme)
+
+
+register_family("service", params_type=ServiceParams,
+                generate=generate_service_trace,
+                generate_keyed=_generate_keyed,
+                runner="service")
 
 
 class BatchMark(NamedTuple):
@@ -177,28 +228,45 @@ def worker_slots(trace: Trace) -> Dict[int, int]:
 def batch_markers(trace: Trace) -> List[BatchMark]:
     """Each batch's completion marker, with its worker slot attached.
 
-    Service traces close every window with ``SETPERM(domain, NONE)`` and
-    emit no other NONE switches, so both the boundary and the serving
+    Service traces close every serving window with
+    ``SETPERM(domain, NONE)``, so both the boundary and the serving
     worker (the closing event's tid, mapped through
     :func:`worker_slots`) are recoverable from the trace alone — the
     slot is carried by the marker instead of re-inferred from whichever
     worker happened to close a window first.
+
+    A ``NONE`` switch only counts as a batch boundary when it closes a
+    window this worker actually has open on that domain: revocation
+    storms (``revoke_every_batches``) sweep ``NONE`` over domains with
+    no open window, and those sweeps are permission traffic, not
+    completions.
     """
     columns = trace.columns
 
     def build() -> List[BatchMark]:
         slots = worker_slots(trace)
-        closes = np.nonzero((columns.kinds == PERM)
-                            & (columns.operand_b == int(Perm.NONE)))[0]
+        events = np.nonzero(columns.kinds == PERM)[0]
+        #: (tid, domain) -> number of currently open grant windows.
+        open_windows: Dict[Tuple[int, int], int] = {}
         markers: List[BatchMark] = []
-        for index, tid in zip((closes + 1).tolist(),
-                              columns.tids[closes].tolist()):
+        for index, tid, domain, perm in zip(
+                events.tolist(), columns.tids[events].tolist(),
+                columns.operand_a[events].tolist(),
+                columns.operand_b[events].tolist()):
+            key = (tid, domain)
+            if perm != int(Perm.NONE):
+                open_windows[key] = open_windows.get(key, 0) + 1
+                continue
+            held = open_windows.get(key, 0)
+            if not held:
+                continue  # storm revocation — no window to close
+            open_windows[key] = held - 1
             slot = slots.get(tid)
             if slot is None:
                 raise SimulationError(
                     f"window-close SETPERM by tid {tid} which is "
                     f"outside the trace's worker roster")
-            markers.append(BatchMark(index=index, worker=slot))
+            markers.append(BatchMark(index=index + 1, worker=slot))
         return markers
 
     return columns.replay_cache(("service.batch_markers",), build)

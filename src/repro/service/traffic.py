@@ -19,10 +19,14 @@ that separates throughput from latency measurements):
   this module's stream entirely and issues requests from inside the
   dispatch simulation (:mod:`repro.service.batching`).
 
-Either discipline composes with an arrival-rate *pattern*
-(:func:`rate_multiplier`): ``poisson`` is stationary, ``burst`` spikes
-the rate periodically, ``diurnal`` follows a sinusoid — modulating
-interarrival gaps (open loop) or think times (closed loop).
+Either discipline composes with an arrival-rate *pattern*: ``poisson``
+is stationary, ``burst`` spikes the rate periodically, ``diurnal``
+follows a sinusoid, ``churn`` rotates connect/disconnect waves through
+the tenant set — modulating interarrival gaps (open loop), think times
+(closed loop) and, for churn, the connected client population.  The
+disciplines and patterns are both plugin registries
+(:mod:`repro.service.arrivals`); the two loops below self-register as
+the ``open`` and ``closed`` disciplines.
 
 Client popularity is Zipf-distributed (hot tenants), reusing the
 exemplar-accurate :class:`~repro.workloads.micro.ZipfSampler`.
@@ -31,35 +35,23 @@ exemplar-accurate :class:`~repro.workloads.micro.ZipfSampler`.
 from __future__ import annotations
 
 import heapq
-import math
 import random
 from dataclasses import dataclass
 from typing import List
 
 from ..workloads.micro import ZipfSampler
+from .arrivals import ARRIVAL_DISCIPLINES, pattern_by_name
 from .params import ServiceParams, nominal_request_cycles
 
 
 def rate_multiplier(params: ServiceParams, now: float) -> float:
     """Instantaneous offered-rate multiplier of the arrival pattern.
 
-    ``poisson`` is identically 1.0; ``burst`` returns ``burst_factor``
-    during the first ``burst_fraction`` of every ``burst_period_cycles``
-    window and 1.0 otherwise; ``diurnal`` is a sinusoid of relative
-    amplitude ``diurnal_amplitude`` (always positive, so the process
-    never stalls).  Gaps are drawn at rate ``multiplier / mean_gap`` —
-    a standard thinning-free approximation of an inhomogeneous Poisson
-    process that keeps generation single-pass and seeded.
+    Delegates to the registered pattern plugin's ``rate`` hook (kept as
+    a module-level function for compatibility — the planner and tests
+    call it directly).
     """
-    if params.pattern == "burst":
-        phase = now % params.burst_period_cycles
-        if phase < params.burst_fraction * params.burst_period_cycles:
-            return params.burst_factor
-        return 1.0
-    if params.pattern == "diurnal":
-        return 1.0 + params.diurnal_amplitude * math.sin(
-            2.0 * math.pi * now / params.diurnal_period_cycles)
-    return 1.0
+    return pattern_by_name(params.pattern).rate(params, now)
 
 
 def arrival_gap(params: ServiceParams, rng: random.Random,
@@ -89,25 +81,36 @@ class Request:
 
 
 def generate_requests(params: ServiceParams) -> List[Request]:
-    """The offered request stream, sorted by arrival time."""
+    """The offered request stream, sorted by arrival time.
+
+    Dispatches through the arrival-discipline registry, so a registered
+    plugin discipline generates streams exactly like the built-in
+    loops (same seeding contract: a discipline is a pure function of
+    ``(params, rng)``).
+    """
     rng = random.Random(params.seed)
-    if params.arrival == "open":
-        return _open_loop(params, rng)
-    return _closed_loop(params, rng)
+    return ARRIVAL_DISCIPLINES.get(params.arrival)(params, rng)
 
 
+@ARRIVAL_DISCIPLINES.register("open")
 def _open_loop(params: ServiceParams, rng: random.Random) -> List[Request]:
     sampler = ZipfSampler(params.n_clients, params.zipf, rng)
+    pattern = pattern_by_name(params.pattern)
     clock = 0.0
     requests: List[Request] = []
     for rid in range(params.n_requests):
         clock += arrival_gap(params, rng, clock)
+        # The pattern maps the popularity sample onto the *connected*
+        # population (identity except under churn).
+        client = pattern.remap_client(params, clock, sampler.sample(),
+                                      params.n_clients)
         requests.append(Request(
-            rid=rid, client=sampler.sample(), arrival=clock,
+            rid=rid, client=client, arrival=clock,
             is_write=rng.random() >= params.read_fraction))
     return requests
 
 
+@ARRIVAL_DISCIPLINES.register("closed")
 def _closed_loop(params: ServiceParams, rng: random.Random) -> List[Request]:
     """One outstanding request per client, think time between them.
 

@@ -137,4 +137,29 @@ class SimConfig:
         return replace(self, **section_overrides)
 
 
+def apply_override(config: SimConfig, field_path: str, value) -> SimConfig:
+    """Return a config copy with ``section.field`` (or ``both.field``)
+    replaced by ``value``.
+
+    ``both`` applies the field to ``mpk_virt`` *and* ``libmpk`` (for
+    parameters the two designs share, like shootdown cost).  This is
+    the dotted-path override used by sensitivity sweeps and by scenario
+    ``config:``/sweep sections.
+    """
+    section_name, _, field_name = field_path.partition(".")
+    if not field_name:
+        raise ValueError(f"field path {field_path!r} must be "
+                         "'section.field'")
+    sections = (["mpk_virt", "libmpk"] if section_name == "both"
+                else [section_name])
+    overrides = {}
+    for name in sections:
+        section = getattr(config, name, None)
+        if section is None or not hasattr(section, field_name):
+            raise ValueError(
+                f"unknown configuration field {name}.{field_name}")
+        overrides[name] = replace(section, **{field_name: value})
+    return config.with_overrides(**overrides)
+
+
 DEFAULT_CONFIG = SimConfig()

@@ -19,17 +19,21 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, Optional
 
-from ..core.schemes import NullProtection, scheme_by_name
+from ..core.schemes import NullProtection, scheme_by_name, schemes_tagged
 from ..cpu.fast_timing import make_replay_engine
 from ..cpu.trace import Trace
 from ..workloads.base import Workspace
 from .config import DEFAULT_CONFIG, SimConfig
 from .stats import RunStats
 
-#: The schemes of the multi-PMO evaluation (Figure 6/7, Table VII).
-MULTI_PMO_SCHEMES = ("lowerbound", "libmpk", "mpk_virt", "domain_virt")
-#: The schemes of the single-PMO evaluation (Table V).
-SINGLE_PMO_SCHEMES = ("mpk", "mpk_virt", "domain_virt")
+#: The schemes of the multi-PMO evaluation (Figure 6/7, Table VII),
+#: derived from the scheme registry's ``multi_pmo`` tag ranks — a
+#: plugin scheme tagged ``multi_pmo`` joins every multi-PMO experiment
+#: without touching this module.
+MULTI_PMO_SCHEMES = schemes_tagged("multi_pmo")
+#: The schemes of the single-PMO evaluation (Table V), from the
+#: ``single_pmo`` tag.
+SINGLE_PMO_SCHEMES = schemes_tagged("single_pmo")
 
 
 def _replay_shared(trace: Trace, workspace: Workspace, names, config,

@@ -1,0 +1,77 @@
+"""The workload-family plugin registry.
+
+A **workload family** is one trace-generating suite: a frozen parameter
+dataclass plus a ``generate(params) -> (Trace, Workspace)`` function.
+Families self-register (:func:`register_family`) from the modules that
+implement them — ``micro`` (the multi-PMO datastructure suite),
+``whisper`` (single-PMO WHISPER skeletons) and ``service`` (the
+multi-tenant serving subsystem) ship built in; external families arrive
+through ``REPRO_PLUGINS`` / entry points (:mod:`repro.registry`).
+
+:class:`~repro.engine.job.WorkloadSpec` resolves its ``suite`` through
+this registry, so adding a family makes it cacheable, replayable and
+scenario-addressable without touching the engine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional, Tuple
+
+from ..registry import Registry
+
+#: The workload-family registry; built-in families self-register when
+#: their implementing modules are imported.
+WORKLOADS = Registry("workload family", discover=(
+    "repro.workloads.micro",
+    "repro.workloads.whisper",
+    "repro.service.server",
+))
+
+
+@dataclass(frozen=True)
+class WorkloadFamily:
+    """One registered trace-generating suite."""
+
+    name: str
+    #: The frozen params dataclass; must offer ``scaled(factor)``.
+    params_type: type
+    #: ``params -> (Trace, Workspace)``.
+    generate: Callable
+    #: Scheme-keyed generation ``(params, scheme) -> (Trace, Workspace)``
+    #: for families whose schedule depends on the replaying scheme
+    #: (the service suite's ``dispatch="replay"`` mode); ``None`` means
+    #: :meth:`~repro.engine.job.WorkloadSpec.keyed` is rejected.
+    generate_keyed: Optional[Callable] = None
+    #: Named benchmark axis of the family (e.g. the five micro
+    #: datastructures), for listings and scenario validation.
+    benchmarks: Tuple[str, ...] = ()
+    #: Scenario execution style: ``"replay"`` (generate once, replay the
+    #: scheme grid) or ``"service"`` (marked replays + latency
+    #: accounting).
+    runner: str = "replay"
+
+
+def register_family(name: str, *, params_type: type, generate: Callable,
+                    generate_keyed: Optional[Callable] = None,
+                    benchmarks: Tuple[str, ...] = (),
+                    runner: str = "replay") -> WorkloadFamily:
+    """Register one workload family (module-level, self-registering)."""
+    family = WorkloadFamily(
+        name=name, params_type=params_type, generate=generate,
+        generate_keyed=generate_keyed, benchmarks=tuple(benchmarks),
+        runner=runner)
+    WORKLOADS.register(name)(family)
+    return family
+
+
+def workload_by_name(name: str) -> WorkloadFamily:
+    """The family registered as ``name``.
+
+    Unknown names raise a ``KeyError`` listing every registered family.
+    """
+    return WORKLOADS.get(name)
+
+
+def workload_names():
+    return WORKLOADS.names()

@@ -27,6 +27,7 @@ from typing import List, Tuple
 from ..cpu.trace import Trace
 from ..permissions import Perm
 from .base import PerOpPolicy, PoolHandle, Workspace
+from .families import register_family
 from .datastructures import (PersistentAVL, PersistentBPlusTree,
                              PersistentLinkedList, PersistentRBTree,
                              PersistentStringArray)
@@ -274,3 +275,8 @@ def generate_micro_trace(params: MicroParams) -> Tuple[Trace, Workspace]:
             ws.recorder.init_perm(thread.tid, handle.domain, Perm.R)
     scheduler.run()
     return ws.finish(), ws
+
+
+register_family("micro", params_type=MicroParams,
+                generate=generate_micro_trace,
+                benchmarks=MICRO_BENCHMARKS)

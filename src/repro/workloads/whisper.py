@@ -24,6 +24,7 @@ from ..cpu.trace import Trace
 from ..pmo.oid import NULL_OID, OID
 from .base import PerAccessPolicy, PoolHandle, Workspace
 from .datastructures import PersistentCritbitTree, PersistentHashMap
+from .families import register_family
 
 WHISPER_BENCHMARKS = ("echo", "ycsb", "tpcc", "ctree", "hashmap", "redis")
 
@@ -267,3 +268,8 @@ def generate_whisper_trace(params: WhisperParams) -> Tuple[Trace, Workspace]:
         ws.stack_access(n=params.stack_per_txn)
         app.txn()
     return ws.finish(), ws
+
+
+register_family("whisper", params_type=WhisperParams,
+                generate=generate_whisper_trace,
+                benchmarks=WHISPER_BENCHMARKS)

@@ -1,0 +1,190 @@
+"""Golden cache keys: scenario compilation must be hash-transparent.
+
+The hashes below were captured from ``WorkloadSpec`` constructors
+*before* the scenario layer existed.  Scenario-compiled specs must
+reproduce them byte for byte — otherwise every previously cached trace
+is orphaned and every driver silently regenerates.  If one of these
+fails, the compiler (or a params/describe change) broke cache-key
+stability; do NOT just re-pin the values without understanding why.
+"""
+
+from repro.engine.job import WorkloadSpec
+from repro.experiments import figure6, sensitivity, service, table5, table6
+from repro.scenario import Scenario, compile_scenario, find_scenario
+
+GOLDEN = {
+    "micro/avl/16": "f821fc0b470626290753f4eb6ad49df5",
+    "micro/avl/32": "94e54aedad419fbd712f1ca839474b09",
+    "micro/avl/64": "6e58229ce05cfa08136189c9c7d6514d",
+    "micro/avl/128": "54333393032295b9aa47767a2409f597",
+    "micro/avl/256": "71c5ee2c33dfeb407557aff8be1e2663",
+    "micro/avl/512": "bc879987a3a9ac06a21b5f553bb67435",
+    "micro/avl/1024": "ca399693ddda288ae7bd16c7b02ebbef",
+    "micro/rbt/16": "7d0d18dbc454e3ef1aa24ace276833e2",
+    "micro/rbt/32": "a7f3ca249aff1815ba19443906ec27f0",
+    "micro/rbt/64": "155db02f18ae0faf6c1a61d591092c5e",
+    "micro/rbt/128": "1ff13c7285a1a9fc1252fc25a219815c",
+    "micro/rbt/256": "7eef5dbebb751891a74a21afa0c8c83b",
+    "micro/rbt/512": "86a70605511d773d91b23302ad52de95",
+    "micro/rbt/1024": "33df94c24ee9700954c7f7a173398fd3",
+    "micro/bt/16": "9e57eb020d8682c4e4fe4f3d134c965e",
+    "micro/bt/32": "70cf66f098250cd1cbef3386d2ad941c",
+    "micro/bt/64": "c4c0497d60a7597f453f1141cd95371b",
+    "micro/bt/128": "a9401dfdec79cb06dfb1562d050c352c",
+    "micro/bt/256": "69d7dd89f8073d4cd44747d97cac6639",
+    "micro/bt/512": "3d1d5cbadad40a210bf3443bf9abd685",
+    "micro/bt/1024": "78e3e42df958fd012cd36377ce25c61d",
+    "micro/ll/16": "0e665919475b9eae926e7aad1dac1db9",
+    "micro/ll/32": "66e81247f8ab961903fd44377b8a67d3",
+    "micro/ll/64": "80f385c2a14ee7be2231ab1366305bf0",
+    "micro/ll/128": "1d2dba183ba6f54b4bed8e4b7ae362d9",
+    "micro/ll/256": "0ac6b5fe9dbb62c18dd5b6cb490c0616",
+    "micro/ll/512": "0318d2c0b15e20b73267e99c5579bce4",
+    "micro/ll/1024": "778572f9cabfd74fb93c5cd87c123eb6",
+    "micro/ss/16": "baf9d23c9a6453a5f734c8d07ee233a7",
+    "micro/ss/32": "5c14e2f2f1696e2435279ed23771b1a3",
+    "micro/ss/64": "3c83464469988af0eccaaf30005fa57f",
+    "micro/ss/128": "d2db8e7ca439f9494275113414156cca",
+    "micro/ss/256": "17d9812363e3b0cffd8153e71ae0ca65",
+    "micro/ss/512": "e0eb7f19f6e451f8ecc12e10211d59ec",
+    "micro/ss/1024": "4dd2de0aeb9a35a03286871e0566c449",
+    "whisper/echo": "43203504ae6b2d88280449535f4fb9b4",
+    "whisper/ycsb": "41f533ae5b4eac04151e446d7380daf0",
+    "whisper/tpcc": "be9992134ecf9e69079d799e71022d05",
+    "whisper/ctree": "c3f316399d4c4f96b59c7a79b0e2720f",
+    "whisper/hashmap": "9c42bbadb77ba2a2f4c3d6e0d33efb6c",
+    "whisper/redis": "664fd1ef64260cfd65edb70022431c12",
+    "service/8c": "24d1c34ba508619124663fba28d4851d",
+    "service/64c": "17f7e6535993154c5e42b77784c78c31",
+    "service/256c": "942a769d0c02b4ec8c079c549e991e3b",
+    "service/1024c": "247f57e7b877644a2e1e4d51df938687",
+    "service/64c-closed-burst": "ed4650ccd5bfde3d2c72e0c30c5a3d89",
+    "service/64c-closed-burst-dv": "4b2ceaf692e8db823f8e9856403809bd",
+    "sweep_pmos/avl/16": "70b8b56f089c27d5a1cab3c6ab58e710",
+    "sweep_pmos/avl/32": "8c5d2295e0ed6a4c092dcb9d3ec80634",
+    "sweep_pmos/avl/64": "35524f92650a53e137c43d45412480a6",
+    "sweep_pmos/avl/128": "1c13193a9dfa8c6d7fbc72becfc9b619",
+    "sweep_pmos/avl/256": "cdb497963e2d77cd16eed46d47f3b1ef",
+    "sensitivity/avl/256": "cfc009123395284e7575702df3511843",
+}
+
+MICRO_SWEEP = (16, 32, 64, 128, 256, 512, 1024)
+MICRO_BENCHMARKS = ("avl", "rbt", "bt", "ll", "ss")
+WHISPER_BENCHMARKS = ("echo", "ycsb", "tpcc", "ctree", "hashmap", "redis")
+SERVICE_CLIENTS = (8, 64, 256, 1024)
+
+
+def full(document_or_scenario):
+    """Compile at full fidelity (no smoke, no ops scaling)."""
+    scenario = document_or_scenario if isinstance(
+        document_or_scenario, Scenario) else Scenario.from_document(
+        document_or_scenario)
+    return compile_scenario(scenario, smoke=False, scale=1.0)
+
+
+class TestConstructors:
+    """The raw constructors still produce the pre-scenario keys (the
+    new params fields must elide from unchanged specs)."""
+
+    def test_micro(self):
+        for benchmark in MICRO_BENCHMARKS:
+            for n_pools in MICRO_SWEEP:
+                assert WorkloadSpec.micro(benchmark, n_pools).cache_key() \
+                    == GOLDEN[f"micro/{benchmark}/{n_pools}"]
+
+    def test_whisper(self):
+        for benchmark in WHISPER_BENCHMARKS:
+            assert WorkloadSpec.whisper(benchmark).cache_key() \
+                == GOLDEN[f"whisper/{benchmark}"]
+
+    def test_service(self):
+        for n_clients in SERVICE_CLIENTS:
+            assert WorkloadSpec.service(n_clients=n_clients).cache_key() \
+                == GOLDEN[f"service/{n_clients}c"]
+
+    def test_service_closed_burst_and_keyed(self):
+        spec = WorkloadSpec.service(n_clients=64, arrival="closed",
+                                    dispatch="replay", pattern="burst")
+        assert spec.cache_key() == GOLDEN["service/64c-closed-burst"]
+        assert spec.keyed("domain_virt").cache_key() \
+            == GOLDEN["service/64c-closed-burst-dv"]
+
+
+class TestCompiledScenarios:
+    """Driver scenario documents compile to the same keys."""
+
+    def test_figure6_document(self):
+        compiled = full(figure6.scenario_document(
+            MICRO_BENCHMARKS, MICRO_SWEEP))
+        assert len(compiled.cells) == len(MICRO_BENCHMARKS) * \
+            len(MICRO_SWEEP)
+        for cell in compiled.cells:
+            axes = cell.axes_dict
+            assert cell.spec.cache_key() == GOLDEN[
+                f"micro/{axes['benchmark']}/{axes['n_pools']}"]
+
+    def test_table5_document(self):
+        compiled = full(table5.scenario_document(WHISPER_BENCHMARKS))
+        for cell in compiled.cells:
+            assert cell.spec.cache_key() == GOLDEN[
+                f"whisper/{cell.axes_dict['benchmark']}"]
+
+    def test_table6_document_shares_figure6_specs(self):
+        compiled = full(table6.scenario_document(MICRO_BENCHMARKS, 1024))
+        for cell in compiled.cells:
+            assert cell.spec.cache_key() == GOLDEN[
+                f"micro/{cell.axes_dict['benchmark']}/1024"]
+
+    def test_service_document(self):
+        compiled = full(service.scenario_document(
+            SERVICE_CLIENTS, ("mpkv", "dv"), {}))
+        for cell in compiled.cells:
+            assert cell.spec.cache_key() == GOLDEN[
+                f"service/{cell.axes_dict['n_clients']}c"]
+
+    def test_service_document_with_overrides(self):
+        compiled = full(service.scenario_document(
+            (64,), ("dv",),
+            {"arrival": "closed", "dispatch": "replay", "pattern": "burst"}))
+        spec = compiled.cells[0].spec
+        assert spec.cache_key() == GOLDEN["service/64c-closed-burst"]
+        assert spec.keyed("domain_virt").cache_key() \
+            == GOLDEN["service/64c-closed-burst-dv"]
+
+    def test_sensitivity_document_pins_one_spec_for_all_values(self):
+        compiled = full(sensitivity.scenario_document(
+            "mpk_virt.tlb_invalidation_cycles", [143, 286, 572]))
+        keys = {cell.spec.cache_key() for cell in compiled.cells}
+        assert keys == {GOLDEN["sensitivity/avl/256"]}
+
+
+class TestBundledScenarioFiles:
+    """The YAML files mirror the driver documents — same compiled keys
+    means the file and the driver share one trace cache."""
+
+    def test_figure6_yaml_matches_the_driver(self):
+        bundled = full(find_scenario("figure6"))
+        driver = full(figure6.scenario_document(MICRO_BENCHMARKS,
+                                                MICRO_SWEEP))
+        assert [cell.spec.cache_key() for cell in bundled.cells] == \
+            [cell.spec.cache_key() for cell in driver.cells]
+
+    def test_table5_yaml_matches_the_driver(self):
+        bundled = full(find_scenario("table5"))
+        driver = full(table5.scenario_document(WHISPER_BENCHMARKS))
+        assert [cell.spec.cache_key() for cell in bundled.cells] == \
+            [cell.spec.cache_key() for cell in driver.cells]
+
+    def test_service_baseline_yaml_matches_the_driver(self):
+        bundled = full(find_scenario("service_baseline"))
+        driver = full(service.scenario_document(
+            SERVICE_CLIENTS, ("mpkv", "dv"), {}))
+        assert [cell.spec.cache_key() for cell in bundled.cells] == \
+            [cell.spec.cache_key() for cell in driver.cells]
+        assert bundled.schemes == driver.schemes
+
+    def test_sweep_pmos_yaml(self):
+        compiled = full(find_scenario("sweep_pmos"))
+        for cell in compiled.cells:
+            assert cell.spec.cache_key() == GOLDEN[
+                f"sweep_pmos/avl/{cell.axes_dict['n_pools']}"]

@@ -1,0 +1,112 @@
+"""Scenario execution, report kinds, and the run/list CLI."""
+
+import pytest
+
+from repro.scenario import (Scenario, ScenarioError, bundled_scenarios,
+                            compile_scenario, find_scenario)
+from repro.scenario.run import (REPORT_KINDS, main, replay_compiled,
+                                run_scenario)
+
+TINY = {
+    "scenario": "tiny",
+    "title": "Tiny sweep",
+    "workload": "micro",
+    "params": {"benchmark": "avl", "operations": 120},
+    "schemes": ["@multi_pmo"],
+    "sweep": {"n_pools": [8, 16]},
+}
+
+
+class TestExecution:
+    def test_replay_compiled_keys_by_canonical_scheme(self):
+        compiled = compile_scenario(
+            Scenario.from_document(dict(TINY, schemes=["mpkv", "dv"])),
+            smoke=False, scale=1.0)
+        outcomes = replay_compiled(compiled)
+        assert len(outcomes) == 2
+        for cell, results in outcomes:
+            assert {"baseline", "mpk_virt", "domain_virt"} <= set(results)
+
+    def test_run_scenario_renders_a_leaderboard(self):
+        report = run_scenario(Scenario.from_document(TINY), smoke=False)
+        assert "Tiny sweep" in report
+        assert "% over lowerbound" in report
+        assert "n_pools=8" in report and "n_pools=16" in report
+        for scheme in ("libmpk", "mpk_virt", "domain_virt"):
+            assert scheme in report
+
+    def test_lowerbound_only_leaderboard_uses_the_baseline(self):
+        report = run_scenario(Scenario.from_document(dict(
+            TINY, schemes=["lowerbound"], sweep={"n_pools": [8]})),
+            smoke=False)
+        assert "% over baseline" in report
+        assert "lowerbound %" in report
+
+    def test_unknown_report_kind_is_a_scenario_error(self):
+        with pytest.raises(ScenarioError, match="report kind"):
+            run_scenario(Scenario.from_document(dict(
+                TINY, report="heatmap", sweep={"n_pools": [8]})),
+                smoke=False)
+
+    def test_smoke_flag_is_labelled_in_the_title(self):
+        report = run_scenario(Scenario.from_document(dict(
+            TINY, smoke={"sweep": {"n_pools": [8]}})), smoke=True)
+        assert "[smoke]" in report
+        assert "n_pools=16" not in report
+
+
+class TestBundledLibrary:
+    def test_every_bundled_scenario_compiles_in_both_modes(self):
+        names = bundled_scenarios()
+        assert {"figure6", "table5", "table6", "table7", "service_baseline",
+                "revocation_storm", "tenant_churn", "sweep_pmos"} \
+            <= set(names)
+        for name in names:
+            scenario = find_scenario(name)
+            assert scenario.report in REPORT_KINDS
+            for smoke in (False, True):
+                compiled = compile_scenario(scenario, smoke=smoke,
+                                            scale=1.0)
+                assert compiled.cells and compiled.schemes
+
+    def test_tenant_churn_is_a_four_scheme_leaderboard(self):
+        scenario = find_scenario("tenant_churn")
+        assert len(scenario.schemes) == 4
+        assert scenario.report == "service"
+        compiled = compile_scenario(scenario, smoke=True, scale=1.0)
+        assert all(cell.spec.params.pattern == "churn"
+                   for cell in compiled.cells)
+
+    def test_revocation_storm_enables_storms(self):
+        compiled = compile_scenario(find_scenario("revocation_storm"),
+                                    smoke=True, scale=1.0)
+        assert all(cell.spec.params.revoke_every_batches > 0
+                   for cell in compiled.cells)
+
+    def test_unknown_reference_lists_the_bundle(self):
+        with pytest.raises(ScenarioError, match="sweep_pmos"):
+            find_scenario("figure66")
+
+
+class TestCli:
+    def test_list_prints_the_roster(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "tenant_churn" in out and "figure6" in out
+
+    def test_run_without_references_is_a_usage_error(self, capsys):
+        assert main(["run"]) == 2
+        assert "usage" in capsys.readouterr().err
+
+    def test_unknown_command_is_a_usage_error(self, capsys):
+        assert main(["frobnicate"]) == 2
+        assert "frobnicate" in capsys.readouterr().err
+
+    def test_run_unknown_scenario_fails_cleanly(self, capsys):
+        assert main(["run", "no_such_scenario"]) == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_experiments_cli_dispatches_run_and_list(self, capsys):
+        from repro.experiments.__main__ import main as experiments_main
+        assert experiments_main(["list"]) == 0
+        assert "scenario" in capsys.readouterr().out

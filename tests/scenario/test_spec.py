@@ -1,0 +1,126 @@
+"""Scenario-document parsing and validation."""
+
+import pytest
+
+from repro.scenario import Scenario, ScenarioError, load_scenario
+
+BASE = {
+    "scenario": "demo",
+    "workload": "micro",
+    "params": {"benchmark": "avl", "n_pools": 32},
+    "schemes": ["domain_virt"],
+}
+
+
+def doc(**over):
+    merged = dict(BASE)
+    merged.update(over)
+    return merged
+
+
+class TestValidation:
+    def test_minimal_document_parses(self):
+        scenario = Scenario.from_document(doc())
+        assert scenario.name == "demo"
+        assert scenario.workload == "micro"
+        assert scenario.schemes == ("domain_virt",)
+        assert scenario.report == "leaderboard"
+
+    def test_non_mapping_document_rejected(self):
+        with pytest.raises(ScenarioError, match="must be a mapping"):
+            Scenario.from_document(["not", "a", "dict"])
+
+    def test_unknown_top_level_key_rejected(self):
+        with pytest.raises(ScenarioError, match="unknown scenario keys"):
+            Scenario.from_document(doc(benchmark="avl"))
+
+    def test_missing_name_rejected(self):
+        document = doc()
+        del document["scenario"]
+        with pytest.raises(ScenarioError, match="'scenario:' name"):
+            Scenario.from_document(document)
+
+    def test_name_falls_back_to_caller_supplied(self):
+        document = doc()
+        del document["scenario"]
+        assert Scenario.from_document(document, name="from-stem").name \
+            == "from-stem"
+
+    def test_unknown_workload_lists_families(self):
+        with pytest.raises(ScenarioError, match="micro"):
+            Scenario.from_document(doc(workload="macro"))
+
+    def test_unknown_params_field_lists_known_fields(self):
+        with pytest.raises(ScenarioError, match="n_pools"):
+            Scenario.from_document(doc(params={"pools": 32}))
+
+    def test_unknown_scheme_lists_registered(self):
+        with pytest.raises(ScenarioError, match="domain_virt"):
+            Scenario.from_document(doc(schemes=["sgx"]))
+
+    def test_scheme_aliases_kept_as_given(self):
+        scenario = Scenario.from_document(doc(schemes=["mpkv", "dv"]))
+        assert scenario.schemes == ("mpkv", "dv")
+
+    def test_tag_expansion_preserves_rank_order(self):
+        scenario = Scenario.from_document(doc(schemes=["@multi_pmo"]))
+        assert scenario.schemes == (
+            "lowerbound", "libmpk", "mpk_virt", "domain_virt")
+
+    def test_unknown_tag_rejected(self):
+        with pytest.raises(ScenarioError, match="matches no registered"):
+            Scenario.from_document(doc(schemes=["@quantum"]))
+
+    def test_undotted_config_override_rejected(self):
+        with pytest.raises(ScenarioError, match="section.field"):
+            Scenario.from_document(doc(config={"frequency": 1}))
+
+    def test_empty_sweep_axis_rejected(self):
+        with pytest.raises(ScenarioError, match="non-empty list"):
+            Scenario.from_document(doc(sweep={"n_pools": []}))
+
+    def test_unknown_plain_sweep_axis_rejected(self):
+        with pytest.raises(ScenarioError, match="sweep axis 'pools'"):
+            Scenario.from_document(doc(sweep={"pools": [16, 32]}))
+
+    def test_dotted_sweep_axis_skips_the_params_check(self):
+        scenario = Scenario.from_document(doc(
+            sweep={"mpk_virt.tlb_invalidation_cycles": [143, 286]}))
+        assert scenario.sweep == (
+            ("mpk_virt.tlb_invalidation_cycles", (143, 286)),)
+
+    def test_sweep_axis_order_is_document_order(self):
+        scenario = Scenario.from_document(doc(
+            sweep={"benchmark": ["avl"], "n_pools": [16, 32]}))
+        assert [axis for axis, _ in scenario.sweep] == \
+            ["benchmark", "n_pools"]
+
+    def test_unknown_smoke_key_rejected(self):
+        with pytest.raises(ScenarioError, match="unknown smoke keys"):
+            Scenario.from_document(doc(smoke={"sweeps": {}}))
+
+    def test_smoke_params_validated_against_the_family(self):
+        with pytest.raises(ScenarioError, match="smoke.params"):
+            Scenario.from_document(doc(smoke={"params": {"pools": 8}}))
+
+
+class TestLoadScenario:
+    def test_yaml_file_round_trip(self, tmp_path):
+        path = tmp_path / "tiny.yaml"
+        path.write_text(
+            "workload: micro\n"
+            "params: {benchmark: avl, n_pools: 16}\n"
+            "schemes: [dv]\n")
+        scenario = load_scenario(path)
+        assert scenario.name == "tiny"  # file stem
+        assert scenario.params == (("benchmark", "avl"), ("n_pools", 16))
+
+    def test_missing_file_is_a_scenario_error(self, tmp_path):
+        with pytest.raises(ScenarioError, match="cannot read"):
+            load_scenario(tmp_path / "absent.yaml")
+
+    def test_invalid_yaml_is_a_scenario_error(self, tmp_path):
+        path = tmp_path / "broken.yaml"
+        path.write_text("schemes: [unclosed\n")
+        with pytest.raises(ScenarioError, match="invalid YAML"):
+            load_scenario(path)

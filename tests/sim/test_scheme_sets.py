@@ -1,0 +1,20 @@
+"""The paper's scheme tuples, as derived from scheme-registry tags."""
+
+from repro.core.schemes import schemes_tagged
+from repro.sim.simulator import MULTI_PMO_SCHEMES, SINGLE_PMO_SCHEMES
+
+
+def test_multi_pmo_schemes_match_the_paper():
+    # Figure 6 / Tables VI-VII population, in evaluation order.
+    assert MULTI_PMO_SCHEMES == (
+        "lowerbound", "libmpk", "mpk_virt", "domain_virt")
+
+
+def test_single_pmo_schemes_match_the_paper():
+    # Table V population, in evaluation order.
+    assert SINGLE_PMO_SCHEMES == ("mpk", "mpk_virt", "domain_virt")
+
+
+def test_sets_are_registry_tag_derivations_not_literals():
+    assert MULTI_PMO_SCHEMES == schemes_tagged("multi_pmo")
+    assert SINGLE_PMO_SCHEMES == schemes_tagged("single_pmo")

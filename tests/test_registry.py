@@ -1,0 +1,127 @@
+"""The plugin-registry seam: registration, discovery, tags, errors.
+
+Also pins the paper's scheme tuples — they are *derived* from registry
+tags now, so these tests are the contract that the derivation still
+produces exactly the sets the paper's tables use.
+"""
+
+import pytest
+
+import repro.registry as registry_module
+from repro.core.schemes import scheme_by_name, schemes_tagged
+from repro.registry import Registry, RegistryKeyError
+from repro.service.arrivals import (discipline_by_name, discipline_names,
+                                    pattern_by_name, pattern_names)
+from repro.sim.simulator import MULTI_PMO_SCHEMES, SINGLE_PMO_SCHEMES
+from repro.workloads.families import workload_by_name, workload_names
+
+
+class TestRegistry:
+    def test_register_and_get(self):
+        reg = Registry("widget")
+
+        @reg.register("a")
+        def plugin():
+            return 1
+
+        assert reg.get("a") is plugin
+        assert "a" in reg
+        assert "b" not in reg
+        assert reg.names() == ["a"]
+        assert reg.items() == [("a", plugin)]
+
+    def test_unknown_name_lists_the_roster(self):
+        reg = Registry("widget")
+        reg.register("alpha")(object())
+        reg.register("beta")(object())
+        with pytest.raises(RegistryKeyError) as err:
+            reg.get("gamma")
+        message = str(err.value)
+        assert "unknown widget 'gamma'" in message
+        assert "alpha, beta" in message
+        assert "REPRO_PLUGINS" in message  # points at the extension seam
+        assert isinstance(err.value, KeyError)
+
+    def test_duplicate_name_different_object_rejected(self):
+        reg = Registry("widget")
+        reg.register("a")(object())
+        with pytest.raises(ValueError, match="duplicate widget 'a'"):
+            reg.register("a")(object())
+
+    def test_reregistering_the_same_object_is_idempotent(self):
+        # Module reloads re-run decorators; same object must be fine.
+        reg = Registry("widget")
+        obj = object()
+        reg.register("a")(obj)
+        reg.register("a")(obj)
+        assert reg.get("a") is obj
+
+    def test_tagged_orders_by_rank_then_name(self):
+        reg = Registry("widget")
+        reg.register("c", tags={"t": 0})(object())
+        reg.register("a", tags={"t": 2})(object())
+        reg.register("b", tags={"t": 1, "u": 0})(object())
+        assert reg.tagged("t") == ("c", "b", "a")
+        assert reg.tagged("u") == ("b",)
+        assert reg.tagged("missing") == ()
+        assert reg.tags_of("b") == {"t": 1, "u": 0}
+
+    def test_discovery_runs_once_and_only_on_lookup(self, monkeypatch):
+        imported = []
+        monkeypatch.setattr(registry_module, "_import_once", imported.append)
+        monkeypatch.setattr(registry_module, "load_external_plugins",
+                            lambda: None)
+        reg = Registry("widget", discover=("mod.a", "mod.b"))
+        reg.register("x")(object())
+        assert imported == []  # registering never triggers discovery
+        reg.names()
+        reg.names()
+        assert imported == ["mod.a", "mod.b"]  # first lookup, exactly once
+
+
+class TestPaperSchemeSets:
+    """Satellite contract: the registry-tag-derived tuples must equal
+    the paper's scheme sets, in evaluation order."""
+
+    def test_multi_pmo_set_matches_the_paper(self):
+        assert MULTI_PMO_SCHEMES == (
+            "lowerbound", "libmpk", "mpk_virt", "domain_virt")
+
+    def test_single_pmo_set_matches_the_paper(self):
+        assert SINGLE_PMO_SCHEMES == ("mpk", "mpk_virt", "domain_virt")
+
+    def test_tuples_are_derived_from_registry_tags(self):
+        assert MULTI_PMO_SCHEMES == schemes_tagged("multi_pmo")
+        assert SINGLE_PMO_SCHEMES == schemes_tagged("single_pmo")
+
+
+class TestBuiltinRegistries:
+    def test_unknown_scheme_lists_registered_schemes(self):
+        with pytest.raises(KeyError) as err:
+            scheme_by_name("sgx")
+        assert "domain_virt" in str(err.value)
+
+    def test_unknown_workload_family_lists_families(self):
+        with pytest.raises(KeyError) as err:
+            workload_by_name("macro")
+        assert "micro" in str(err.value)
+        assert set(workload_names()) >= {"micro", "whisper", "service"}
+
+    def test_unknown_arrival_pattern_lists_patterns(self):
+        with pytest.raises(KeyError) as err:
+            pattern_by_name("flash-crowd")
+        assert "poisson" in str(err.value)
+        assert set(pattern_names()) == {"burst", "churn", "diurnal",
+                                        "poisson"}
+
+    def test_unknown_arrival_discipline_lists_disciplines(self):
+        with pytest.raises(KeyError) as err:
+            discipline_by_name("batch")
+        assert "closed" in str(err.value)
+        assert set(discipline_names()) == {"open", "closed"}
+
+    def test_service_params_surface_the_roster_on_bad_pattern(self):
+        from repro.service import ServiceParams
+        with pytest.raises(ValueError) as err:
+            ServiceParams(pattern="tide")
+        assert "burst" in str(err.value)

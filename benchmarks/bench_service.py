@@ -16,15 +16,19 @@ import pathlib
 import pytest
 
 from repro.engine import replay_one
-from repro.service import (ServiceParams, account, batch_boundaries,
-                           build_plan, generate_service_trace,
-                           generate_service_trace_keyed)
+from repro.service import (ServiceParams, account, account_sharded,
+                           batch_boundaries, build_plan,
+                           generate_service_trace,
+                           generate_service_trace_keyed, shard_by_worker)
 from repro.sim.config import DEFAULT_CONFIG
 
 PARAMS = ServiceParams(n_clients=64, n_requests=600)
 #: The scheme-keyed closed loop: calibration + feedback dispatch.
 CLOSED = ServiceParams(n_clients=16, n_requests=200, arrival="closed",
                        dispatch="replay", pattern="burst")
+#: Multi-core replay: four worker slots, sharded onto four simulated
+#: cores with cross-core shootdown accounting (docs/MULTICORE.md).
+MULTICORE = ServiceParams(n_clients=64, n_requests=600, workers=4)
 
 #: Accumulated machine-readable results, flushed by the module fixture.
 _RESULTS = {}
@@ -99,6 +103,33 @@ def test_closed_loop_generation_throughput(benchmark):
         rounds=3, iterations=1)
     assert len(trace) > 0
     _record("generate:service-closed-dv", benchmark, len(trace))
+
+
+def test_multicore_sharded_replay_throughput(benchmark):
+    # The workers=4 path: shard the trace per slot, replay every shard
+    # (serially here — REPRO_JOBS parallelism is host-dependent), and
+    # account the merged run.  Events counted once per measured event.
+    trace, _ws = generate_service_trace(MULTICORE)
+    plan = build_plan(MULTICORE)
+    shards = shard_by_worker(trace)
+    assert len(shards) == MULTICORE.workers
+
+    def replay():
+        return [replay_one(shard.trace, "mpk_virt", marks=shard.marks,
+                           n_cores=len(shards)) for shard in shards]
+
+    stats = benchmark.pedantic(replay, rounds=3, iterations=1)
+    summary = account_sharded(plan, shards, stats,
+                              frequency_hz=DEFAULT_CONFIG.processor
+                              .frequency_hz)
+    assert summary.cross_core_shootdown_cycles > 0
+    events = sum(len(shard.trace) for shard in shards)
+    _record("replay:mpk_virt-4core", benchmark, events,
+            served=summary.n_served,
+            p99_cycles=summary.p99,
+            throughput_rps=summary.throughput_rps,
+            cross_core_shootdown_cycles=summary
+            .cross_core_shootdown_cycles)
 
 
 def test_accounting_throughput(benchmark, generated):

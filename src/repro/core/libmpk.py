@@ -97,6 +97,12 @@ class LibmpkScheme(ProtectionScheme):
         n_threads = len(self.process.threads)
         self.stats.charge("tlb_invalidations",
                           cfg.tlb_invalidation_cycles * n_threads)
+        if self.n_cores > 1:
+            # Multi-core replay: the IPI broadcast above reached every
+            # core.  Attribute (not re-charge) the remote slice.
+            self.stats.cross_core_shootdowns += 1
+            self.stats.cross_core_shootdown_cycles += \
+                cfg.tlb_invalidation_cycles * (self.n_cores - 1)
         self.stats.tlb_entries_invalidated += killed
         if self._ev is not None:
             self._ev.emit("shootdown", domain=domain, killed=killed,

@@ -124,6 +124,12 @@ class MPKVirtScheme(ProtectionScheme):
         n_threads = len(self.process.threads)
         self.stats.charge("tlb_invalidations",
                           cfg.tlb_invalidation_cycles * n_threads)
+        if self.n_cores > 1:
+            # Multi-core replay: the broadcast above crossed core
+            # boundaries.  Attribute (not re-charge) the remote slice.
+            self.stats.cross_core_shootdowns += 1
+            self.stats.cross_core_shootdown_cycles += \
+                cfg.tlb_invalidation_cycles * (self.n_cores - 1)
         self.stats.tlb_entries_invalidated += killed
         self.stats.evictions += 1
         self.key_of_slot[key] = None

@@ -46,6 +46,16 @@ class ProtectionScheme:
     #: of hard-coded.  Known tags: ``multi_pmo`` (Figure 6/7, Table
     #: VII), ``single_pmo`` (Table V).
     registry_tags: Dict[str, int] = {}
+    #: Cores the surrounding machine runs — 1 for the classic whole-trace
+    #: replay, the worker count for a sharded multi-core replay (set by
+    #: ``ReplayEngine`` from its ``n_cores`` argument).  Key-remap TLB
+    #: shootdowns already broadcast to every *thread* (the paper's
+    #: ``286cy x cores`` bill); with ``n_cores > 1`` the schemes that pay
+    #: it additionally attribute the remote slice to
+    #: ``RunStats.cross_core_shootdowns`` / ``cross_core_shootdown_cycles``
+    #: — pure attribution, never an extra charge, so single-core totals
+    #: are untouched.
+    n_cores: int = 1
 
     def __init__(self, config: SimConfig, process: Process,
                  tlb: TwoLevelTLB, stats: RunStats):

@@ -117,8 +117,8 @@ def supports_fast_replay(config: SimConfig,
 
 def make_replay_engine(config: SimConfig, kernel: Kernel, process: Process,
                        scheme_class: Type[ProtectionScheme], *,
-                       attach_info: Optional[Dict[int, Tuple]] = None
-                       ) -> ReplayEngine:
+                       attach_info: Optional[Dict[int, Tuple]] = None,
+                       n_cores: int = 1) -> ReplayEngine:
     """Build the fastest replay engine that is exact for this run.
 
     Falls back to the reference interpreter when ``REPRO_FAST=0``, when
@@ -128,9 +128,9 @@ def make_replay_engine(config: SimConfig, kernel: Kernel, process: Process,
     if (fast_replay_enabled() and obs.active_events() is None
             and supports_fast_replay(config, scheme_class)):
         return FastReplayEngine(config, kernel, process, scheme_class,
-                                attach_info=attach_info)
+                                attach_info=attach_info, n_cores=n_cores)
     return ReplayEngine(config, kernel, process, scheme_class,
-                        attach_info=attach_info)
+                        attach_info=attach_info, n_cores=n_cores)
 
 
 def _cold_events(columns: tr.TraceColumns) -> List[tuple]:
@@ -167,9 +167,10 @@ class FastReplayEngine(ReplayEngine):
 
     def __init__(self, config: SimConfig, kernel: Kernel, process: Process,
                  scheme_class: Type[ProtectionScheme], *,
-                 attach_info: Optional[Dict[int, Tuple]] = None):
+                 attach_info: Optional[Dict[int, Tuple]] = None,
+                 n_cores: int = 1):
         super().__init__(config, kernel, process, scheme_class,
-                         attach_info=attach_info)
+                         attach_info=attach_info, n_cores=n_cores)
         self._kernel_kind = None
         for cls, kind in _KERNEL_OF.items():
             if scheme_class is cls:

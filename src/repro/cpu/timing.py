@@ -44,7 +44,8 @@ class ReplayEngine:
 
     def __init__(self, config: SimConfig, kernel: Kernel, process: Process,
                  scheme_class: Type[ProtectionScheme], *,
-                 attach_info: Optional[Dict[int, Tuple]] = None):
+                 attach_info: Optional[Dict[int, Tuple]] = None,
+                 n_cores: int = 1):
         self.config = config
         self.kernel = kernel
         self.process = process
@@ -64,6 +65,12 @@ class ReplayEngine:
             l2_ways=cache_cfg.l2_ways, l2_latency=cache_cfg.l2_latency)
         self.stats = RunStats()
         self.scheme = scheme_class(config, process, self.tlb, self.stats)
+        #: Cores of the surrounding machine (sharded multi-core replay
+        #: sets this to the worker count so schemes can attribute the
+        #: cross-core slice of their shootdown broadcasts; 1 — the
+        #: default — leaves every scheme's accounting untouched).
+        self.n_cores = max(1, int(n_cores))
+        self.scheme.n_cores = self.n_cores
 
     def run(self, trace: tr.Trace, *,
             marks: Optional[Sequence[int]] = None) -> RunStats:

@@ -135,6 +135,18 @@ class TraceColumns:
             out = self._replay_cache[key] = build()
         return out
 
+    def select(self, index: np.ndarray) -> "TraceColumns":
+        """A new column set holding the rows picked by ``index``.
+
+        ``index`` is anything numpy fancy indexing accepts (a boolean
+        mask or an integer index array).  The selection copies the five
+        columns; derived caches do not carry over — they are keyed to
+        the full event stream.
+        """
+        return TraceColumns(self.kinds[index], self.tids[index],
+                            self.icounts[index], self.operand_a[index],
+                            self.operand_b[index])
+
     # Derived caches are cheap to rebuild and can hold context-bound
     # state; ship only the raw columns across process boundaries.
     def __getstate__(self):
@@ -191,6 +203,22 @@ class Trace:
         if self._events is not None:
             return len(self._events)
         return len(self._columns)
+
+    def subset(self, index, label: str = "") -> "Trace":
+        """A new trace holding the events picked by ``index``.
+
+        ``index`` is a numpy boolean mask or integer index array over
+        the event stream.  The subset *shares* this trace's
+        ``attach_info`` and ``layout`` (replay contexts copy both before
+        mutating anything, so sharing is safe) — which is exactly what a
+        per-worker shard needs: the same process image, a filtered event
+        stream.  See :func:`repro.service.shard.shard_by_worker`.
+        """
+        columns = self.columns.select(index)
+        return Trace(attach_info=self.attach_info,
+                     total_instructions=int(columns.icounts.sum()),
+                     label=label or self.label, layout=self.layout,
+                     columns=columns)
 
     def counts(self) -> Dict[str, int]:
         """Histogram of event kinds (debugging/report aid)."""

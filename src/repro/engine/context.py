@@ -100,18 +100,29 @@ class ReplayContext:
 
     def replay(self, trace: Trace, scheme: str,
                config: Optional[SimConfig] = None, *,
-               marks: Optional[Sequence[int]] = None) -> RunStats:
-        """Replay ``trace`` under one scheme inside this context."""
+               marks: Optional[Sequence[int]] = None,
+               n_cores: int = 1) -> RunStats:
+        """Replay ``trace`` under one scheme inside this context.
+
+        ``n_cores`` is the size of the surrounding simulated machine:
+        a sharded multi-core replay runs each worker slot's shard
+        through its own context with ``n_cores`` set to the worker
+        count, so schemes attribute the cross-core slice of their
+        shootdown broadcasts.  The default (1) is the classic
+        whole-trace replay and changes nothing.
+        """
         config = config or DEFAULT_CONFIG
         engine = make_replay_engine(config, self.kernel, self.process,
                                     scheme_by_name(scheme),
-                                    attach_info=self.attach_info)
+                                    attach_info=self.attach_info,
+                                    n_cores=n_cores)
         return engine.run(trace, marks=marks)
 
 
 def replay_one(trace: Trace, scheme: str,
                config: Optional[SimConfig] = None, *,
-               marks: Optional[Sequence[int]] = None) -> RunStats:
+               marks: Optional[Sequence[int]] = None,
+               n_cores: int = 1) -> RunStats:
     """Replay one scheme in a freshly rebuilt context.
 
     This is the engine's isolation primitive: every call reconstructs
@@ -119,7 +130,8 @@ def replay_one(trace: Trace, scheme: str,
     or repeated calls cannot observe each other's mutations.
     """
     return ReplayContext.from_trace(trace).replay(trace, scheme, config,
-                                                  marks=marks)
+                                                  marks=marks,
+                                                  n_cores=n_cores)
 
 
 def _replay_item(item: Tuple[Trace, str, Optional[SimConfig]]) -> RunStats:

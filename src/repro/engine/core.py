@@ -28,7 +28,8 @@ from ..cpu.trace import Trace
 from ..sim.config import DEFAULT_CONFIG, SimConfig
 from ..sim.stats import RunStats
 from .cache import CacheStats, TraceCache
-from .executor import parallel_map, replay_jobs, worker_count
+from .executor import (TraceJob, parallel_map, replay_jobs,
+                       replay_trace_jobs, worker_count)
 from .job import ReplayJob, WorkloadSpec
 
 BASELINE = "baseline"
@@ -210,6 +211,48 @@ class Engine:
             stat.baseline_cycles = baseline.cycles
             cell[name] = stat
         return cell
+
+    def replay_shards(self, shards: Sequence, schemes: Iterable[str],
+                      config: Optional[SimConfig] = None, *,
+                      include_baseline: bool = True
+                      ) -> Dict[str, List[RunStats]]:
+        """Replay per-worker trace shards — one simulated core each.
+
+        ``shards`` is the slot-ordered output of
+        :func:`repro.service.shard.shard_by_worker`; every scheme (plus
+        the baseline) replays every shard with that shard's own marks,
+        and the whole (scheme x shard) grid fans out over the fork
+        executor — a 64-worker service run is a 64-way parallel replay.
+        Returns ``scheme -> [RunStats per slot, slot order]`` with each
+        shard's ``baseline_cycles`` wired from the same slot's baseline
+        replay.  Schemes see ``n_cores = len(shards)``, which is what
+        turns MPKV/libmpk key-remap invalidations into attributed
+        cross-core shootdown broadcasts (``docs/MULTICORE.md``).
+        """
+        config = config or self.config
+        shards = list(shards)
+        names = [name for name in dict.fromkeys(schemes) if name != BASELINE]
+        n_cores = len(shards)
+        grid = [TraceJob(trace=shard.trace, scheme=name, config=config,
+                         marks=tuple(int(m) for m in shard.marks),
+                         n_cores=n_cores, label=shard.trace.label)
+                for name in (BASELINE, *names)
+                for shard in shards]
+        ev = obs.active_events()
+        if ev is not None:
+            for job in grid:
+                ev.emit("job.submit", label=job.label, scheme=job.scheme)
+        stats = replay_trace_jobs(grid, jobs=self.jobs)
+        per_scheme: Dict[str, List[RunStats]] = {}
+        for i, name in enumerate((BASELINE, *names)):
+            per_scheme[name] = stats[i * n_cores:(i + 1) * n_cores]
+        baseline = per_scheme[BASELINE]
+        for name in names:
+            for stat, base in zip(per_scheme[name], baseline):
+                stat.baseline_cycles = base.cycles
+        if not include_baseline:
+            per_scheme.pop(BASELINE)
+        return per_scheme
 
     def replay_marked_keyed(self, spec: WorkloadSpec,
                             schemes: Iterable[str],

@@ -18,7 +18,8 @@ import multiprocessing
 import os
 import pathlib
 import time
-from typing import Callable, List, Optional, Sequence, TypeVar
+from typing import (Callable, List, NamedTuple, Optional, Sequence, Tuple,
+                    TypeVar)
 
 from .. import obs
 from ..sim.stats import RunStats
@@ -171,6 +172,80 @@ def _merge_batch_metrics(results: Sequence[RunStats], elapsed: float,
     if ev is not None:
         ev.report_metrics(registry)
         ev.flush()
+
+
+class TraceJob(NamedTuple):
+    """One shard replay shipped directly as a trace (no cache lookup).
+
+    Unlike :class:`~repro.engine.job.ReplayJob` — which names a cached
+    spec the worker re-loads — a trace job carries its (sub-)trace in
+    the item itself.  Trace shards are slices of an already-generated
+    service trace; they have no cache identity of their own, so the
+    parent ships them over the fork boundary (``TraceColumns`` pickles
+    as its five raw arrays).
+    """
+
+    trace: object
+    scheme: str
+    config: object
+    marks: Tuple[int, ...]
+    #: Cores of the surrounding simulated machine (the shard count);
+    #: schemes attribute cross-core shootdown slices when > 1.
+    n_cores: int
+    label: str
+
+
+def _run_trace_job(job: TraceJob) -> RunStats:
+    """Execute one shard replay (worker entry point).
+
+    Same obs wrapping as :func:`_run_job` — wall/CPU time and the
+    completion counter fold into ``RunStats.metrics`` so the parent's
+    :func:`_merge_batch_metrics` treats shard replays and cached-spec
+    replays identically.
+    """
+    from .context import replay_one
+    if not obs.enabled():
+        return replay_one(job.trace, job.scheme, job.config,
+                          marks=job.marks, n_cores=job.n_cores)
+    ev = obs.active_events()
+    if ev is not None:
+        ev.emit("job.replay", label=job.label, scheme=job.scheme)
+    wall0 = time.perf_counter()
+    cpu0 = time.process_time()
+    stats = replay_one(job.trace, job.scheme, job.config,
+                       marks=job.marks, n_cores=job.n_cores)
+    wall = time.perf_counter() - wall0
+    cpu = time.process_time() - cpu0
+    registry = obs.MetricsRegistry()
+    if stats.metrics:
+        registry.merge(stats.metrics)
+    registry.counter("engine.jobs.completed").inc()
+    registry.histogram("engine.job.wall_s").observe(wall)
+    registry.histogram("engine.job.cpu_s").observe(cpu)
+    stats.metrics = registry.as_dict()
+    if ev is not None:
+        ev.emit("job.done", label=job.label, scheme=job.scheme,
+                wall_s=round(wall, 6), cpu_s=round(cpu, 6))
+        ev.flush()
+    return stats
+
+
+def replay_trace_jobs(items: Sequence[TraceJob], *,
+                      jobs: Optional[int] = None) -> List[RunStats]:
+    """Run a batch of shard replays, fanning out over workers.
+
+    Results come back in item order; per-job obs metrics merge into the
+    parent registry through the same batch-merge path as
+    :func:`replay_jobs`.
+    """
+    items = list(items)
+    if not obs.enabled():
+        return parallel_map(_run_trace_job, items, jobs=jobs)
+    wall0 = time.perf_counter()
+    results = parallel_map(_run_trace_job, items, jobs=jobs)
+    _merge_batch_metrics(results, time.perf_counter() - wall0,
+                         worker_count(jobs))
+    return results
 
 
 def replay_jobs(jobs_list: Sequence[ReplayJob], *,

@@ -37,20 +37,22 @@ from __future__ import annotations
 
 import argparse
 import os
+import sys
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..core.schemes import SCHEME_ALIASES, resolve_scheme
 from ..errors import PkeyError
 from ..scenario import Scenario, compile_scenario
-from ..service import (ServiceSummary, account, batch_boundaries, build_plan,
-                       build_plan_keyed)
+from ..service import (ServiceSummary, account, account_sharded,
+                       batch_boundaries, build_plan, build_plan_keyed,
+                       shard_by_worker)
 from .reporting import format_table
 from .runner import ExperimentRunner
 
 __all__ = ["SCHEME_ALIASES", "resolve_scheme", "summaries_for_spec",
-           "run_service", "report_service", "main",
-           "DEFAULT_CLIENTS", "DEFAULT_SCHEMES",
-           "SMOKE_CLIENTS", "SMOKE_REQUESTS"]
+           "run_service", "report_service", "refuse_serialized_shards",
+           "main", "DEFAULT_CLIENTS", "DEFAULT_SCHEMES",
+           "SMOKE_CLIENTS", "SMOKE_REQUESTS", "ENV_SERIAL_SHARDS"]
 
 #: Client counts of the default sweep (one domain per client).
 DEFAULT_CLIENTS = (8, 64, 256, 1024)
@@ -62,11 +64,36 @@ SMOKE_CLIENTS = (6, 12)
 SMOKE_REQUESTS = 160
 
 
+def _accounted(engine, spec, plan, trace, canonical, config, frequency, *,
+               include_baseline=True):
+    """Replay canonical scheme names over one plan/trace and account them.
+
+    With one worker this is the classic path — one marked replay of the
+    whole trace per scheme.  With more, the trace splits into one shard
+    per worker slot (:func:`~repro.service.shard.shard_by_worker`), each
+    replaying on its own simulated core, and the per-shard results merge
+    back through :func:`~repro.service.latency.account_sharded` — the
+    path where MPKV/libmpk accrue cross-core shootdown attribution
+    (``docs/MULTICORE.md``).
+    """
+    if max(1, spec.params.workers) > 1:
+        shards = shard_by_worker(trace)
+        cell = engine.replay_shards(shards, canonical, config,
+                                    include_baseline=include_baseline)
+        return {name: account_sharded(plan, shards, cell[name],
+                                      frequency_hz=frequency)
+                for name in canonical}
+    marks = batch_boundaries(trace)
+    cell = engine.replay_marked(spec, canonical, marks, config,
+                                include_baseline=include_baseline)
+    return {name: account(plan, trace, cell[name], frequency_hz=frequency)
+            for name in canonical}
+
+
 def _summaries_nominal(engine, spec, names, config, frequency):
     """One shared schedule/trace, every scheme re-timed onto it."""
     plan = build_plan(spec.params)
     trace = engine.trace_for(spec)
-    marks = batch_boundaries(trace)
     row: Dict[str, Optional[ServiceSummary]] = {}
     # Plain MPK faults once the trace's domains outrun the 16 hardware
     # keys (pools plus the runtime's own regions), so it always replays
@@ -74,17 +101,16 @@ def _summaries_nominal(engine, spec, names, config, frequency):
     fragile = [n for n in names if resolve_scheme(n) == "mpk"]
     sturdy = [n for n in names if n not in fragile]
     if sturdy:
-        cell = engine.replay_marked(
-            spec, [resolve_scheme(n) for n in sturdy], marks, config)
+        cell = _accounted(engine, spec, plan, trace,
+                          [resolve_scheme(n) for n in sturdy], config,
+                          frequency)
         for name in sturdy:
-            row[name] = account(plan, trace, cell[resolve_scheme(name)],
-                                frequency_hz=frequency)
+            row[name] = cell[resolve_scheme(name)]
     for name in fragile:
         try:
-            cell = engine.replay_marked(spec, ["mpk"], marks, config,
-                                        include_baseline=False)
-            row[name] = account(plan, trace, cell["mpk"],
-                                frequency_hz=frequency)
+            cell = _accounted(engine, spec, plan, trace, ["mpk"], config,
+                              frequency, include_baseline=False)
+            row[name] = cell["mpk"]
         except PkeyError:
             row[name] = None
     engine.release(spec)
@@ -96,6 +122,27 @@ def _summaries_keyed(engine, spec, names, config, frequency):
     row: Dict[str, Optional[ServiceSummary]] = {}
     fragile = [n for n in names if resolve_scheme(n) == "mpk"]
     sturdy = [n for n in names if n not in fragile]
+
+    if max(1, spec.params.workers) > 1:
+        # Sharded replay goes variant by variant: each scheme's keyed
+        # trace splits into its own per-worker shards.
+        def keyed_sharded(name: str) -> ServiceSummary:
+            canonical = resolve_scheme(name)
+            vspec = spec.keyed(canonical)
+            plan = build_plan_keyed(spec.params, canonical)
+            cell = _accounted(engine, vspec, plan, engine.trace_for(vspec),
+                              [canonical], config, frequency)
+            engine.release(vspec)
+            return cell[canonical]
+
+        for name in sturdy:
+            row[name] = keyed_sharded(name)
+        for name in fragile:
+            try:
+                row[name] = keyed_sharded(name)
+            except PkeyError:
+                row[name] = None
+        return row
 
     def account_keyed(name: str, stats) -> ServiceSummary:
         canonical = resolve_scheme(name)
@@ -193,18 +240,19 @@ def report_service(runner: Optional[ExperimentRunner] = None, *,
                    **overrides) -> str:
     data = run_service(runner, clients=clients, schemes=schemes, **overrides)
     headers = ["Clients", "Scheme", "Served", "Rejected", "Batches",
-               "Switches", "Busy %", "p50 (cyc)", "p95 (cyc)", "p99 (cyc)",
-               "Throughput (req/s)"]
+               "Switches", "XCore (cyc)", "Busy %", "p50 (cyc)",
+               "p95 (cyc)", "p99 (cyc)", "Throughput (req/s)"]
     rows: List[List[object]] = []
     for n_clients, per_scheme in data.items():
         for name, summary in per_scheme.items():
             if summary is None:
                 rows.append([n_clients, name, "-", "-", "-", "-", "-", "-",
-                             "-", "-", "FAIL (16-key limit)"])
+                             "-", "-", "-", "FAIL (16-key limit)"])
                 continue
             rows.append([
                 n_clients, name, summary.n_served, summary.n_rejected,
                 summary.n_batches, summary.perm_switches,
+                summary.cross_core_shootdown_cycles,
                 round(100.0 * summary.busy_fraction, 1),
                 summary.p50, summary.p95, summary.p99,
                 summary.throughput_rps])
@@ -220,6 +268,39 @@ def report_service(runner: Optional[ExperimentRunner] = None, *,
 
 
 # -- CLI ---------------------------------------------------------------------------
+
+#: Opt-in: accept ``--workers N`` beyond ``REPRO_JOBS`` and replay the
+#: shards serially in one process (same results, no parallel speedup).
+ENV_SERIAL_SHARDS = "REPRO_SERIAL_SHARDS"
+
+
+def refuse_serialized_shards(workers: int) -> Optional[str]:
+    """The error message refusing an under-provisioned multi-core run.
+
+    A ``workers > 1`` service run replays one trace shard per worker
+    slot, fanned out over the ``REPRO_JOBS`` fork pool — the whole point
+    is that a 64-worker service run is a 64-way parallel replay.  When
+    the pool is smaller than the shard count, the shards still replay
+    correctly (results are executor-independent) but serialize silently,
+    so the CLI refuses unless ``REPRO_SERIAL_SHARDS=1`` opts in to the
+    documented fallback (``docs/MULTICORE.md``).  Returns ``None`` when
+    the configuration is fine.
+    """
+    from ..engine.executor import worker_count
+    jobs = worker_count(None)
+    if workers <= 1 or workers <= jobs:
+        return None
+    raw = os.environ.get(ENV_SERIAL_SHARDS, "").strip().lower()
+    if raw not in ("", "0", "false", "off", "no"):
+        return None
+    return (
+        f"error: --workers {workers} exceeds the replay pool "
+        f"(REPRO_JOBS={jobs}); the per-worker shards would replay "
+        f"serially in one process.\n"
+        f"Set REPRO_JOBS>={workers} to run one shard per process, or "
+        f"set REPRO_SERIAL_SHARDS=1 to accept serialized shard replay "
+        f"(identical results, no parallel speedup) — see "
+        f"docs/MULTICORE.md.")
 
 
 def _csv_ints(raw: str) -> Tuple[int, ...]:
@@ -282,6 +363,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     if args.pattern is not None:
         overrides["pattern"] = args.pattern
     if args.workers is not None:
+        if args.workers < 1:
+            parser.error(f"--workers must be >= 1, got {args.workers}")
+        error = refuse_serialized_shards(args.workers)
+        if error:
+            print(error, file=sys.stderr)
+            return 2
         overrides["workers"] = args.workers
     if args.batching is not None:
         overrides["batching"] = args.batching

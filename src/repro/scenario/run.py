@@ -158,7 +158,8 @@ def _service_report(compiled: CompiledScenario,
     metric queueing punishes first)."""
     from ..experiments.reporting import format_table
     headers = ["Cell", "Rank", "Scheme", "Served", "Rejected", "Batches",
-               "p50 (cyc)", "p95 (cyc)", "p99 (cyc)", "Throughput (req/s)"]
+               "XCore (cyc)", "p50 (cyc)", "p95 (cyc)", "p99 (cyc)",
+               "Throughput (req/s)"]
     rows: List[List[object]] = []
     for cell, summaries in outcomes:
         ranked = sorted(
@@ -168,12 +169,13 @@ def _service_report(compiled: CompiledScenario,
         for rank, name in enumerate(ranked, start=1):
             summary = summaries[name]
             rows.append([cell.label, rank, name, summary.n_served,
-                         summary.n_rejected, summary.n_batches, summary.p50,
+                         summary.n_rejected, summary.n_batches,
+                         summary.cross_core_shootdown_cycles, summary.p50,
                          summary.p95, summary.p99, summary.throughput_rps])
         for name in compiled.schemes:
             if summaries.get(name) is None:
                 rows.append([cell.label, "-", name, "-", "-", "-", "-", "-",
-                             "-", "FAIL (16-key limit)"])
+                             "-", "-", "FAIL (16-key limit)"])
     return format_table(f"{_title(compiled)} — scheme leaderboard by p99",
                         headers, rows)
 

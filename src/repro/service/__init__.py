@@ -15,6 +15,9 @@ This package makes that server an executable, measurable workload:
   (and the true closed loop) get one deterministic plan per scheme;
 * :mod:`~repro.service.server` — executes the plan into an ordinary
   replayable trace (one SETPERM window per batch, deny-by-default);
+* :mod:`~repro.service.shard` — splits a service trace into per-worker
+  shards so each slot replays on its own simulated core
+  (``docs/MULTICORE.md``);
 * :mod:`~repro.service.latency` — re-times marked replays onto
   per-worker wall clocks into per-request latency and
   p50/p95/p99/throughput summaries.
@@ -26,11 +29,13 @@ from .batching import (Batch, CalibratedClock, DispatchClock, NominalClock,
                        ServicePlan, build_plan)
 from .closed import (build_plan_keyed, generate_service_trace_keyed,
                      scheme_clock)
-from .latency import ServiceSummary, account, served_batches
+from .latency import (ServiceSummary, account, account_sharded,
+                      served_batches)
 from .params import ARRIVALS, BATCHINGS, DISPATCHES, PATTERNS, \
     ServiceParams, nominal_request_cycles
 from .server import BatchMark, ServiceWorkload, batch_boundaries, \
     batch_markers, generate_service_trace, worker_slots
+from .shard import TraceShard, shard_by_worker
 from .traffic import Request, generate_requests, rate_multiplier
 
 __all__ = [
@@ -48,7 +53,9 @@ __all__ = [
     "ServicePlan",
     "ServiceSummary",
     "ServiceWorkload",
+    "TraceShard",
     "account",
+    "account_sharded",
     "batch_boundaries",
     "batch_markers",
     "build_plan",
@@ -60,5 +67,6 @@ __all__ = [
     "rate_multiplier",
     "scheme_clock",
     "served_batches",
+    "shard_by_worker",
     "worker_slots",
 ]

@@ -99,6 +99,14 @@ class ServiceSummary:
     #: Dispatch-simulation iterations behind the plan (see
     #: :class:`~repro.service.batching.ServicePlan`).
     loop_iterations: int = 0
+    #: Key-remap shootdown broadcasts that crossed core boundaries, and
+    #: the cycles those broadcasts spent on *other* cores — nonzero only
+    #: for multi-core (sharded) replays of schemes that interrupt every
+    #: core on a remap (MPKV/libmpk); always zero for domain
+    #: virtualization.  Attribution, not extra cost: the cycles are part
+    #: of the ``tlb_invalidations`` bucket already inside ``cycles``.
+    cross_core_shootdowns: int = 0
+    cross_core_shootdown_cycles: float = 0.0
     stats: Optional[RunStats] = None
 
     @property
@@ -141,6 +149,8 @@ class ServiceSummary:
             "worker_busy_cycles": {str(slot): self.worker_busy[slot]
                                    for slot in sorted(self.worker_busy)},
             "loop_iterations": self.loop_iterations,
+            "cross_core_shootdowns": self.cross_core_shootdowns,
+            "cross_core_shootdown_cycles": self.cross_core_shootdown_cycles,
             "latency_cycles": {"mean": self.mean_latency, "p50": self.p50,
                                "p95": self.p95, "p99": self.p99,
                                "max": self.latency.max},
@@ -196,7 +206,98 @@ def account(plan: ServicePlan, trace: Trace, stats: RunStats, *,
         latency=latency,
         worker_busy={slot: busy[slot] for slot in sorted(busy)},
         loop_iterations=plan.loop_iterations,
+        cross_core_shootdowns=stats.cross_core_shootdowns,
+        cross_core_shootdown_cycles=stats.cross_core_shootdown_cycles,
         stats=stats)
+    _publish(summary, plan)
+    return summary
+
+
+def account_sharded(plan: ServicePlan, shards, shard_stats, *,
+                    frequency_hz: float) -> ServiceSummary:
+    """Turn per-shard marked replays into one :class:`ServiceSummary`.
+
+    ``shards`` is the slot-ordered output of
+    :func:`repro.service.shard.shard_by_worker` and ``shard_stats`` the
+    slot-aligned :class:`RunStats` list one scheme got back from
+    :meth:`repro.engine.core.Engine.replay_shards`.  Each shard's mark
+    clock runs on its own simulated core, so the k-th inter-mark delta
+    of slot w is directly the service duration of that slot's k-th batch
+    — the wall-clock recurrence is the same as :func:`account`'s, just
+    fed per slot instead of through the interleaved marker order:
+
+    ``W_w = max(W_w, latest member arrival) + (C_k - C_{k-1})``
+
+    With one worker the shard *is* the whole trace and the recurrence
+    walks the identical batch/mark sequence with the identical float
+    operations, so the summary (and the merged ``RunStats``) is
+    bit-identical to the unsharded path — the differential anchor.  At
+    ``workers > 1`` latency samples arrive grouped by slot rather than
+    in marker-interleaved order; the histogram's percentiles are
+    order-independent, so only the raw sample order differs.
+
+    The merged replay statistics (``summary.stats``) sum the per-core
+    runs in slot order (:func:`~repro.sim.stats.merge_run_stats`);
+    busy-cycle conservation — per-slot busy sums equal each shard's
+    final mark clock, and their total equals the merged totals' share —
+    is pinned by ``tests/service/test_multicore.py``.
+    """
+    from ..sim.stats import merge_run_stats
+    shards = list(shards)
+    shard_stats = list(shard_stats)
+    if len(shards) != len(shard_stats):
+        raise SimulationError(
+            f"{len(shard_stats)} shard replays for {len(shards)} shards")
+    partitions: Dict[int, List[Batch]] = {}
+    for batch in plan.batches:
+        partitions.setdefault(batch.worker, []).append(batch)
+
+    latency = Histogram()
+    walls: Dict[int, float] = {}
+    busy: Dict[int, float] = {}
+    for shard, stats in zip(shards, shard_stats):
+        partition = partitions.get(shard.slot, [])
+        if stats.mark_cycles is None and partition:
+            raise SimulationError(
+                f"shard {shard.slot} RunStats has no mark_cycles; replay "
+                f"with the shard's marks")
+        marks = stats.mark_cycles or []
+        if len(marks) != len(partition):
+            raise SimulationError(
+                f"shard {shard.slot}: {len(marks)} marks for "
+                f"{len(partition)} planned batches")
+        previous = 0.0
+        for batch, elapsed in zip(partition, marks):
+            delta = elapsed - previous
+            previous = elapsed
+            ready = max(request.arrival for request in batch.requests)
+            done = max(walls.get(batch.worker, 0.0), ready) + delta
+            walls[batch.worker] = done
+            busy[batch.worker] = busy.get(batch.worker, 0.0) + delta
+            for request in batch.requests:
+                latency.observe(done - request.arrival)
+    wall = max(walls.values()) if walls else 0.0
+
+    merged = merge_run_stats(shard_stats)
+    served = plan.n_served
+    throughput = served * frequency_hz / wall if wall > 0 else 0.0
+    summary = ServiceSummary(
+        scheme=merged.scheme,
+        n_offered=served + len(plan.rejected),
+        n_served=served,
+        n_rejected=len(plan.rejected),
+        n_batches=len(plan.batches),
+        coalesced=plan.coalesced,
+        perm_switches=merged.perm_switches,
+        cycles=merged.cycles,
+        wall_cycles=wall,
+        throughput_rps=throughput,
+        latency=latency,
+        worker_busy={slot: busy[slot] for slot in sorted(busy)},
+        loop_iterations=plan.loop_iterations,
+        cross_core_shootdowns=merged.cross_core_shootdowns,
+        cross_core_shootdown_cycles=merged.cross_core_shootdown_cycles,
+        stats=merged)
     _publish(summary, plan)
     return summary
 
@@ -211,6 +312,10 @@ def _publish(summary: ServiceSummary, plan: ServicePlan) -> None:
         registry.counter("service.batches").inc(summary.n_batches)
         registry.counter("service.loop_iterations").inc(
             summary.loop_iterations)
+        registry.counter("service.cross_core_shootdowns").inc(
+            summary.cross_core_shootdowns)
+        registry.counter("service.cross_core_shootdown_cycles").inc(
+            int(round(summary.cross_core_shootdown_cycles)))
         registry.histogram("service.latency_cycles").merge(
             summary.latency.as_dict())
         busy = registry.histogram("service.worker_busy_cycles")

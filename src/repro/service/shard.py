@@ -1,0 +1,99 @@
+"""Per-worker trace shards — one simulated core per worker slot.
+
+The service replay historically interleaved every worker through *one*
+simulated core: one TLB, one cache hierarchy, one DTTLB/PTLB.  That
+keeps per-worker wall-clock accounting exact but hides the paper's
+multi-core story — key-remap TLB shootdowns on MPKV/libmpk are
+broadcasts whose cost scales with the core count, while domain
+virtualization never interrupts another core.
+
+:func:`shard_by_worker` splits a service trace into one shard per
+worker slot, each an ordinary replayable :class:`~repro.cpu.trace.Trace`
+over the same process image (shared ``attach_info``/``layout`` —
+replay contexts copy both before mutating anything):
+
+* a slot's shard keeps its own thread's measured events — LOAD/STORE/
+  FETCH and PERM switches;
+* the uncharged setup events — INIT_PERM, ATTACH, DETACH — are kept in
+  **every** shard for all threads, so each core starts from the complete
+  deny-by-default permission state and the full attach roster (and
+  :func:`~repro.service.server.worker_slots` still recovers the global
+  slot order from any shard);
+* CTXSW events are dropped entirely: each shard is one thread running
+  alone on its own core, so there is nothing to context-switch.
+
+Each shard carries its slot's batch-completion marks re-indexed into
+the shard's own event stream, so a marked replay of the shard snapshots
+exactly the batches that slot served — on that core's private clock.
+
+With one worker slot the "split" returns the original trace object
+unchanged (same marks, same replay caches), which is what makes the
+``workers=1`` sharded path bit-identical to the classic single-core
+replay — the differential anchor ``tests/service/test_multicore.py``
+pins.  See ``docs/MULTICORE.md`` for the whole model.
+"""
+
+from __future__ import annotations
+
+from typing import List, NamedTuple
+
+import numpy as np
+
+from ..cpu.trace import ATTACH, CTXSW, DETACH, INIT_PERM, Trace
+from ..errors import SimulationError
+from .server import batch_markers, worker_slots
+
+
+class TraceShard(NamedTuple):
+    """One worker slot's view of a service trace."""
+
+    #: Worker slot (0-based) this shard belongs to.
+    slot: int
+    #: The shard's event stream (the full trace when there is one slot).
+    trace: Trace
+    #: Batch-completion marks re-indexed into the shard's event stream,
+    #: in the order the slot served them.
+    marks: List[int]
+
+
+def shard_by_worker(trace: Trace) -> List[TraceShard]:
+    """Split a service trace into per-worker-slot shards, slot order.
+
+    Memoized on the trace's columns, so every scheme replaying the same
+    trace shares one split.  A single-slot trace comes back as itself —
+    no copy, no re-indexing — so the one-worker path is the unsharded
+    replay, byte for byte.
+    """
+    columns = trace.columns
+
+    def build() -> List[TraceShard]:
+        slots = worker_slots(trace)
+        if not slots:
+            raise SimulationError(
+                "trace has no INIT_PERM roster — not a service trace")
+        markers = batch_markers(trace)
+        if len(slots) == 1:
+            return [TraceShard(slot=0, trace=trace,
+                               marks=[m.index for m in markers])]
+        kinds = columns.kinds
+        tids = columns.tids
+        # Setup events every core needs; CTXSW excluded — one thread
+        # per core means nothing ever switches in.
+        setup = (kinds == INIT_PERM) | (kinds == ATTACH) | (kinds == DETACH)
+        measured = ~setup & (kinds != CTXSW)
+        shards: List[TraceShard] = []
+        for tid, slot in sorted(slots.items(), key=lambda item: item[1]):
+            keep = setup | (measured & (tids == tid))
+            # A kept event at original index i lands at shard index
+            # positions[i] - 1; a marker "just after" original index
+            # m.index - 1 therefore lands just after shard index
+            # positions[m.index - 1] - 1, i.e. at positions[m.index - 1].
+            positions = np.cumsum(keep, dtype=np.int64)
+            marks = [int(positions[marker.index - 1])
+                     for marker in markers if marker.worker == slot]
+            shard = trace.subset(keep,
+                                 label=f"{trace.label}/shard{slot}")
+            shards.append(TraceShard(slot=slot, trace=shard, marks=marks))
+        return shards
+
+    return columns.replay_cache(("service.shards",), build)

@@ -55,6 +55,13 @@ class RunStats:
     tlb_entries_invalidated: int = 0
     pte_rewrites: int = 0
     protection_faults: int = 0
+    #: Shootdown broadcasts that had to cross core boundaries (multi-core
+    #: replay only: schemes with ``n_cores > 1`` count each key-remap
+    #: TLB-invalidation broadcast here).  Attribution, not extra cost —
+    #: the cycles below are the slice of the ``tlb_invalidations`` bucket
+    #: spent on *other* cores, already charged there.
+    cross_core_shootdowns: int = 0
+    cross_core_shootdown_cycles: float = 0.0
     buckets: Dict[str, float] = field(
         default_factory=lambda: {name: 0.0 for name in OVERHEAD_BUCKETS})
     #: Observability payload (``repro.obs``): a MetricsRegistry export
@@ -128,6 +135,8 @@ class RunStats:
             "pte_rewrites": self.pte_rewrites,
             "protection_faults": self.protection_faults,
             "context_switches": self.context_switches,
+            "cross_core_shootdowns": self.cross_core_shootdowns,
+            "cross_core_shootdown_cycles": self.cross_core_shootdown_cycles,
             "buckets": dict(self.buckets),
         }
         if base:
@@ -158,3 +167,54 @@ class RunStats:
             lines.append("  buckets: " + ", ".join(
                 f"{k}={v:.0f}" for k, v in sorted(nonzero.items())))
         return "\n".join(lines)
+
+
+#: Integer event counters summed field-by-field by :func:`merge_run_stats`.
+_MERGE_COUNTERS = (
+    "instructions", "loads", "stores", "pmo_accesses", "perm_switches",
+    "tlb_l1_hits", "tlb_l2_hits", "tlb_misses", "context_switches",
+    "evictions", "dttlb_misses", "ptlb_misses_count",
+    "tlb_entries_invalidated", "pte_rewrites", "protection_faults",
+    "cross_core_shootdowns",
+)
+
+
+def merge_run_stats(shards: List[RunStats]) -> RunStats:
+    """Fold per-shard replay statistics into one whole-run total.
+
+    Multi-core replay runs each worker slot's trace shard on its own
+    simulated core; the merged view sums every event counter, cycle total
+    and overhead bucket across the shards **in slot order** — a fixed
+    float-addition order, so the merge is deterministic.  Per-shard obs
+    metrics merge through the same :class:`~repro.obs.metrics`
+    machinery the fork executor uses.  ``mark_cycles`` stays unset: the
+    per-shard mark clocks live on per-core timelines and only make sense
+    shard by shard (the service layer consumes them per slot before
+    merging).
+    """
+    if not shards:
+        raise ValueError("merge_run_stats needs at least one shard")
+    merged = RunStats(scheme=shards[0].scheme)
+    registry = None
+    for stats in shards:
+        if stats.scheme != merged.scheme:
+            raise ValueError(
+                f"cannot merge shards of different schemes "
+                f"({merged.scheme!r} vs {stats.scheme!r})")
+        merged.cycles += stats.cycles
+        merged.baseline_cycles += stats.baseline_cycles
+        merged.cross_core_shootdown_cycles += \
+            stats.cross_core_shootdown_cycles
+        for name in _MERGE_COUNTERS:
+            setattr(merged, name, getattr(merged, name) + getattr(stats,
+                                                                  name))
+        for bucket, cycles in stats.buckets.items():
+            merged.buckets[bucket] = merged.buckets.get(bucket, 0.0) + cycles
+        if stats.metrics is not None:
+            if registry is None:
+                from ..obs.metrics import MetricsRegistry
+                registry = MetricsRegistry()
+            registry.merge(stats.metrics)
+    if registry is not None:
+        merged.metrics = registry.as_dict()
+    return merged

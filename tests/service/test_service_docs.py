@@ -1,0 +1,61 @@
+"""docs/SERVICE.md's metric contract must match the obs schema.
+
+Same discipline as ``tests/obs/test_schema_docs.py``, scoped to the
+service layer: the "Metric contract" section of ``docs/SERVICE.md``
+claims to enumerate the complete ``service.*`` namespace, and
+``docs/MULTICORE.md`` documents the cross-core counters by name.  Both
+are diffed against :data:`repro.obs.schema.METRICS` so neither doc can
+drift from the code.
+"""
+
+import re
+from pathlib import Path
+
+from repro.obs import schema
+
+DOCS = Path(__file__).resolve().parents[2] / "docs"
+
+_NAME = re.compile(r"`(service\.[a-z_.]+)`")
+
+
+def _documented_names(doc):
+    text = (DOCS / doc).read_text()
+    return set(_NAME.findall(text)) - {"service.run"}  # event, not metric
+
+
+def _schema_names():
+    return {name for name in schema.METRICS if name.startswith("service.")}
+
+
+class TestServiceMetricContract:
+    def test_service_md_lists_the_exact_namespace(self):
+        assert _documented_names("SERVICE.md") == _schema_names()
+
+    def test_multicore_md_names_exist_in_schema(self):
+        documented = _documented_names("MULTICORE.md")
+        assert documented, "MULTICORE.md documents no service metrics"
+        assert documented <= _schema_names()
+
+    def test_cross_core_counters_are_in_both(self):
+        expected = {"service.cross_core_shootdowns",
+                    "service.cross_core_shootdown_cycles"}
+        assert expected <= _schema_names()
+        assert expected <= _documented_names("SERVICE.md")
+        assert expected <= _documented_names("MULTICORE.md")
+
+    def test_schema_types_match_the_prose(self):
+        # The doc groups names under "counters", "histogram", "gauge"
+        # bullets; every name in a bullet must carry that type in the
+        # schema.
+        text = (DOCS / "SERVICE.md").read_text()
+        contract = text.split("## Metric contract", 1)[1]
+        contract = contract.split("## Determinism", 1)[0]
+        for bullet in re.split(r"\n\* ", contract):
+            kind = next((t for t in ("counter", "histogram", "gauge")
+                         if bullet.lstrip().startswith(t)), None)
+            if kind is None:
+                continue
+            for name in _NAME.findall(bullet):
+                if name == "service.run":
+                    continue
+                assert schema.METRICS[name][0] == kind, name

@@ -12,6 +12,7 @@ and modelled server performance from one artifact.
 
 import json
 import pathlib
+from dataclasses import replace
 
 import pytest
 
@@ -29,6 +30,11 @@ CLOSED = ServiceParams(n_clients=16, n_requests=200, arrival="closed",
 #: Multi-core replay: four worker slots, sharded onto four simulated
 #: cores with cross-core shootdown accounting (docs/MULTICORE.md).
 MULTICORE = ServiceParams(n_clients=64, n_requests=600, workers=4)
+#: Scheduler overhead: the same cell planned with the full control loop
+#: engaged — SLO valve, affinity selection, epoch rebalancing
+#: (docs/SCHEDULING.md) — gated against the static planner's entry.
+SCHED = replace(MULTICORE, pattern="churn", sched_policy="slo_adaptive",
+                slo_p99_cycles=20000.0, sched_epoch_batches=16)
 
 #: Accumulated machine-readable results, flushed by the module fixture.
 _RESULTS = {}
@@ -130,6 +136,30 @@ def test_multicore_sharded_replay_throughput(benchmark):
             throughput_rps=summary.throughput_rps,
             cross_core_shootdown_cycles=summary
             .cross_core_shootdown_cycles)
+
+
+def test_static_planning_throughput(benchmark):
+    # The dispatch simulation alone (no trace, no replay): the baseline
+    # the scheduler entry below is compared against.
+    plan = benchmark.pedantic(lambda: build_plan(MULTICORE), rounds=3,
+                              iterations=1)
+    offered = plan.n_served + len(plan.rejected) + len(plan.shed)
+    assert plan.epochs == 0
+    _record("plan:static-4w", benchmark, offered)
+
+
+def test_sched_policy_planning_throughput(benchmark):
+    # Scheduler overhead: the identical cell planned under the heaviest
+    # policy — rolling p99 window, backlog estimator, affinity-first
+    # selection, epoch rebalancing.  The regression gate holds this
+    # within the usual threshold of its committed baseline, so the
+    # control loop cannot quietly become super-linear in the queue.
+    plan = benchmark.pedantic(lambda: build_plan(SCHED), rounds=3,
+                              iterations=1)
+    offered = plan.n_served + len(plan.rejected) + len(plan.shed)
+    assert plan.epochs > 0
+    _record("plan:slo_adaptive-4w", benchmark, offered,
+            migrations=plan.migrations, shed=len(plan.shed))
 
 
 def test_accounting_throughput(benchmark, generated):

@@ -42,7 +42,9 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..core.schemes import SCHEME_ALIASES, resolve_scheme
 from ..errors import PkeyError
+from ..registry import RegistryKeyError
 from ..scenario import Scenario, compile_scenario
+from ..scenario.spec import ScenarioError
 from ..service import (ServiceSummary, account, account_sharded,
                        batch_boundaries, build_plan, build_plan_keyed,
                        shard_by_worker)
@@ -239,31 +241,37 @@ def report_service(runner: Optional[ExperimentRunner] = None, *,
                    schemes: Sequence[str] = DEFAULT_SCHEMES,
                    **overrides) -> str:
     data = run_service(runner, clients=clients, schemes=schemes, **overrides)
-    headers = ["Clients", "Scheme", "Served", "Rejected", "Batches",
-               "Switches", "XCore (cyc)", "Busy %", "p50 (cyc)",
-               "p95 (cyc)", "p99 (cyc)", "Throughput (req/s)"]
+    headers = ["Clients", "Scheme", "Served", "Rejected", "Shed",
+               "Batches", "Switches", "XCore (cyc)", "Busy %", "Fair",
+               "SLO %", "p50 (cyc)", "p95 (cyc)", "p99 (cyc)",
+               "Throughput (req/s)"]
     rows: List[List[object]] = []
     for n_clients, per_scheme in data.items():
         for name, summary in per_scheme.items():
             if summary is None:
                 rows.append([n_clients, name, "-", "-", "-", "-", "-", "-",
-                             "-", "-", "-", "FAIL (16-key limit)"])
+                             "-", "-", "-", "-", "-", "-",
+                             "FAIL (16-key limit)"])
                 continue
             rows.append([
                 n_clients, name, summary.n_served, summary.n_rejected,
-                summary.n_batches, summary.perm_switches,
+                summary.n_shed, summary.n_batches, summary.perm_switches,
                 summary.cross_core_shootdown_cycles,
                 round(100.0 * summary.busy_fraction, 1),
+                round(summary.fairness, 3),
+                round(100.0 * summary.slo_attainment, 1),
                 summary.p50, summary.p95, summary.p99,
                 summary.throughput_rps])
     loop = overrides.get("arrival", "open")
     dispatch = overrides.get("dispatch", "nominal")
     pattern = overrides.get("pattern", "poisson")
     workers = overrides.get("workers", 1)
+    policy = overrides.get("sched_policy", "static")
     return format_table(
         f"Service: multi-tenant PMO serving (one domain per client, "
         f"{loop} loop, {dispatch} dispatch, {pattern} arrivals, "
-        f"{workers} worker{'s' if workers != 1 else ''})",
+        f"{workers} worker{'s' if workers != 1 else ''}, "
+        f"{policy} policy)",
         headers, rows)
 
 
@@ -336,11 +344,22 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                         help="dispatch clock: nominal = one fixed schedule "
                              "for all schemes; replay = per-scheme "
                              "calibrated schedules")
-    from ..service.arrivals import pattern_names
-    parser.add_argument("--arrivals", choices=tuple(pattern_names()),
-                        default=None, dest="pattern",
+    parser.add_argument("--arrivals", default=None, dest="pattern",
+                        metavar="PATTERN",
                         help="arrival-rate pattern over time (from the "
-                             "arrival-pattern registry)")
+                             "arrival-pattern registry; unknown names "
+                             "print the registered roster)")
+    parser.add_argument("--policy", default=None, dest="sched_policy",
+                        metavar="POLICY",
+                        help="scheduling policy (from the sched-policy "
+                             "registry: static, weighted_fair, "
+                             "slo_adaptive, plugins; unknown names print "
+                             "the registered roster)")
+    parser.add_argument("--slo", type=float, default=None,
+                        dest="slo_p99_cycles", metavar="CYCLES",
+                        help="p99 SLO target in cycles for the adaptive "
+                             "policy's shedding valve and the "
+                             "SLO-attainment column (0 = no SLO)")
     parser.add_argument("--workers", type=int, default=None,
                         help="worker threads serving batches")
     parser.add_argument("--arrival", choices=("open", "closed"),
@@ -362,6 +381,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         overrides["dispatch"] = args.dispatch
     if args.pattern is not None:
         overrides["pattern"] = args.pattern
+    if args.sched_policy is not None:
+        overrides["sched_policy"] = args.sched_policy
+    if args.slo_p99_cycles is not None:
+        if args.slo_p99_cycles < 0:
+            parser.error(f"--slo must be >= 0, got {args.slo_p99_cycles}")
+        overrides["slo_p99_cycles"] = args.slo_p99_cycles
     if args.workers is not None:
         if args.workers < 1:
             parser.error(f"--workers must be >= 1, got {args.workers}")
@@ -379,8 +404,16 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         if args.clients is DEFAULT_CLIENTS:
             args.clients = SMOKE_CLIENTS
         overrides.setdefault("n_requests", SMOKE_REQUESTS)
-    print(report_service(clients=args.clients, schemes=args.schemes,
-                         **overrides))
+    try:
+        report = report_service(clients=args.clients, schemes=args.schemes,
+                                **overrides)
+    except (RegistryKeyError, ScenarioError, ValueError) as error:
+        # Unknown plugin names (scheme, arrival pattern, scheduling
+        # policy) all carry the registered roster in their message —
+        # print it like the scenario CLI does instead of a traceback.
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    print(report)
     return 0
 
 

@@ -157,9 +157,9 @@ def _service_report(compiled: CompiledScenario,
     """Per-cell scheme leaderboard, ranked by p99 latency (the serving
     metric queueing punishes first)."""
     from ..experiments.reporting import format_table
-    headers = ["Cell", "Rank", "Scheme", "Served", "Rejected", "Batches",
-               "XCore (cyc)", "p50 (cyc)", "p95 (cyc)", "p99 (cyc)",
-               "Throughput (req/s)"]
+    headers = ["Cell", "Rank", "Scheme", "Served", "Rejected", "Shed",
+               "Batches", "XCore (cyc)", "Fair", "SLO %", "p50 (cyc)",
+               "p95 (cyc)", "p99 (cyc)", "Throughput (req/s)"]
     rows: List[List[object]] = []
     for cell, summaries in outcomes:
         ranked = sorted(
@@ -169,13 +169,18 @@ def _service_report(compiled: CompiledScenario,
         for rank, name in enumerate(ranked, start=1):
             summary = summaries[name]
             rows.append([cell.label, rank, name, summary.n_served,
-                         summary.n_rejected, summary.n_batches,
-                         summary.cross_core_shootdown_cycles, summary.p50,
-                         summary.p95, summary.p99, summary.throughput_rps])
+                         summary.n_rejected, summary.n_shed,
+                         summary.n_batches,
+                         summary.cross_core_shootdown_cycles,
+                         round(summary.fairness, 3),
+                         round(100.0 * summary.slo_attainment, 1),
+                         summary.p50, summary.p95, summary.p99,
+                         summary.throughput_rps])
         for name in compiled.schemes:
             if summaries.get(name) is None:
                 rows.append([cell.label, "-", name, "-", "-", "-", "-", "-",
-                             "-", "-", "FAIL (16-key limit)"])
+                             "-", "-", "-", "-", "-",
+                             "FAIL (16-key limit)"])
     return format_table(f"{_title(compiled)} — scheme leaderboard by p99",
                         headers, rows)
 

@@ -20,7 +20,12 @@ This package makes that server an executable, measurable workload:
   (``docs/MULTICORE.md``);
 * :mod:`~repro.service.latency` — re-times marked replays onto
   per-worker wall clocks into per-request latency and
-  p50/p95/p99/throughput summaries.
+  p50/p95/p99/throughput summaries;
+* :mod:`~repro.service.sched` — the SLO-driven tenant scheduler:
+  pluggable scheduling policies (``static``/``weighted_fair``/
+  ``slo_adaptive``) driving admission, dispatch order, and epoch
+  rebalancing, plus per-client fairness/SLO accounting and the tenant
+  profiler (``docs/SCHEDULING.md``).
 
 See ``docs/SERVICE.md`` for the architecture and the metric contract.
 """
@@ -31,8 +36,11 @@ from .closed import (build_plan_keyed, generate_service_trace_keyed,
                      scheme_clock)
 from .latency import (ServiceSummary, account, account_sharded,
                       served_batches)
-from .params import ARRIVALS, BATCHINGS, DISPATCHES, PATTERNS, \
+from .params import ARRIVALS, BATCHINGS, DISPATCHES, PATTERNS, POLICIES, \
     ServiceParams, nominal_request_cycles
+from .sched import (SCHED_POLICIES, SchedAccounting, SchedPolicy,
+                    SchedState, TenantProfile, jain_index, policy_names,
+                    profile_tenants, register_policy)
 from .server import BatchMark, ServiceWorkload, batch_boundaries, \
     batch_markers, generate_service_trace, worker_slots
 from .shard import TraceShard, shard_by_worker
@@ -48,11 +56,17 @@ __all__ = [
     "DispatchClock",
     "NominalClock",
     "PATTERNS",
+    "POLICIES",
     "Request",
+    "SCHED_POLICIES",
+    "SchedAccounting",
+    "SchedPolicy",
+    "SchedState",
     "ServiceParams",
     "ServicePlan",
     "ServiceSummary",
     "ServiceWorkload",
+    "TenantProfile",
     "TraceShard",
     "account",
     "account_sharded",
@@ -63,8 +77,12 @@ __all__ = [
     "generate_requests",
     "generate_service_trace",
     "generate_service_trace_keyed",
+    "jain_index",
     "nominal_request_cycles",
+    "policy_names",
+    "profile_tenants",
     "rate_multiplier",
+    "register_policy",
     "scheme_clock",
     "served_batches",
     "shard_by_worker",

@@ -148,3 +148,28 @@ class ChurnPattern(ArrivalPattern):
                      client: int, n_clients: int) -> int:
         start, width = self.window(params, now, n_clients)
         return (start + client % width) % n_clients
+
+
+@register_pattern("waves")
+class ConnectWavesPattern(ChurnPattern):
+    """Connect/disconnect waves: churn plus a reconnect stampede.
+
+    The connected window rotates exactly like ``churn``, but each wave
+    *arrives together*: for the first ``burst_fraction`` of every
+    ``churn_period_cycles`` window the offered rate is multiplied by
+    ``burst_factor`` — the freshly connected cohort re-establishing
+    sessions all at once — then settles to the stationary rate until
+    the next wave.  The worst case for key-caching schemes: the rate
+    spike lands precisely when every domain it touches is cold
+    (new keys to map, shootdowns to broadcast), while domain
+    virtualization only pays its flat PTLB fill.
+
+    Like ``churn``, open-loop only (the closed loop has no notion of
+    disconnection); reuses the burst knobs for the stampede shape.
+    """
+
+    def rate(self, params: "ServiceParams", now: float) -> float:
+        phase = now % params.churn_period_cycles
+        if phase < params.burst_fraction * params.churn_period_cycles:
+            return params.burst_factor
+        return 1.0

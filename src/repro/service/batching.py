@@ -31,6 +31,15 @@ requests already waiting is rejected (counted, excluded from the trace)
 — the standard overload valve of a real server.  In the closed loop a
 rejected client backs off (thinks again) and retries; every retry is a
 fresh offered request against the ``n_requests`` budget.
+
+Both decisions — admission and which queued request a freed worker
+serves — go through the run's **scheduling policy**
+(:mod:`repro.service.sched.policy`, selected by
+``params.sched_policy``): the default ``static`` policy reproduces the
+bounded-queue/head-of-line behaviour above decision for decision, while
+``weighted_fair``/``slo_adaptive`` reorder within the
+``batch_window`` lookahead, shed load against an SLO target, and
+re-pin clients to workers at epoch boundaries (docs/SCHEDULING.md).
 """
 
 from __future__ import annotations
@@ -41,6 +50,7 @@ from typing import List, Optional, Tuple
 
 from ..errors import SimulationError
 from .params import ServiceParams, nominal_request_cycles
+from .sched.policy import REJECT, SHED, SchedPolicy, SchedState, policy_by_name
 from .traffic import Request, generate_requests, think_gap
 
 
@@ -115,6 +125,14 @@ class ServicePlan:
     params: ServiceParams
     batches: List[Batch]
     rejected: List[Request] = field(default_factory=list)
+    #: Requests the scheduling policy's SLO valve shed (open loop: the
+    #: request is dropped; closed loop: the deferred retry already
+    #: happened inside the loop, this records the deferral).
+    shed: List[Request] = field(default_factory=list)
+    #: Client->worker affinity re-pins the policy applied at epoch
+    #: boundaries, and the epochs it evaluated.
+    migrations: int = 0
+    epochs: int = 0
     #: Dispatch-simulation iterations taken to build the schedule
     #: (observability: how hard the loop worked, not a cycle count).
     loop_iterations: int = 0
@@ -130,9 +148,16 @@ class ServicePlan:
         return sum(len(batch.requests) - 1 for batch in self.batches)
 
 
-def _take_batch(params: ServiceParams, queue: List[Request]) -> List[Request]:
-    """Pop the next batch's members off the queue (head-of-line client)."""
-    head = queue[0]
+def _take_batch(params: ServiceParams, queue: List[Request],
+                head_index: int = 0) -> List[Request]:
+    """Pop the next batch's members off the queue.
+
+    ``head_index`` is the policy-selected head (within the
+    ``batch_window`` lookahead); coalescing still scans the same window
+    for the head's client, so a reordered head changes *which* client is
+    served, never the coalescing rules.
+    """
+    head = queue[head_index]
     if params.batching == "client":
         members = [request for request in queue[:params.batch_window]
                    if request.client == head.client]
@@ -159,12 +184,31 @@ def build_plan(params: ServiceParams,
                 "dispatch='replay' schedules are scheme-keyed; build them "
                 "with repro.service.closed.build_plan_keyed(params, scheme)")
         clock = NominalClock(params)
+    policy = policy_by_name(params.sched_policy)
+    state = SchedState(params, clock, max(1, params.workers))
     if params.arrival == "closed" and params.dispatch == "replay":
-        return _closed_feedback_plan(params, clock)
-    return _stream_plan(params, clock)
+        plan = _closed_feedback_plan(params, clock, policy, state)
+    else:
+        plan = _stream_plan(params, clock, policy, state)
+    plan.shed = state.shed
+    plan.migrations = state.migrations
+    plan.epochs = state.epochs
+    return plan
 
 
-def _stream_plan(params: ServiceParams, clock: DispatchClock) -> ServicePlan:
+def _observe_batch(policy: SchedPolicy, state: SchedState, client: int,
+                   members: List[Request], start: float,
+                   completion: float) -> None:
+    """Post-dispatch control-loop step: fold the batch into the live
+    profile and run an epoch boundary when one is due."""
+    state.observe_batch(client, members, start, completion)
+    if policy.uses_epochs and \
+            state.batches_in_epoch >= state.params.sched_epoch_batches:
+        state.end_epoch(policy)
+
+
+def _stream_plan(params: ServiceParams, clock: DispatchClock,
+                 policy: SchedPolicy, state: SchedState) -> ServicePlan:
     """Dispatch a pre-generated arrival stream (open loop, and the
     nominal closed loop whose feedback was resolved at stream time)."""
     stream = generate_requests(params)
@@ -182,8 +226,11 @@ def _stream_plan(params: ServiceParams, clock: DispatchClock) -> ServicePlan:
         while position < len(stream) and stream[position].arrival <= now:
             request = stream[position]
             position += 1
-            if params.max_queue and len(queue) >= params.max_queue:
+            verdict = policy.admit(state, request, queue)
+            if verdict == REJECT:
                 rejected.append(request)
+            elif verdict == SHED:
+                state.shed.append(request)
             else:
                 queue.append(request)
 
@@ -198,19 +245,23 @@ def _stream_plan(params: ServiceParams, clock: DispatchClock) -> ServicePlan:
         if not queue:
             free[slot] = now
             continue
-        head = queue[0]
-        members = _take_batch(params, queue)
+        index = policy.select(state, queue, slot)
+        head = queue[index]
+        members = _take_batch(params, queue, index)
+        completion = now + clock.batch_cycles(len(members))
         batches.append(Batch(
             index=len(batches), client=head.client,
             requests=tuple(members), worker=slot))
-        free[slot] = now + clock.batch_cycles(len(members))
+        free[slot] = completion
+        _observe_batch(policy, state, head.client, members, now, completion)
 
     return ServicePlan(params=params, batches=batches, rejected=rejected,
                        loop_iterations=iterations)
 
 
-def _closed_feedback_plan(params: ServiceParams,
-                          clock: DispatchClock) -> ServicePlan:
+def _closed_feedback_plan(params: ServiceParams, clock: DispatchClock,
+                          policy: SchedPolicy,
+                          state: SchedState) -> ServicePlan:
     """The true closed loop: completions gate the next issue.
 
     Each client keeps one outstanding request; a served batch schedules
@@ -219,6 +270,10 @@ def _closed_feedback_plan(params: ServiceParams,
     scheme-calibrated, a slower scheme pushes completions — and thus the
     *whole subsequent arrival process* — later: the schedules genuinely
     diverge per scheme instead of being one stream re-timed.
+
+    A policy ``SHED`` verdict is a *deferral* here: the client backs off
+    exactly like a queue-full rejection (the existing backoff machinery)
+    but the drop is attributed to the SLO valve, not the queue bound.
     """
     import random
     rng = random.Random(params.seed)
@@ -247,8 +302,10 @@ def _closed_feedback_plan(params: ServiceParams,
                 rid=issued, client=client, arrival=ready,
                 is_write=rng.random() >= params.read_fraction)
             issued += 1
-            if params.max_queue and len(queue) >= params.max_queue:
-                rejected.append(request)
+            verdict = policy.admit(state, request, queue)
+            if verdict == REJECT or verdict == SHED:
+                (rejected if verdict == REJECT else state.shed).append(
+                    request)
                 heapq.heappush(
                     pending, (ready + think_gap(params, rng, ready), client))
             else:
@@ -259,8 +316,9 @@ def _closed_feedback_plan(params: ServiceParams,
             # Idle worker: jump to the next issue.
             free[slot] = max(now, pending[0][0])
             continue
-        head = queue[0]
-        members = _take_batch(params, queue)
+        index = policy.select(state, queue, slot)
+        head = queue[index]
+        members = _take_batch(params, queue, index)
         completion = now + clock.batch_cycles(len(members))
         batches.append(Batch(
             index=len(batches), client=head.client,
@@ -271,6 +329,7 @@ def _closed_feedback_plan(params: ServiceParams,
                 pending,
                 (completion + think_gap(params, rng, completion),
                  request.client))
+        _observe_batch(policy, state, head.client, members, now, completion)
 
     return ServicePlan(params=params, batches=batches, rejected=rejected,
                        loop_iterations=iterations)

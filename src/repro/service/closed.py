@@ -58,10 +58,14 @@ def calibration_params(params: ServiceParams) -> ServiceParams:
     discipline, worker pool, admission) so the probe measures cost, not
     queueing.
     """
+    # sched knobs are schedule-shaping too: calibrating under the run's
+    # policy would both skew the fit (shedding drops batches) and split
+    # the clock memo per policy — probe under static with no SLO so all
+    # policies of one (params, scheme) pair share one calibrated clock.
     return replace(
         params, dispatch="nominal", arrival="open", pattern="poisson",
         n_requests=min(params.n_requests, CALIBRATION_REQUESTS),
-        workers=1, max_queue=0)
+        workers=1, max_queue=0, sched_policy="static", slo_p99_cycles=0.0)
 
 
 def scheme_clock(params: ServiceParams, scheme: str) -> CalibratedClock:

@@ -40,6 +40,8 @@ from ..cpu.trace import Trace
 from ..obs.metrics import Histogram
 from ..sim.stats import RunStats
 from .batching import Batch, ServicePlan
+from .sched.accounting import SchedAccounting, fold_shed
+from .sched.profile import profile_tenants
 from .server import batch_markers
 
 
@@ -82,6 +84,9 @@ class ServiceSummary:
     n_offered: int
     n_served: int
     n_rejected: int
+    #: Requests the scheduling policy's SLO valve shed (always 0 under
+    #: the ``static`` policy).
+    n_shed: int
     n_batches: int
     #: Served requests that shared a window with an earlier one.
     coalesced: int
@@ -107,7 +112,23 @@ class ServiceSummary:
     #: of the ``tlb_invalidations`` bucket already inside ``cycles``.
     cross_core_shootdowns: int = 0
     cross_core_shootdown_cycles: float = 0.0
+    #: Per-client scheduling accounting (latency histograms, busy
+    #: cycles, shed/migration counters, fairness, SLO attainment) —
+    #: populated by :func:`account`/:func:`account_sharded`; feed it to
+    #: :func:`repro.service.sched.profile.profile_tenants` for tenant
+    #: classification.
+    sched: Optional[SchedAccounting] = None
     stats: Optional[RunStats] = None
+
+    @property
+    def fairness(self) -> float:
+        """Jain's index over per-client mean latency (1 = equal)."""
+        return self.sched.fairness() if self.sched is not None else 1.0
+
+    @property
+    def slo_attainment(self) -> float:
+        """Fraction of served requests meeting ``slo_p99_cycles``."""
+        return self.sched.attainment() if self.sched is not None else 1.0
 
     @property
     def p50(self) -> float:
@@ -140,6 +161,7 @@ class ServiceSummary:
             "offered": self.n_offered,
             "served": self.n_served,
             "rejected": self.n_rejected,
+            "shed": self.n_shed,
             "batches": self.n_batches,
             "coalesced": self.coalesced,
             "perm_switches": self.perm_switches,
@@ -154,6 +176,8 @@ class ServiceSummary:
             "latency_cycles": {"mean": self.mean_latency, "p50": self.p50,
                                "p95": self.p95, "p99": self.p99,
                                "max": self.latency.max},
+            "sched": self.sched.to_dict() if self.sched is not None
+            else None,
         }
 
 
@@ -176,6 +200,7 @@ def account(plan: ServicePlan, trace: Trace, stats: RunStats, *,
             f"{len(marks)} marks for {len(order)} batches")
 
     latency = Histogram()
+    sched = SchedAccounting(slo_target=plan.params.slo_p99_cycles)
     walls: Dict[int, float] = {}
     busy: Dict[int, float] = {}
     previous = 0.0
@@ -186,17 +211,22 @@ def account(plan: ServicePlan, trace: Trace, stats: RunStats, *,
         done = max(walls.get(batch.worker, 0.0), ready) + delta
         walls[batch.worker] = done
         busy[batch.worker] = busy.get(batch.worker, 0.0) + delta
+        sched.observe_batch(batch.client, delta)
         for request in batch.requests:
             latency.observe(done - request.arrival)
+            sched.observe_request(request.client, done - request.arrival,
+                                  request.is_write)
     wall = max(walls.values()) if walls else 0.0
+    fold_shed(sched, plan)
 
     served = plan.n_served
     throughput = served * frequency_hz / wall if wall > 0 else 0.0
     summary = ServiceSummary(
         scheme=stats.scheme,
-        n_offered=served + len(plan.rejected),
+        n_offered=served + len(plan.rejected) + len(plan.shed),
         n_served=served,
         n_rejected=len(plan.rejected),
+        n_shed=len(plan.shed),
         n_batches=len(plan.batches),
         coalesced=plan.coalesced,
         perm_switches=stats.perm_switches,
@@ -208,6 +238,7 @@ def account(plan: ServicePlan, trace: Trace, stats: RunStats, *,
         loop_iterations=plan.loop_iterations,
         cross_core_shootdowns=stats.cross_core_shootdowns,
         cross_core_shootdown_cycles=stats.cross_core_shootdown_cycles,
+        sched=sched,
         stats=stats)
     _publish(summary, plan)
     return summary
@@ -253,6 +284,7 @@ def account_sharded(plan: ServicePlan, shards, shard_stats, *,
         partitions.setdefault(batch.worker, []).append(batch)
 
     latency = Histogram()
+    sched = SchedAccounting(slo_target=plan.params.slo_p99_cycles)
     walls: Dict[int, float] = {}
     busy: Dict[int, float] = {}
     for shard, stats in zip(shards, shard_stats):
@@ -274,18 +306,24 @@ def account_sharded(plan: ServicePlan, shards, shard_stats, *,
             done = max(walls.get(batch.worker, 0.0), ready) + delta
             walls[batch.worker] = done
             busy[batch.worker] = busy.get(batch.worker, 0.0) + delta
+            sched.observe_batch(batch.client, delta)
             for request in batch.requests:
                 latency.observe(done - request.arrival)
+                sched.observe_request(request.client,
+                                      done - request.arrival,
+                                      request.is_write)
     wall = max(walls.values()) if walls else 0.0
+    fold_shed(sched, plan)
 
     merged = merge_run_stats(shard_stats)
     served = plan.n_served
     throughput = served * frequency_hz / wall if wall > 0 else 0.0
     summary = ServiceSummary(
         scheme=merged.scheme,
-        n_offered=served + len(plan.rejected),
+        n_offered=served + len(plan.rejected) + len(plan.shed),
         n_served=served,
         n_rejected=len(plan.rejected),
+        n_shed=len(plan.shed),
         n_batches=len(plan.batches),
         coalesced=plan.coalesced,
         perm_switches=merged.perm_switches,
@@ -297,6 +335,7 @@ def account_sharded(plan: ServicePlan, shards, shard_stats, *,
         loop_iterations=plan.loop_iterations,
         cross_core_shootdowns=merged.cross_core_shootdowns,
         cross_core_shootdown_cycles=merged.cross_core_shootdown_cycles,
+        sched=sched,
         stats=merged)
     _publish(summary, plan)
     return summary
@@ -304,6 +343,7 @@ def account_sharded(plan: ServicePlan, shards, shard_stats, *,
 
 def _publish(summary: ServiceSummary, plan: ServicePlan) -> None:
     registry = obs.metrics()
+    sched = summary.sched
     if registry is not None:
         registry.counter("service.requests.offered").inc(summary.n_offered)
         registry.counter("service.requests.served").inc(summary.n_served)
@@ -322,6 +362,17 @@ def _publish(summary: ServiceSummary, plan: ServicePlan) -> None:
         for slot in sorted(summary.worker_busy):
             busy.observe(summary.worker_busy[slot])
         registry.gauge("service.throughput_rps").set(summary.throughput_rps)
+        if sched is not None:
+            registry.counter("service.sched.shed").inc(summary.n_shed)
+            registry.counter("service.sched.migrations").inc(
+                sched.migrations)
+            registry.counter("service.sched.epochs").inc(sched.epochs)
+            registry.gauge("service.sched.fairness").set(sched.fairness())
+            registry.gauge("service.sched.slo_attainment").set(
+                sched.attainment())
+            p99s = registry.histogram("service.sched.client_p99_cycles")
+            for client in sched.clients:
+                p99s.observe(sched.client_percentile(client, 99.0))
     ev = obs.active_events()
     if ev is not None:
         ev.emit("service.run", scheme=summary.scheme,
@@ -329,3 +380,13 @@ def _publish(summary: ServiceSummary, plan: ServicePlan) -> None:
                 rejected=summary.n_rejected,
                 throughput_rps=round(summary.throughput_rps, 3),
                 p99_cycles=round(summary.p99, 1))
+        if sched is not None:
+            for profile in profile_tenants(plan, sched,
+                                           summary.wall_cycles):
+                ev.emit("service.client", scheme=summary.scheme,
+                        client=profile.client, served=profile.served,
+                        shed=profile.shed,
+                        busy_fraction=round(profile.busy_fraction, 4),
+                        mean_cycles=round(profile.mean_cycles, 1),
+                        p99_cycles=round(profile.p99_cycles, 1),
+                        classes=",".join(profile.classes))

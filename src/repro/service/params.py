@@ -17,6 +17,7 @@ from dataclasses import dataclass, field, replace
 
 from .arrivals import (discipline_by_name, discipline_names,
                        pattern_by_name, pattern_names)
+from .sched.policy import policy_by_name, policy_names
 
 #: Dispatch clocks the planner can drive the schedule with.
 DISPATCHES = ("nominal", "replay")
@@ -34,6 +35,8 @@ def __getattr__(name: str):
         return tuple(discipline_names())
     if name == "PATTERNS":
         return tuple(pattern_names())
+    if name == "POLICIES":
+        return tuple(policy_names())
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
@@ -131,6 +134,34 @@ class ServiceParams:
     #: from a marked replay (:mod:`repro.service.closed`), so each scheme
     #: gets its own schedule and completions feed back into dispatch.
     dispatch: str = "nominal"
+    #: Scheduling policy driving admission/selection/rebalancing in the
+    #: dispatch simulation (the ``sched_policies`` registry, see
+    #: docs/SCHEDULING.md).  ``static`` is bit-identical to the
+    #: pre-scheduler planner; ``elide_default`` keeps policy-free runs on
+    #: their pre-existing trace-cache keys.
+    sched_policy: str = field(
+        default="static", metadata={"elide_default": True})
+    #: SLO target for the adaptive policy's shedding valve: predicted
+    #: p99 latency in cycles the control loop tries to hold (0 = no SLO,
+    #: the valve never engages).  Also the target per-client
+    #: SLO-attainment is accounted against after replay.
+    slo_p99_cycles: float = field(
+        default=0.0, metadata={"elide_default": True})
+    #: Served batches per scheduling epoch: policies with a control loop
+    #: (``uses_epochs``) rebalance client->worker affinity at every
+    #: epoch boundary.
+    sched_epoch_batches: int = field(
+        default=32, metadata={"elide_default": True})
+    #: Domains every client may read but never write (a shared
+    #: read-only catalog/config segment): each adds one pool mapped
+    #: ``Perm.R`` for every worker at startup, and every request reads
+    #: ``shared_words`` from one of them.  0 disables (the default;
+    #: ``elide_default`` keeps share-free cache keys unchanged).
+    shared_domains: int = field(
+        default=0, metadata={"elide_default": True})
+    #: 8-byte words each request reads from its shared domain.
+    shared_words: int = field(
+        default=4, metadata={"elide_default": True})
 
     def __post_init__(self):
         # Arrival disciplines and patterns are registries now; the
@@ -170,6 +201,20 @@ class ServiceParams:
             raise ValueError("n_clients must be at least 1")
         if self.batch_limit < 1:
             raise ValueError("batch_limit must be at least 1")
+        # Scheduling-policy names are a registry too — same lazy lookup,
+        # same roster-listing error converted for dataclass callers.
+        try:
+            policy_by_name(self.sched_policy)
+        except KeyError as error:
+            raise ValueError(str(error)) from None
+        if self.slo_p99_cycles < 0:
+            raise ValueError("slo_p99_cycles must be non-negative")
+        if self.sched_epoch_batches < 1:
+            raise ValueError("sched_epoch_batches must be at least 1")
+        if self.shared_domains < 0:
+            raise ValueError("shared_domains must be non-negative")
+        if self.shared_words < 1:
+            raise ValueError("shared_words must be at least 1")
 
     def scaled(self, factor: float) -> "ServiceParams":
         """Scale the request budget (the ``REPRO_OPS`` hook)."""

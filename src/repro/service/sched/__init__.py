@@ -1,0 +1,30 @@
+"""SLO-driven tenant scheduling over the closed-loop service.
+
+The subsystem has three parts (see ``docs/SCHEDULING.md``):
+
+* :mod:`.policy` — the ``sched_policies`` plugin registry and the
+  built-in ``static`` / ``weighted_fair`` / ``slo_adaptive`` policies,
+  plus the per-plan :class:`SchedState` the dispatch loop threads
+  through the policy hooks;
+* :mod:`.accounting` — per-client latency/busy/window accounting,
+  Jain's fairness index and SLO-attainment, attached to
+  :class:`~repro.service.latency.ServiceSummary` as ``summary.sched``;
+* :mod:`.profile` — the tenant profiler classifying clients from the
+  replayed ground truth (hot Zipf-head vs. long-tail, read- vs.
+  write-heavy, churn-prone).
+"""
+
+from .accounting import SchedAccounting, fold_shed, jain_index
+from .policy import (ADMIT, REJECT, SCHED_POLICIES, SHED, SchedPolicy,
+                     SchedState, SloAdaptivePolicy, StaticPolicy,
+                     WeightedFairPolicy, policy_by_name, policy_names,
+                     register_policy)
+from .profile import TenantProfile, profile_tenants
+
+__all__ = [
+    "ADMIT", "REJECT", "SHED", "SCHED_POLICIES",
+    "SchedAccounting", "SchedPolicy", "SchedState", "SloAdaptivePolicy",
+    "StaticPolicy", "TenantProfile", "WeightedFairPolicy", "fold_shed",
+    "jain_index", "policy_by_name", "policy_names", "profile_tenants",
+    "register_policy",
+]

@@ -75,6 +75,26 @@ class ServiceWorkload:
             self.pools.append(pool)
             self.secrets.append(secret)
 
+        # Shared read-only domains (catalog/config segments): every
+        # worker may read them at any time — INIT_PERM R, never RW, and
+        # never a SETPERM window — so they add permission-check traffic
+        # on a *stable* key/domain without adding batch markers.
+        self.shared_pools: List[PoolHandle] = []
+        self.shared_records: List[OID] = []
+        for shared in range(params.shared_domains):
+            pool = self.ws.create_and_attach(
+                f"svc-shared-{shared:04d}", params.pool_size)
+            with self.ws.untraced():
+                record = pool.pool.pmalloc(
+                    max(64, params.shared_words * 8))
+                self.ws.mem.write_bytes(
+                    record, 0,
+                    f"shared-segment-{shared}".encode().ljust(64))
+            for tid in self.worker_tids:
+                self.ws.recorder.init_perm(tid, pool.domain, Perm.R)
+            self.shared_pools.append(pool)
+            self.shared_records.append(record)
+
     # -- serving -----------------------------------------------------------------
 
     def serve_batch(self, batch: Batch, tid: int) -> None:
@@ -86,6 +106,11 @@ class ServiceWorkload:
         ws.recorder.perm(tid, pool.domain, Perm.RW)
         for request in batch.requests:
             ws.compute(params.compute_per_request)
+            if self.shared_records:
+                # Catalog lookup before touching the private record.
+                shared = request.rid % len(self.shared_records)
+                ws.mem.read_bytes(self.shared_records[shared], 0,
+                                  params.shared_words * 8, tid=tid)
             ws.mem.read_bytes(secret, 0, params.read_words * 8, tid=tid)
             if request.is_write:
                 ws.mem.write_bytes(

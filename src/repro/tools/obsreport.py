@@ -6,13 +6,18 @@ Reads the file produced by running with ``REPRO_EVENTS=jsonl:<path>``
 * ``summary``   — event counts per kind and per scheme,
 * ``breakdown`` — a Table-VII-style per-scheme overhead breakdown
   reconstructed from ``replay.done`` events (matches
-  ``RunStats.buckets`` exactly — the events carry the buckets verbatim),
+  ``RunStats.buckets`` exactly — the events carry the buckets verbatim);
+  with ``--per-client``, a per-tenant table instead, reconstructed from
+  the service layer's ``service.client`` events (served/shed counts,
+  busy fraction, mean/p99 latency, profiler classes),
 * ``timeline``  — per-replay event density over replay cycles.
 
 Usage::
 
     python -m repro.tools.obsreport summary events.jsonl
     python -m repro.tools.obsreport breakdown events.jsonl [--label L]
+    python -m repro.tools.obsreport breakdown events.jsonl \\
+        --per-client [--scheme S]
     python -m repro.tools.obsreport timeline events.jsonl \\
         [--label L] [--scheme S] [--bins N]
 """
@@ -160,6 +165,48 @@ def render_breakdown(events: List[dict],
     return "\n\n".join(blocks)
 
 
+def render_per_client(events: List[dict],
+                      scheme: Optional[str] = None) -> str:
+    """Per-tenant breakdown from the service layer's ``service.client``
+    events, one block per scheme.
+
+    A rerun of the same (scheme, client) pair overwrites the earlier
+    record, like :func:`bucket_breakdown` does for replay cells.
+    """
+    table: "OrderedDict[str, Dict[int, dict]]" = OrderedDict()
+    for event in events:
+        if event["kind"] != "service.client":
+            continue
+        if scheme is not None and event.get("scheme") != scheme:
+            continue
+        table.setdefault(event.get("scheme", "(unknown)"),
+                         {})[int(event["client"])] = event
+    if not table:
+        return "no service.client events" + \
+            (f" for scheme {scheme!r}" if scheme else "") + \
+            " (accounted service runs emit them when events are on)"
+    headers = ["client", "served", "shed", "busy", "mean (cyc)",
+               "p99 (cyc)", "classes"]
+    blocks = []
+    for name in sorted(table, key=_scheme_sort_key):
+        rows = [[str(client),
+                 f"{record.get('served', 0):,}",
+                 f"{record.get('shed', 0):,}",
+                 f"{record.get('busy_fraction', 0.0):.2%}",
+                 f"{record.get('mean_cycles', 0.0):,.0f}",
+                 f"{record.get('p99_cycles', 0.0):,.0f}",
+                 str(record.get("classes", ""))]
+                for client, record in sorted(table[name].items())]
+        widths = [max(len(headers[i]), *(len(row[i]) for row in rows))
+                  for i in range(len(headers))]
+        lines = [f"== {name} ==  ({len(rows)} clients)",
+                 "  ".join(f"{h:>{w}s}" for h, w in zip(headers, widths))]
+        lines += ["  ".join(f"{cell:>{w}s}" for cell, w in zip(row, widths))
+                  for row in rows]
+        blocks.append("\n".join(lines))
+    return "\n\n".join(blocks)
+
+
 # -- timeline -------------------------------------------------------------------
 
 
@@ -216,6 +263,11 @@ def main(argv: Optional[List[str]] = None) -> int:
                         help="restrict to one scheme (timeline command)")
     parser.add_argument("--bins", type=int, default=60,
                         help="timeline resolution (columns)")
+    parser.add_argument("--per-client", action="store_true",
+                        dest="per_client",
+                        help="breakdown command: per-tenant table from "
+                             "service.client events instead of the "
+                             "replay-bucket breakdown")
     args = parser.parse_args(argv)
 
     events = load_events(args.events)
@@ -225,7 +277,10 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.command == "summary":
         print(render_summary(_filtered(events, args.label, args.scheme)))
     elif args.command == "breakdown":
-        print(render_breakdown(events, args.label))
+        if args.per_client:
+            print(render_per_client(events, args.scheme))
+        else:
+            print(render_breakdown(events, args.label))
     else:
         print(render_timeline(events, label=args.label, scheme=args.scheme,
                               bins=max(1, args.bins)))

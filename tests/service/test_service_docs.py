@@ -15,12 +15,15 @@ from repro.obs import schema
 
 DOCS = Path(__file__).resolve().parents[2] / "docs"
 
-_NAME = re.compile(r"`(service\.[a-z_.]+)`")
+_NAME = re.compile(r"`(service\.[a-z0-9_.]+)`")
+
+#: Backticked ``service.*`` names that are event kinds, not metrics.
+_EVENTS = {"service.run", "service.client"}
 
 
 def _documented_names(doc):
     text = (DOCS / doc).read_text()
-    return set(_NAME.findall(text)) - {"service.run"}  # event, not metric
+    return set(_NAME.findall(text)) - _EVENTS
 
 
 def _schema_names():
@@ -42,6 +45,15 @@ class TestServiceMetricContract:
         assert expected <= _schema_names()
         assert expected <= _documented_names("SERVICE.md")
         assert expected <= _documented_names("MULTICORE.md")
+
+    def test_sched_namespace_is_in_schema_and_both_docs(self):
+        # The scheduling subsystem's whole metric namespace: schema,
+        # SERVICE.md's contract section, and SCHEDULING.md must agree.
+        sched = {name for name in _schema_names()
+                 if name.startswith("service.sched.")}
+        assert sched, "schema lost the service.sched.* namespace"
+        assert sched <= _documented_names("SERVICE.md")
+        assert sched <= _documented_names("SCHEDULING.md")
 
     def test_schema_types_match_the_prose(self):
         # The doc groups names under "counters", "histogram", "gauge"

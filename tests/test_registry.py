@@ -112,7 +112,7 @@ class TestBuiltinRegistries:
             pattern_by_name("flash-crowd")
         assert "poisson" in str(err.value)
         assert set(pattern_names()) == {"burst", "churn", "diurnal",
-                                        "poisson"}
+                                        "poisson", "waves"}
 
     def test_unknown_arrival_discipline_lists_disciplines(self):
         with pytest.raises(KeyError) as err:

@@ -4,6 +4,14 @@ Times the three stages a service experiment pays for — trace generation
 (traffic + batching + server execution), marked replay under the paper's
 schemes, and latency accounting — at a fixed 64-client configuration.
 
+Cell sizes are chosen so each entry measures its pipeline's streaming
+throughput rather than fixed setup cost: generation cells run tens of
+thousands of requests (the columnar synthesis and the chunked trace
+emitter amortize workspace setup within the first few thousand), and
+``generate:service-1m`` drives the full million-request, 256-worker
+configuration the scale work targets (``REPRO_SMOKE=1`` shrinks it for
+constrained runs; docs/PERFORMANCE.md "Streaming generation").
+
 Besides the pytest-benchmark output, every timing lands in
 ``benchmarks/out/BENCH_service.json`` together with the serving-level
 results (p99 latency, throughput) so CI can track both simulator speed
@@ -11,6 +19,7 @@ and modelled server performance from one artifact.
 """
 
 import json
+import os
 import pathlib
 from dataclasses import replace
 
@@ -23,13 +32,24 @@ from repro.service import (ServiceParams, account, account_sharded,
                            generate_service_trace_keyed, shard_by_worker)
 from repro.sim.config import DEFAULT_CONFIG
 
-PARAMS = ServiceParams(n_clients=64, n_requests=600)
-#: The scheme-keyed closed loop: calibration + feedback dispatch.
-CLOSED = ServiceParams(n_clients=16, n_requests=200, arrival="closed",
-                       dispatch="replay", pattern="burst")
+_SMOKE = bool(os.environ.get("REPRO_SMOKE"))
+
+PARAMS = ServiceParams(n_clients=64, n_requests=20_000)
+#: The scheme-keyed closed loop: calibration + feedback dispatch.  The
+#: event-driven feedback recurrence is inherently sequential, so the
+#: cell serves multi-page requests — the streamed server, not the
+#: dispatch loop, carries most of the event volume (as it does at any
+#: production request size).
+CLOSED = ServiceParams(n_clients=16, n_requests=8_000, arrival="closed",
+                       dispatch="replay", pattern="burst", read_words=16)
 #: Multi-core replay: four worker slots, sharded onto four simulated
 #: cores with cross-core shootdown accounting (docs/MULTICORE.md).
-MULTICORE = ServiceParams(n_clients=64, n_requests=600, workers=4)
+MULTICORE = ServiceParams(n_clients=64, n_requests=20_000, workers=4)
+#: The scale target: one million requests over 256 workers
+#: (ROADMAP "millions of users"; REPRO_SMOKE shrinks it 20x).
+MILLION = ServiceParams(n_clients=64,
+                        n_requests=50_000 if _SMOKE else 1_000_000,
+                        workers=256)
 #: Scheduler overhead: the same cell planned with the full control loop
 #: engaged — SLO valve, affinity selection, epoch rebalancing
 #: (docs/SCHEDULING.md) — gated against the static planner's entry.
@@ -98,6 +118,18 @@ def test_service_generation_throughput(benchmark):
         lambda: generate_service_trace(PARAMS), rounds=3, iterations=1)
     assert len(trace) > 0
     _record("generate:service-64c", benchmark, len(trace))
+
+
+def test_million_request_generation_throughput(benchmark):
+    # The headline scale entry: synthesize + plan + stream-serve the
+    # million-request, 256-worker cell.  Two rounds keep the bench job
+    # bounded; the throughput is chunk-streamed and stable.
+    trace, _ws = benchmark.pedantic(
+        lambda: generate_service_trace(MILLION), rounds=2, iterations=1)
+    assert len(trace) > MILLION.n_requests
+    _record("generate:service-1m", benchmark, len(trace),
+            requests=MILLION.n_requests, workers=MILLION.workers,
+            smoke=_SMOKE)
 
 
 def test_closed_loop_generation_throughput(benchmark):

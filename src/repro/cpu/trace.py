@@ -113,6 +113,17 @@ class TraceColumns:
             np.fromiter((e[3] for e in events), dtype=np.uint64, count=n),
             np.fromiter((e[4] for e in events), dtype=np.uint64, count=n))
 
+    @classmethod
+    def concat(cls, blocks: List["TraceColumns"]) -> "TraceColumns":
+        """One column set holding every block's rows, in block order."""
+        if len(blocks) == 1:
+            return blocks[0]
+        return cls(np.concatenate([b.kinds for b in blocks]),
+                   np.concatenate([b.tids for b in blocks]),
+                   np.concatenate([b.icounts for b in blocks]),
+                   np.concatenate([b.operand_a for b in blocks]),
+                   np.concatenate([b.operand_b for b in blocks]))
+
     def __len__(self) -> int:
         return int(self.kinds.shape[0])
 
@@ -155,6 +166,75 @@ class TraceColumns:
 
     def __setstate__(self, state):
         self.__init__(*state)
+
+
+class TraceColumnsBuilder:
+    """Grows a :class:`TraceColumns` out of streamed chunks.
+
+    The streaming trace generators (:mod:`repro.service.server`) emit
+    events in fixed-size chunks; the builder lands each chunk into
+    preallocated arrays, doubling capacity when a chunk would overflow
+    — so million-event traces are assembled with a handful of
+    allocations instead of one Python tuple per event.  Callers that
+    know the final size pass it as ``capacity`` and pay zero regrows.
+    """
+
+    __slots__ = ("_kinds", "_tids", "_icounts", "_a", "_b", "_n")
+
+    def __init__(self, capacity: int = 1024):
+        capacity = max(1, int(capacity))
+        self._kinds = np.empty(capacity, dtype=np.uint8)
+        self._tids = np.empty(capacity, dtype=np.uint32)
+        self._icounts = np.empty(capacity, dtype=np.uint32)
+        self._a = np.empty(capacity, dtype=np.uint64)
+        self._b = np.empty(capacity, dtype=np.uint64)
+        self._n = 0
+
+    def __len__(self) -> int:
+        return self._n
+
+    def _grow(self, needed: int) -> None:
+        capacity = len(self._kinds)
+        while capacity < needed:
+            capacity *= 2
+        for name in ("_kinds", "_tids", "_icounts", "_a", "_b"):
+            old = getattr(self, name)
+            grown = np.empty(capacity, dtype=old.dtype)
+            grown[:self._n] = old[:self._n]
+            setattr(self, name, grown)
+
+    def reserve(self, total: int) -> None:
+        """Ensure capacity for ``total`` rows (no-op when already there).
+
+        Producers that can price the stream up front call this once and
+        pay zero regrows on the chunks that follow.
+        """
+        if total > len(self._kinds):
+            self._grow(total)
+
+    def extend(self, kinds, tids, icounts, operand_a, operand_b) -> None:
+        """Append one chunk (five equal-length array-likes)."""
+        chunk = len(kinds)
+        end = self._n + chunk
+        if end > len(self._kinds):
+            self._grow(end)
+        n = self._n
+        self._kinds[n:end] = kinds
+        self._tids[n:end] = tids
+        self._icounts[n:end] = icounts
+        self._a[n:end] = operand_a
+        self._b[n:end] = operand_b
+        self._n = end
+
+    def append_columns(self, block: TraceColumns) -> None:
+        self.extend(block.kinds, block.tids, block.icounts,
+                    block.operand_a, block.operand_b)
+
+    def finish(self) -> TraceColumns:
+        """The assembled columns (trimmed views of the buffers)."""
+        n = self._n
+        return TraceColumns(self._kinds[:n], self._tids[:n],
+                            self._icounts[:n], self._a[:n], self._b[:n])
 
 
 class Trace:
@@ -289,6 +369,39 @@ class TraceRecorder:
 
     def detach(self, domain: int) -> None:
         self._emit(DETACH, 0, 0, domain, 0)
+
+    # -- streaming hand-off ----------------------------------------------------------
+
+    @property
+    def attach_info(self) -> Dict[int, Tuple[VMA, Perm]]:
+        return self._attach_info
+
+    @property
+    def total_instructions(self) -> int:
+        """Instructions across every event emitted so far (drained or
+        not) — streaming builders add their own chunks on top."""
+        return self._total_instructions
+
+    def drain(self) -> List[Tuple[int, int, int, int, int]]:
+        """Hand over the buffered events; the recorder keeps recording.
+
+        Streaming trace builders interleave recorder-emitted stretches
+        (setup prologues, post-serve injections) with array-assembled
+        chunks: each stretch is drained into the builder at the point it
+        belongs in the stream.  The instruction total keeps accumulating
+        across drains.
+        """
+        if self._finished:
+            raise TraceError("recorder already finished")
+        events, self._events = self._events, []
+        return events
+
+    def close(self) -> None:
+        """Mark the recorder finished without building a Trace (the
+        streaming builder assembles the trace itself)."""
+        if self._finished:
+            raise TraceError("recorder already finished")
+        self._finished = True
 
     # -- completion --------------------------------------------------------------------
 

@@ -16,6 +16,7 @@ and overwrites gauges (last write wins).
 
 from __future__ import annotations
 
+import random
 from typing import Dict, Iterable, Optional, Union
 
 
@@ -44,18 +45,32 @@ class Gauge:
 
 
 class Histogram:
-    """Count/sum/min/max summary plus the exact observed samples.
+    """Count/sum/min/max summary plus the observed samples.
 
-    Samples are retained verbatim (the workloads here observe at most a
-    few thousand values per histogram — request latencies, job wall
-    times), which makes :meth:`percentile` exact rather than
-    bucket-approximate.  They serialize with :meth:`as_dict` and survive
-    the fork-worker round trip; merging a pre-samples export (no
-    ``samples`` key) still folds count/sum/min/max, it just cannot
-    contribute to percentiles.
+    Samples are retained verbatim up to :data:`RESERVOIR_SIZE`
+    observations, which makes :meth:`percentile` exact rather than
+    bucket-approximate for every workload this repo historically
+    measured (request latencies, job wall times — a few thousand values
+    per histogram).  Million-request accounting runs would hold the
+    whole latency column in every per-client histogram, so past the
+    threshold the retained list degrades to a bounded uniform reservoir
+    (algorithm R, deterministically seeded — the same observation
+    stream always keeps the same sample set): count/sum/min/max stay
+    exact, percentiles become reservoir estimates, and
+    :attr:`sampling` flips on so consumers (and the
+    ``service.latency_reservoir_engaged`` obs counter) can tell.
+
+    Samples serialize with :meth:`as_dict` and survive the fork-worker
+    round trip; merging a pre-samples export (no ``samples`` key) still
+    folds count/sum/min/max, it just cannot contribute to percentiles.
     """
 
-    __slots__ = ("count", "total", "min", "max", "samples")
+    #: Exact-retention ceiling; observations past it are reservoir-
+    #: sampled.  Class attribute so tests can dial it down.
+    RESERVOIR_SIZE = 65536
+
+    __slots__ = ("count", "total", "min", "max", "samples", "_stream",
+                 "_rng")
 
     def __init__(self):
         self.count = 0
@@ -63,6 +78,10 @@ class Histogram:
         self.min: Optional[float] = None
         self.max: Optional[float] = None
         self.samples: list = []
+        #: Observations offered to the retained-sample stream (equals
+        #: ``len(samples)`` until the reservoir engages).
+        self._stream = 0
+        self._rng: Optional[random.Random] = None
 
     def observe(self, value: float) -> None:
         value = float(value)
@@ -70,7 +89,57 @@ class Histogram:
         self.total += value
         self.min = value if self.min is None else min(self.min, value)
         self.max = value if self.max is None else max(self.max, value)
-        self.samples.append(value)
+        self._retain(value)
+
+    def observe_many(self, values) -> None:
+        """Fold a whole numpy column of samples in one call.
+
+        Value-identical to calling :meth:`observe` per element in array
+        order — ``total`` is accumulated with the same sequential
+        left-fold additions (never a pairwise/compensated sum, which
+        would drift in the last ulp), and the retained-sample list gets
+        the same elements — just without a Python call per sample.
+        """
+        import numpy as np
+        values = np.asarray(values, dtype=np.float64)
+        n = int(values.shape[0])
+        if n == 0:
+            return
+        self.count += n
+        lo = float(values.min())
+        hi = float(values.max())
+        self.min = lo if self.min is None else min(self.min, lo)
+        self.max = hi if self.max is None else max(self.max, hi)
+        listed = values.tolist()
+        total = self.total
+        for value in listed:
+            total += value
+        self.total = total
+        if self._stream + n <= self.RESERVOIR_SIZE:
+            self.samples.extend(listed)
+            self._stream += n
+        else:
+            for value in listed:
+                self._retain(value)
+
+    def _retain(self, value: float) -> None:
+        """Keep the value exactly, or reservoir-sample it past the cap."""
+        self._stream += 1
+        if len(self.samples) < self.RESERVOIR_SIZE:
+            self.samples.append(value)
+            return
+        if self._rng is None:
+            # Fixed seed: retention is a pure function of the observed
+            # stream, like everything else in the repo.
+            self._rng = random.Random(0x9E3779B9)
+        slot = self._rng.randrange(self._stream)
+        if slot < self.RESERVOIR_SIZE:
+            self.samples[slot] = value
+
+    @property
+    def sampling(self) -> bool:
+        """True once the bounded reservoir replaced exact retention."""
+        return self._stream > len(self.samples)
 
     @property
     def mean(self) -> float:
@@ -80,7 +149,9 @@ class Histogram:
         """The q-th percentile (0..100) of the retained samples.
 
         Linear interpolation between closest ranks (numpy's default);
-        ``None`` when nothing has been observed.
+        ``None`` when nothing has been observed.  Exact until the
+        histogram saw more than :data:`RESERVOIR_SIZE` samples, a
+        uniform-reservoir estimate after (:attr:`sampling`).
         """
         if not 0.0 <= q <= 100.0:
             raise ValueError(f"percentile out of range: {q}")
@@ -108,7 +179,8 @@ class Histogram:
             mine = getattr(self, attr)
             setattr(self, attr,
                     float(theirs) if mine is None else pick(mine, theirs))
-        self.samples.extend(float(v) for v in other.get("samples", ()))
+        for value in other.get("samples", ()):
+            self._retain(float(value))
 
 
 class MetricsRegistry:

@@ -1,0 +1,63 @@
+"""Bridging ``random.Random`` streams into numpy, bit-for-bit.
+
+Both CPython's :class:`random.Random` and numpy's legacy
+:class:`numpy.random.RandomState` run the same MT19937 generator and
+build doubles the same way (two 32-bit words, ``(a >> 5, b >> 6)``
+combined at 53-bit precision), so a RandomState *seeded with a Random's
+internal state* produces the identical uniform stream the Random would
+have — and its post-draw state can be copied back.  That is what lets
+the vectorized traffic synthesis (:mod:`repro.service.traffic`) draw a
+whole column of uniforms in one call while staying bit-identical to the
+historical one-draw-per-request loops: same seed, same stream, same
+arrivals.
+
+The exponential transform is the one place vectorization must *not* use
+``np.log``: numpy's SIMD log differs from libm's in the last ulp for a
+fraction of inputs (~0.3% on this machine), which would silently change
+arrival times and break golden trace hashes.  :func:`neg_log1m` keeps
+``math.log`` (what ``random.expovariate`` uses) over a plain-float list,
+which is still ~10x cheaper than drawing scalars one call at a time.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import List
+
+import numpy as np
+
+
+def bulk_uniforms(rng: random.Random, n: int) -> np.ndarray:
+    """Draw ``n`` uniforms from ``rng``'s stream as one float64 array.
+
+    Bit-identical to ``[rng.random() for _ in range(n)]`` and advances
+    ``rng`` by exactly ``n`` draws (the generator state is cloned into a
+    :class:`numpy.random.RandomState`, drawn from, and copied back), so
+    scalar draws interleaved before/after a bulk draw continue the same
+    stream the all-scalar code consumed.
+    """
+    if n <= 0:
+        return np.empty(0, dtype=np.float64)
+    version, internal, gauss = rng.getstate()
+    state = np.random.RandomState()
+    state.set_state(
+        ("MT19937", np.asarray(internal[:-1], dtype=np.uint32),
+         internal[-1]))
+    out = state.random_sample(n)
+    _, keys, pos, _, _ = state.get_state()
+    rng.setstate((version, tuple(int(k) for k in keys) + (pos,), gauss))
+    return out
+
+
+def neg_log1m(u: np.ndarray) -> np.ndarray:
+    """``-log(1 - u)`` elementwise, with libm's ``log`` per element.
+
+    The unit-rate exponential behind ``random.expovariate``: dividing by
+    a rate ``lambd`` afterwards reproduces ``expovariate(lambd)``
+    exactly (same op order, same ``math.log``).  ``np.log`` is *not*
+    used on purpose — see the module docstring.
+    """
+    log = math.log
+    values: List[float] = [-log(1.0 - x) for x in u.tolist()]
+    return np.asarray(values, dtype=np.float64)

@@ -44,7 +44,8 @@ from .sched import (SCHED_POLICIES, SchedAccounting, SchedPolicy,
 from .server import BatchMark, ServiceWorkload, batch_boundaries, \
     batch_markers, generate_service_trace, worker_slots
 from .shard import TraceShard, shard_by_worker
-from .traffic import Request, generate_requests, rate_multiplier
+from .traffic import (Request, RequestColumns, generate_request_columns,
+                      generate_requests, rate_multiplier)
 
 __all__ = [
     "ARRIVALS",
@@ -58,6 +59,7 @@ __all__ = [
     "PATTERNS",
     "POLICIES",
     "Request",
+    "RequestColumns",
     "SCHED_POLICIES",
     "SchedAccounting",
     "SchedPolicy",
@@ -74,6 +76,7 @@ __all__ = [
     "batch_markers",
     "build_plan",
     "build_plan_keyed",
+    "generate_request_columns",
     "generate_requests",
     "generate_service_trace",
     "generate_service_trace_keyed",

@@ -82,6 +82,12 @@ def register_pattern(name: str):
 class ArrivalPattern:
     """Base pattern: stationary rate, every client always connected."""
 
+    #: True when :meth:`rate` is identically 1.0 — the vectorized open
+    #: loop can then turn the gap recurrence into one ``cumsum`` instead
+    #: of walking the clock.  Patterns whose rate varies with time must
+    #: set this False (the remap may still vectorize).
+    stationary = True
+
     def rate(self, params: "ServiceParams", now: float) -> float:
         """Instantaneous offered-rate multiplier at time ``now``."""
         return 1.0
@@ -90,6 +96,24 @@ class ArrivalPattern:
                      client: int, n_clients: int) -> int:
         """Map a sampled client onto the connected population."""
         return client
+
+    def remap_clients(self, params: "ServiceParams", now, clients,
+                      n_clients: int):
+        """Batch :meth:`remap_client` over parallel time/client arrays.
+
+        ``now`` and ``clients`` are equal-length numpy arrays; returns
+        the remapped client array.  The base implementation loops over
+        the scalar hook, so plugin patterns stay correct without
+        writing array code; the built-ins override it with the closed
+        form (element-for-element identical — pinned by the columnar
+        differential suite).
+        """
+        import numpy as np
+        remap = self.remap_client
+        return np.asarray(
+            [remap(params, t, c, n_clients)
+             for t, c in zip(now.tolist(), clients.tolist())],
+            dtype=np.int64)
 
 
 @register_pattern("poisson")
@@ -102,6 +126,8 @@ class BurstPattern(ArrivalPattern):
     """Periodic on/off spike: ``burst_factor`` during the first
     ``burst_fraction`` of every ``burst_period_cycles`` window."""
 
+    stationary = False
+
     def rate(self, params: "ServiceParams", now: float) -> float:
         phase = now % params.burst_period_cycles
         if phase < params.burst_fraction * params.burst_period_cycles:
@@ -113,6 +139,8 @@ class BurstPattern(ArrivalPattern):
 class DiurnalPattern(ArrivalPattern):
     """Sinusoid of relative amplitude ``diurnal_amplitude`` (always
     positive, so the process never stalls)."""
+
+    stationary = False
 
     def rate(self, params: "ServiceParams", now: float) -> float:
         return 1.0 + params.diurnal_amplitude * math.sin(
@@ -149,6 +177,17 @@ class ChurnPattern(ArrivalPattern):
         start, width = self.window(params, now, n_clients)
         return (start + client % width) % n_clients
 
+    def remap_clients(self, params: "ServiceParams", now, clients,
+                      n_clients: int):
+        # The closed form of the scalar hook over arrays: float floor
+        # division matches ``int(now // period)`` for the non-negative
+        # clocks arrivals run on.
+        import numpy as np
+        width = max(1, round(n_clients * params.churn_active_fraction))
+        wave = (now // params.churn_period_cycles).astype(np.int64)
+        start = (wave * width) % n_clients
+        return (start + clients % width) % n_clients
+
 
 @register_pattern("waves")
 class ConnectWavesPattern(ChurnPattern):
@@ -167,6 +206,8 @@ class ConnectWavesPattern(ChurnPattern):
     Like ``churn``, open-loop only (the closed loop has no notion of
     disconnection); reuses the burst knobs for the stampede shape.
     """
+
+    stationary = False
 
     def rate(self, params: "ServiceParams", now: float) -> float:
         phase = now % params.churn_period_cycles

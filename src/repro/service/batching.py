@@ -45,13 +45,18 @@ re-pin clients to workers at epoch boundaries (docs/SCHEDULING.md).
 from __future__ import annotations
 
 import heapq
-from dataclasses import dataclass, field
-from typing import List, Optional, Tuple
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
 
 from ..errors import SimulationError
 from .params import ServiceParams, nominal_request_cycles
-from .sched.policy import REJECT, SHED, SchedPolicy, SchedState, policy_by_name
-from .traffic import Request, generate_requests, think_gap
+from .sched.policy import (REJECT, SHED, SchedPolicy, SchedState,
+                           policy_by_name)
+from .arrivals import pattern_by_name
+from .traffic import (Request, RequestColumns, generate_request_columns,
+                      generate_requests)
 
 
 class DispatchClock:
@@ -118,34 +123,171 @@ class Batch:
     worker: int
 
 
-@dataclass
-class ServicePlan:
-    """The full, deterministic schedule of one service run."""
+class PlanColumns:
+    """A schedule as flat arrays over a :class:`RequestColumns` store.
 
-    params: ServiceParams
-    batches: List[Batch]
-    rejected: List[Request] = field(default_factory=list)
-    #: Requests the scheduling policy's SLO valve shed (open loop: the
-    #: request is dropped; closed loop: the deferred retry already
-    #: happened inside the loop, this records the deferral).
-    shed: List[Request] = field(default_factory=list)
-    #: Client->worker affinity re-pins the policy applied at epoch
-    #: boundaries, and the epochs it evaluated.
-    migrations: int = 0
-    epochs: int = 0
-    #: Dispatch-simulation iterations taken to build the schedule
-    #: (observability: how hard the loop worked, not a cycle count).
-    loop_iterations: int = 0
+    Batches are a CSR layout: ``member_rows`` holds row indices into
+    ``requests`` in batch-member order, ``batch_starts`` the per-batch
+    offsets (``len(batch_starts) == n_batches + 1``);
+    ``batch_clients``/``batch_workers`` are parallel per-batch columns
+    and ``rejected_rows`` the queue-full drops in arrival order.  The
+    streaming server and the latency accounting consume this directly —
+    no per-request objects on the million-request path.
+    """
+
+    __slots__ = ("requests", "member_rows", "batch_starts",
+                 "batch_clients", "batch_workers", "rejected_rows")
+
+    def __init__(self, requests: RequestColumns, member_rows: np.ndarray,
+                 batch_starts: np.ndarray, batch_clients: np.ndarray,
+                 batch_workers: np.ndarray, rejected_rows: np.ndarray):
+        self.requests = requests
+        self.member_rows = member_rows
+        self.batch_starts = batch_starts
+        self.batch_clients = batch_clients
+        self.batch_workers = batch_workers
+        self.rejected_rows = rejected_rows
+
+    @classmethod
+    def from_objects(cls, batches: Sequence[Batch],
+                     rejected: Sequence[Request]) -> "PlanColumns":
+        """Columnarize an object-built plan (plugin planners, tests)."""
+        members = [request for batch in batches for request in batch.requests]
+        store = RequestColumns.from_requests(members + list(rejected))
+        sizes = np.fromiter((len(batch.requests) for batch in batches),
+                            dtype=np.int64, count=len(batches))
+        starts = np.zeros(len(batches) + 1, dtype=np.int64)
+        np.cumsum(sizes, out=starts[1:])
+        return cls(
+            requests=store,
+            member_rows=np.arange(len(members), dtype=np.int64),
+            batch_starts=starts,
+            batch_clients=np.fromiter((b.client for b in batches),
+                                      dtype=np.int64, count=len(batches)),
+            batch_workers=np.fromiter((b.worker for b in batches),
+                                      dtype=np.int64, count=len(batches)),
+            rejected_rows=np.arange(len(members),
+                                    len(members) + len(rejected),
+                                    dtype=np.int64))
+
+    @property
+    def n_batches(self) -> int:
+        return int(self.batch_clients.shape[0])
+
+    def batch_sizes(self) -> np.ndarray:
+        return np.diff(self.batch_starts)
+
+
+class ServicePlan:
+    """The full, deterministic schedule of one service run.
+
+    Columnar at heart: plans built by the dispatch simulation carry a
+    :class:`PlanColumns` and materialize the historical
+    ``batches``/``rejected`` object lists only on first access (tests,
+    plugin consumers).  Plans may equally be constructed object-first —
+    ``ServicePlan(params=..., batches=[...])`` — in which case
+    :attr:`columns` is derived lazily instead.  Either way the two views
+    hold identical values.
+    """
+
+    def __init__(self, params: ServiceParams,
+                 batches: Optional[List[Batch]] = None,
+                 rejected: Optional[List[Request]] = None,
+                 shed: Optional[List[Request]] = None,
+                 migrations: int = 0, epochs: int = 0,
+                 loop_iterations: int = 0, *,
+                 columns: Optional[PlanColumns] = None):
+        self.params = params
+        self._columns = columns
+        self._batches = list(batches) if batches is not None else None
+        self._rejected = list(rejected) if rejected is not None else None
+        if columns is None:
+            if self._batches is None:
+                self._batches = []
+            if self._rejected is None:
+                self._rejected = []
+        #: Requests the scheduling policy's SLO valve shed (open loop:
+        #: the request is dropped; closed loop: the deferred retry
+        #: already happened inside the loop, this records the deferral).
+        self.shed: List[Request] = list(shed) if shed is not None else []
+        #: Client->worker affinity re-pins the policy applied at epoch
+        #: boundaries, and the epochs it evaluated.
+        self.migrations = migrations
+        self.epochs = epochs
+        #: Dispatch-simulation iterations taken to build the schedule
+        #: (observability: how hard the loop worked, not a cycle count).
+        self.loop_iterations = loop_iterations
+
+    @property
+    def columns(self) -> PlanColumns:
+        """The columnar schedule (derived once for object-built plans)."""
+        if self._columns is None:
+            self._columns = PlanColumns.from_objects(
+                self._batches, self._rejected)
+        return self._columns
+
+    @property
+    def batches(self) -> List[Batch]:
+        if self._batches is None:
+            cols = self._columns
+            members = cols.requests.to_requests(cols.member_rows)
+            starts = cols.batch_starts.tolist()
+            clients = cols.batch_clients.tolist()
+            workers = cols.batch_workers.tolist()
+            self._batches = [
+                Batch(index=i, client=clients[i],
+                      requests=tuple(members[starts[i]:starts[i + 1]]),
+                      worker=workers[i])
+                for i in range(len(clients))]
+        return self._batches
+
+    @property
+    def rejected(self) -> List[Request]:
+        if self._rejected is None:
+            self._rejected = self._columns.requests.to_requests(
+                self._columns.rejected_rows)
+        return self._rejected
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, ServicePlan):
+            return NotImplemented
+        return (self.params, self.batches, self.rejected, self.shed,
+                self.migrations, self.epochs, self.loop_iterations) == \
+            (other.params, other.batches, other.rejected, other.shed,
+             other.migrations, other.epochs, other.loop_iterations)
+
+    def __repr__(self) -> str:
+        return (f"ServicePlan(params={self.params!r}, "
+                f"n_batches={len(self.columns.batch_clients)}, "
+                f"n_served={self.n_served}, "
+                f"n_rejected={len(self.columns.rejected_rows)})")
 
     @property
     def n_served(self) -> int:
-        return sum(len(batch.requests) for batch in self.batches)
+        if self._columns is not None:
+            return int(self._columns.member_rows.shape[0])
+        return sum(len(batch.requests) for batch in self._batches)
+
+    @property
+    def n_rejected(self) -> int:
+        if self._columns is not None:
+            return int(self._columns.rejected_rows.shape[0])
+        return len(self._rejected)
 
     @property
     def coalesced(self) -> int:
         """Requests that shared a window with an earlier one (the count
         of permission-switch pairs batching saved)."""
-        return sum(len(batch.requests) - 1 for batch in self.batches)
+        if self._columns is not None:
+            return self.n_served - self._columns.n_batches
+        return sum(len(batch.requests) - 1 for batch in self._batches)
+
+    def batch_sizes(self) -> np.ndarray:
+        """Per-batch member counts, in batch order (int64)."""
+        if self._columns is not None:
+            return self._columns.batch_sizes()
+        return np.fromiter((len(b.requests) for b in self._batches),
+                           dtype=np.int64, count=len(self._batches))
 
 
 def _take_batch(params: ServiceParams, queue: List[Request],
@@ -188,12 +330,28 @@ def build_plan(params: ServiceParams,
     state = SchedState(params, clock, max(1, params.workers))
     if params.arrival == "closed" and params.dispatch == "replay":
         plan = _closed_feedback_plan(params, clock, policy, state)
+    elif _is_static(policy):
+        plan = _stream_plan_columns(params, clock)
     else:
         plan = _stream_plan(params, clock, policy, state)
     plan.shed = state.shed
     plan.migrations = state.migrations
     plan.epochs = state.epochs
     return plan
+
+
+def _is_static(policy: SchedPolicy) -> bool:
+    """Whether the policy's every hook is the base (static) behaviour.
+
+    True for ``static`` and for any subclass that overrides nothing the
+    stream loop consults — exactly the plans the columnar fast path can
+    build without a policy round-trip per decision.  Policies with a
+    custom ``admit``/``select`` or an epoch loop take the object path.
+    """
+    cls = type(policy)
+    return (cls.admit is SchedPolicy.admit
+            and cls.select is SchedPolicy.select
+            and not policy.uses_epochs)
 
 
 def _observe_batch(policy: SchedPolicy, state: SchedState, client: int,
@@ -259,6 +417,85 @@ def _stream_plan(params: ServiceParams, clock: DispatchClock,
                        loop_iterations=iterations)
 
 
+def _stream_plan_columns(params: ServiceParams,
+                         clock: DispatchClock) -> ServicePlan:
+    """The static-policy dispatch loop over the column store.
+
+    Decision-for-decision identical to :func:`_stream_plan` with the
+    base policy hooks — bounded-queue admission, head-of-line selection,
+    earliest-free worker (ties to the lowest slot, here a heap of
+    ``(free, slot)`` pairs) — but the queue holds plain row indices and
+    the result lands straight in :class:`PlanColumns`: no ``Request`` or
+    ``Batch`` objects exist on this path.  Pinned against the object
+    loop by ``tests/service/test_sched.py`` / ``test_columns.py``.
+    """
+    store = generate_request_columns(params)
+    arrivals = store.arrivals.tolist()
+    clients = store.clients.tolist()
+    n = len(arrivals)
+    workers = max(1, params.workers)
+    max_queue = params.max_queue
+    by_client = params.batching == "client"
+    window = params.batch_window
+    limit = params.batch_limit
+    batch_cycles = clock.batch_cycles
+    #: One (free time, slot) entry per worker; the heap root is exactly
+    #: ``min(range(workers), key=free.__getitem__)`` of the object loop.
+    free = [(0.0, slot) for slot in range(workers)]
+    queue: List[int] = []  # admitted rows, arrival order
+    member_rows: List[int] = []
+    sizes: List[int] = []
+    batch_clients: List[int] = []
+    batch_workers: List[int] = []
+    rejected_rows: List[int] = []
+    position = 0
+    iterations = 0
+
+    while position < n or queue:
+        iterations += 1
+        now, slot = free[0]
+        if not queue:
+            # Idle worker: jump to the next arrival.
+            arrival = arrivals[position]
+            if arrival > now:
+                now = arrival
+        while position < n and arrivals[position] <= now:
+            row = position
+            position += 1
+            if max_queue and len(queue) >= max_queue:
+                rejected_rows.append(row)
+            else:
+                queue.append(row)
+        if not queue:
+            heapq.heapreplace(free, (now, slot))
+            continue
+        head_client = clients[queue[0]]
+        if by_client:
+            members = [row for row in queue[:window]
+                       if clients[row] == head_client][:limit]
+            for row in members:
+                queue.remove(row)
+        else:
+            members = [queue.pop(0)]
+        heapq.heapreplace(free, (now + batch_cycles(len(members)), slot))
+        member_rows.extend(members)
+        sizes.append(len(members))
+        batch_clients.append(head_client)
+        batch_workers.append(slot)
+
+    starts = np.zeros(len(sizes) + 1, dtype=np.int64)
+    np.cumsum(np.asarray(sizes, dtype=np.int64), out=starts[1:])
+    columns = PlanColumns(
+        requests=store,
+        member_rows=np.asarray(member_rows, dtype=np.int64),
+        batch_starts=starts,
+        batch_clients=np.asarray(batch_clients, dtype=np.int64),
+        batch_workers=np.asarray(batch_workers, dtype=np.int64),
+        rejected_rows=np.asarray(rejected_rows, dtype=np.int64))
+    return ServicePlan(params=params, loop_iterations=iterations,
+                       columns=columns)
+
+
 def _closed_feedback_plan(params: ServiceParams, clock: DispatchClock,
                           policy: SchedPolicy,
                           state: SchedState) -> ServicePlan:
@@ -279,8 +516,23 @@ def _closed_feedback_plan(params: ServiceParams, clock: DispatchClock,
     rng = random.Random(params.seed)
     workers = max(1, params.workers)
     free = [0.0] * workers
+    # Hot-loop hoists: think_gap(params, rng, now) unwraps to one
+    # expovariate at the pattern's instantaneous rate — same single
+    # rng draw, minus a registry lookup and two call frames per issue.
+    pattern = pattern_by_name(params.pattern)
+    rate = pattern.rate
+    think = params.think_cycles
+    read_fraction = params.read_fraction
+    n_requests = params.n_requests
+    expovariate = rng.expovariate
+    random_draw = rng.random
+    heappush, heappop = heapq.heappush, heapq.heappop
+    # Static policies never consult the live profile, so skipping the
+    # per-batch control-loop fold is output-invisible (the base admit /
+    # select hooks read only the queue, and no epochs run).
+    observing = not _is_static(policy)
     #: (next issue time, client) — a heap keeps client order stable.
-    pending = [(think_gap(params, rng, 0.0), client)
+    pending = [(expovariate(rate(params, 0.0) / think), client)
                for client in range(params.n_clients)]
     heapq.heapify(pending)
     queue: List[Request] = []
@@ -291,27 +543,32 @@ def _closed_feedback_plan(params: ServiceParams, clock: DispatchClock,
 
     while True:
         iterations += 1
-        slot = min(range(workers), key=lambda w: free[w])
-        now = free[slot]
+        if workers == 1:
+            slot = 0
+            now = free[0]
+        else:
+            slot = min(range(workers), key=free.__getitem__)
+            now = free[slot]
         # Admit every issue due by now; rejected clients back off + retry
         # (each retry is a fresh offered request against the budget).
-        while pending and issued < params.n_requests and \
-                pending[0][0] <= now:
-            ready, client = heapq.heappop(pending)
+        while pending and issued < n_requests and pending[0][0] <= now:
+            ready, client = heappop(pending)
             request = Request(
                 rid=issued, client=client, arrival=ready,
-                is_write=rng.random() >= params.read_fraction)
+                is_write=random_draw() >= read_fraction)
             issued += 1
             verdict = policy.admit(state, request, queue)
             if verdict == REJECT or verdict == SHED:
                 (rejected if verdict == REJECT else state.shed).append(
                     request)
-                heapq.heappush(
-                    pending, (ready + think_gap(params, rng, ready), client))
+                heappush(
+                    pending,
+                    (ready + expovariate(rate(params, ready) / think),
+                     client))
             else:
                 queue.append(request)
         if not queue:
-            if issued >= params.n_requests or not pending:
+            if issued >= n_requests or not pending:
                 break
             # Idle worker: jump to the next issue.
             free[slot] = max(now, pending[0][0])
@@ -324,12 +581,13 @@ def _closed_feedback_plan(params: ServiceParams, clock: DispatchClock,
             index=len(batches), client=head.client,
             requests=tuple(members), worker=slot))
         free[slot] = completion
+        lambd = rate(params, completion) / think
         for request in members:
-            heapq.heappush(
-                pending,
-                (completion + think_gap(params, rng, completion),
-                 request.client))
-        _observe_batch(policy, state, head.client, members, now, completion)
+            heappush(pending,
+                     (completion + expovariate(lambd), request.client))
+        if observing:
+            _observe_batch(policy, state, head.client, members, now,
+                           completion)
 
     return ServicePlan(params=params, batches=batches, rejected=rejected,
                        loop_iterations=iterations)

@@ -82,13 +82,13 @@ def _calibrate(probe: ServiceParams, scheme: str) -> CalibratedClock:
     from ..engine.context import replay_one
     from .server import ServiceWorkload, batch_boundaries
     plan = build_plan(probe)
-    if not plan.batches:
+    if not plan.columns.n_batches:
         raise SimulationError("calibration run produced no batches")
     workload = ServiceWorkload(probe)
     workload.serve(plan)
     trace = workload.finish()
     stats = replay_one(trace, scheme, marks=batch_boundaries(trace))
-    sizes = [len(batch.requests) for batch in plan.batches]
+    sizes = plan.batch_sizes().tolist()
     deltas: List[float] = []
     previous = 0.0
     for elapsed in stats.mark_cycles:

@@ -23,10 +23,22 @@ Which worker served which batch is carried by the trace's batch markers
 order workers first close a window — a worker idle through its first
 scheduling quantum no longer shifts the attribution.
 
+The walk itself is columnar (:func:`_walk_marks`): only the per-worker
+wall-clock recurrence runs as a scalar loop over *batches*; member
+gathers, the latest-arrival reduction, the latency distribution and the
+per-client folds operate on the plan's column store
+(:class:`~repro.service.batching.PlanColumns`) in whole-array steps —
+same float ops in the same order, so the accounting of a million-request
+run matches the historical per-object walk bit for bit while doing none
+of its per-request Python work.
+
 Percentiles come from :class:`repro.obs.metrics.Histogram` — the obs
 layer's exact-sample histogram — so the summary's p50/p95/p99 match
 what an external metrics consumer would compute from the exported
-``service.latency_cycles`` samples.
+``service.latency_cycles`` samples.  (Past
+``Histogram.RESERVOIR_SIZE`` samples the histogram degrades to a
+bounded deterministic reservoir and bumps the
+``service.latency_reservoir_engaged`` obs counter.)
 """
 
 from __future__ import annotations
@@ -34,19 +46,36 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
+import numpy as np
+
 from .. import obs
 from ..errors import SimulationError
 from ..cpu.trace import Trace
 from ..obs.metrics import Histogram
 from ..sim.stats import RunStats
-from .batching import Batch, ServicePlan
+from .batching import Batch, PlanColumns, ServicePlan
 from .sched.accounting import SchedAccounting, fold_shed
 from .sched.profile import profile_tenants
 from .server import batch_markers
 
 
-def served_batches(trace: Trace, plan: ServicePlan) -> List[Batch]:
-    """The plan's batches in the order the trace actually served them.
+def _partition_order(cols: PlanColumns):
+    """Plan indices grouped by worker slot, plan order within a slot.
+
+    Returns ``(order, slots, offsets, counts)``: ``order`` holds plan
+    batch indices sorted by slot (stable, so each slot's subsequence
+    stays in plan order); slot ``slots[i]``'s partition is
+    ``order[offsets[i]:offsets[i] + counts[i]]``.
+    """
+    order = np.argsort(cols.batch_workers, kind="stable")
+    slots, counts = np.unique(cols.batch_workers, return_counts=True)
+    offsets = np.zeros(len(slots), dtype=np.int64)
+    np.cumsum(counts[:-1], out=offsets[1:])
+    return order, slots, offsets, counts
+
+
+def _served_plan_order(trace: Trace, cols: PlanColumns) -> np.ndarray:
+    """Plan batch indices in the order the trace actually served them.
 
     With one worker this is plan order.  With several, the round-robin
     scheduler interleaves the per-worker partitions; each batch marker
@@ -55,25 +84,48 @@ def served_batches(trace: Trace, plan: ServicePlan) -> List[Batch]:
     partition order.
     """
     markers = batch_markers(trace)
-    if len(markers) != len(plan.batches):
+    if len(markers) != cols.n_batches:
         raise SimulationError(
             f"trace closed {len(markers)} permission windows but the "
-            f"plan has {len(plan.batches)} batches — trace/plan mismatch")
-    partitions: Dict[int, List[Batch]] = {}
-    for batch in plan.batches:
-        partitions.setdefault(batch.worker, []).append(batch)
-    cursor: Dict[int, int] = {slot: 0 for slot in partitions}
-    order: List[Batch] = []
-    for marker in markers:
-        slot = marker.worker
-        position = cursor.get(slot, 0)
-        if slot not in partitions or position >= len(partitions[slot]):
-            raise SimulationError(
-                f"trace serves more batches on worker slot {slot} than "
-                f"the plan assigns it — trace/plan mismatch")
-        cursor[slot] = position + 1
-        order.append(partitions[slot][position])
-    return order
+            f"plan has {cols.n_batches} batches — trace/plan mismatch")
+    if not markers:
+        return np.empty(0, dtype=np.int64)
+    order, slots, offsets, counts = _partition_order(cols)
+    marker_slots = np.fromiter((marker.worker for marker in markers),
+                               dtype=np.int64, count=len(markers))
+    # Each marker consumes the next batch of its slot's partition: its
+    # occurrence rank among same-slot markers is the partition cursor.
+    by_slot = np.argsort(marker_slots, kind="stable")
+    grouped = marker_slots[by_slot]
+    fresh = np.r_[True, grouped[1:] != grouped[:-1]]
+    group_start = np.flatnonzero(fresh)
+    rank_sorted = np.arange(len(grouped), dtype=np.int64) - \
+        group_start[np.cumsum(fresh) - 1]
+    rank = np.empty(len(markers), dtype=np.int64)
+    rank[by_slot] = rank_sorted
+    position = np.searchsorted(slots, marker_slots)
+    known = (position < len(slots)) & \
+        (slots[np.minimum(position, len(slots) - 1)] == marker_slots)
+    overrun = ~known | (rank >= counts[np.minimum(position,
+                                                  len(slots) - 1)])
+    if overrun.any():
+        slot = int(marker_slots[int(np.flatnonzero(overrun)[0])])
+        raise SimulationError(
+            f"trace serves more batches on worker slot {slot} than "
+            f"the plan assigns it — trace/plan mismatch")
+    return order[offsets[position] + rank]
+
+
+def served_batches(trace: Trace, plan: ServicePlan) -> List[Batch]:
+    """The plan's batches in the order the trace actually served them.
+
+    The object view of :func:`_served_plan_order` — the accounting
+    itself gathers straight from the plan's column store and never
+    materializes these.
+    """
+    batches = plan.batches
+    return [batches[i]
+            for i in _served_plan_order(trace, plan.columns).tolist()]
 
 
 @dataclass
@@ -181,6 +233,58 @@ class ServiceSummary:
         }
 
 
+def _walk_marks(cols: PlanColumns, plan_idx: np.ndarray, marks,
+                latency: Histogram, sched: SchedAccounting,
+                walls: Dict[int, float], busy: Dict[int, float]) -> None:
+    """Fold one mark sequence over the given batches (served order).
+
+    The per-worker wall-clock recurrence —
+    ``W_w = max(W_w, latest member arrival) + (C_k - C_{k-1})`` —
+    stays a scalar loop (each step feeds the next), but it runs over
+    *batches* only; everything per *request* (member gathers, latest-
+    arrival reduction, latency distribution, per-client folds) operates
+    on the plan's column store in whole-array steps.  Every float op is
+    the same op in the same order as the historical per-object walk, so
+    the resulting samples are bit-identical (pinned by
+    ``tests/service/test_latency.py``).
+    """
+    n = len(plan_idx)
+    if n == 0:
+        return
+    marks_arr = np.asarray(marks, dtype=np.float64)
+    deltas = np.empty(n, dtype=np.float64)
+    deltas[0] = marks_arr[0] - 0.0
+    np.subtract(marks_arr[1:], marks_arr[:-1], out=deltas[1:])
+
+    starts = cols.batch_starts
+    sizes = np.diff(starts)[plan_idx]
+    csr = np.zeros(n + 1, dtype=np.int64)
+    np.cumsum(sizes, out=csr[1:])
+    rows = cols.member_rows[
+        np.repeat(starts[plan_idx], sizes) +
+        (np.arange(int(csr[-1]), dtype=np.int64) -
+         np.repeat(csr[:-1], sizes))]
+    arrivals = cols.requests.arrivals[rows]
+    ready = np.maximum.reduceat(arrivals, csr[:-1])
+
+    done_list = [0.0] * n
+    for i, (slot, client, batch_ready, delta) in enumerate(zip(
+            cols.batch_workers[plan_idx].tolist(),
+            cols.batch_clients[plan_idx].tolist(),
+            ready.tolist(), deltas.tolist())):
+        finish = max(walls.get(slot, 0.0), batch_ready) + delta
+        walls[slot] = finish
+        busy[slot] = busy.get(slot, 0.0) + delta
+        sched.observe_batch(client, delta)
+        done_list[i] = finish
+    done = np.asarray(done_list, dtype=np.float64)
+
+    latencies = np.repeat(done, sizes) - arrivals
+    latency.observe_many(latencies)
+    sched.observe_requests(cols.requests.clients[rows], latencies,
+                           cols.requests.is_write[rows])
+
+
 def account(plan: ServicePlan, trace: Trace, stats: RunStats, *,
             frequency_hz: float) -> ServiceSummary:
     """Turn one marked replay into a :class:`ServiceSummary`.
@@ -189,11 +293,12 @@ def account(plan: ServicePlan, trace: Trace, stats: RunStats, *,
     (``service.*`` names, see :mod:`repro.obs.schema`) when
     observability is enabled.
     """
-    if stats.mark_cycles is None and plan.batches:
+    cols = plan.columns
+    if stats.mark_cycles is None and cols.n_batches:
         raise SimulationError(
             "RunStats has no mark_cycles; replay with "
             "marks=batch_boundaries(trace)")
-    order = served_batches(trace, plan)
+    order = _served_plan_order(trace, cols)
     marks = stats.mark_cycles or []
     if len(marks) != len(order):
         raise SimulationError(
@@ -203,19 +308,7 @@ def account(plan: ServicePlan, trace: Trace, stats: RunStats, *,
     sched = SchedAccounting(slo_target=plan.params.slo_p99_cycles)
     walls: Dict[int, float] = {}
     busy: Dict[int, float] = {}
-    previous = 0.0
-    for batch, elapsed in zip(order, marks):
-        delta = elapsed - previous
-        previous = elapsed
-        ready = max(request.arrival for request in batch.requests)
-        done = max(walls.get(batch.worker, 0.0), ready) + delta
-        walls[batch.worker] = done
-        busy[batch.worker] = busy.get(batch.worker, 0.0) + delta
-        sched.observe_batch(batch.client, delta)
-        for request in batch.requests:
-            latency.observe(done - request.arrival)
-            sched.observe_request(request.client, done - request.arrival,
-                                  request.is_write)
+    _walk_marks(cols, order, marks, latency, sched, walls, busy)
     wall = max(walls.values()) if walls else 0.0
     fold_shed(sched, plan)
 
@@ -223,11 +316,11 @@ def account(plan: ServicePlan, trace: Trace, stats: RunStats, *,
     throughput = served * frequency_hz / wall if wall > 0 else 0.0
     summary = ServiceSummary(
         scheme=stats.scheme,
-        n_offered=served + len(plan.rejected) + len(plan.shed),
+        n_offered=served + plan.n_rejected + len(plan.shed),
         n_served=served,
-        n_rejected=len(plan.rejected),
+        n_rejected=plan.n_rejected,
         n_shed=len(plan.shed),
-        n_batches=len(plan.batches),
+        n_batches=cols.n_batches,
         coalesced=plan.coalesced,
         perm_switches=stats.perm_switches,
         cycles=stats.cycles,
@@ -279,17 +372,19 @@ def account_sharded(plan: ServicePlan, shards, shard_stats, *,
     if len(shards) != len(shard_stats):
         raise SimulationError(
             f"{len(shard_stats)} shard replays for {len(shards)} shards")
-    partitions: Dict[int, List[Batch]] = {}
-    for batch in plan.batches:
-        partitions.setdefault(batch.worker, []).append(batch)
+    cols = plan.columns
+    order, slots, offsets, counts = _partition_order(cols)
+    slot_index = {int(slot): i for i, slot in enumerate(slots.tolist())}
 
     latency = Histogram()
     sched = SchedAccounting(slo_target=plan.params.slo_p99_cycles)
     walls: Dict[int, float] = {}
     busy: Dict[int, float] = {}
     for shard, stats in zip(shards, shard_stats):
-        partition = partitions.get(shard.slot, [])
-        if stats.mark_cycles is None and partition:
+        at = slot_index.get(shard.slot)
+        partition = order[offsets[at]:offsets[at] + counts[at]] \
+            if at is not None else np.empty(0, dtype=np.int64)
+        if stats.mark_cycles is None and len(partition):
             raise SimulationError(
                 f"shard {shard.slot} RunStats has no mark_cycles; replay "
                 f"with the shard's marks")
@@ -298,20 +393,7 @@ def account_sharded(plan: ServicePlan, shards, shard_stats, *,
             raise SimulationError(
                 f"shard {shard.slot}: {len(marks)} marks for "
                 f"{len(partition)} planned batches")
-        previous = 0.0
-        for batch, elapsed in zip(partition, marks):
-            delta = elapsed - previous
-            previous = elapsed
-            ready = max(request.arrival for request in batch.requests)
-            done = max(walls.get(batch.worker, 0.0), ready) + delta
-            walls[batch.worker] = done
-            busy[batch.worker] = busy.get(batch.worker, 0.0) + delta
-            sched.observe_batch(batch.client, delta)
-            for request in batch.requests:
-                latency.observe(done - request.arrival)
-                sched.observe_request(request.client,
-                                      done - request.arrival,
-                                      request.is_write)
+        _walk_marks(cols, partition, marks, latency, sched, walls, busy)
     wall = max(walls.values()) if walls else 0.0
     fold_shed(sched, plan)
 
@@ -320,11 +402,11 @@ def account_sharded(plan: ServicePlan, shards, shard_stats, *,
     throughput = served * frequency_hz / wall if wall > 0 else 0.0
     summary = ServiceSummary(
         scheme=merged.scheme,
-        n_offered=served + len(plan.rejected) + len(plan.shed),
+        n_offered=served + plan.n_rejected + len(plan.shed),
         n_served=served,
-        n_rejected=len(plan.rejected),
+        n_rejected=plan.n_rejected,
         n_shed=len(plan.shed),
-        n_batches=len(plan.batches),
+        n_batches=cols.n_batches,
         coalesced=plan.coalesced,
         perm_switches=merged.perm_switches,
         cycles=merged.cycles,
@@ -358,6 +440,12 @@ def _publish(summary: ServiceSummary, plan: ServicePlan) -> None:
             int(round(summary.cross_core_shootdown_cycles)))
         registry.histogram("service.latency_cycles").merge(
             summary.latency.as_dict())
+        engaged = int(summary.latency.sampling) + (
+            sum(1 for histogram in sched.latency.values()
+                if histogram.sampling) if sched is not None else 0)
+        if engaged:
+            registry.counter(
+                "service.latency_reservoir_engaged").inc(engaged)
         busy = registry.histogram("service.worker_busy_cycles")
         for slot in sorted(summary.worker_busy):
             busy.observe(summary.worker_busy[slot])

@@ -24,6 +24,8 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional
 
+import numpy as np
+
 from ...obs.metrics import Histogram
 
 
@@ -81,6 +83,34 @@ class SchedAccounting:
         if is_write:
             self.writes[client] = self.writes.get(client, 0) + 1
 
+    def observe_requests(self, clients: np.ndarray, latencies: np.ndarray,
+                         writes: np.ndarray) -> None:
+        """Fold whole request columns, grouped by client.
+
+        Value-identical to calling :meth:`observe_request` per row in
+        array order: the stable grouping sort preserves each client's
+        sample order, and :meth:`Histogram.observe_many` accumulates
+        with the same sequential additions.
+        """
+        n = int(clients.shape[0])
+        if n == 0:
+            return
+        order = np.argsort(clients, kind="stable")
+        grouped = clients[order]
+        starts = np.flatnonzero(
+            np.r_[True, grouped[1:] != grouped[:-1]])
+        ends = np.r_[starts[1:], n]
+        for g0, g1 in zip(starts.tolist(), ends.tolist()):
+            client = int(grouped[g0])
+            rows = order[g0:g1]
+            histogram = self.latency.get(client)
+            if histogram is None:
+                histogram = self.latency[client] = Histogram()
+            histogram.observe_many(latencies[rows])
+            wrote = int(np.count_nonzero(writes[rows]))
+            if wrote:
+                self.writes[client] = self.writes.get(client, 0) + wrote
+
     def observe_shed(self, client: int) -> None:
         self.shed_by_client[client] = self.shed_by_client.get(client, 0) + 1
 
@@ -112,16 +142,29 @@ class SchedAccounting:
         return self.attainment_at(self.slo_target)
 
     def attainment_at(self, target: float) -> float:
-        """Fraction of served requests with latency ≤ ``target``."""
+        """Fraction of served requests with latency ≤ ``target``.
+
+        Exact while every per-client histogram retains its full sample
+        set; once a histogram's bounded reservoir engages
+        (:attr:`~repro.obs.metrics.Histogram.sampling`), its clients'
+        contribution is the reservoir fraction weighted by the true
+        request count — an unbiased estimate over the same samples
+        :meth:`~repro.obs.metrics.Histogram.percentile` uses.
+        """
         if target <= 0.0:
             return 1.0
-        total = 0
-        met = 0
+        total = 0.0
+        met = 0.0
         for histogram in self.latency.values():
-            for sample in histogram.samples:
-                total += 1
-                if sample <= target:
-                    met += 1
+            retained = histogram.samples
+            if not retained:
+                continue
+            within = sum(1 for sample in retained if sample <= target)
+            total += histogram.count
+            if histogram.count == len(retained):
+                met += within
+            else:
+                met += histogram.count * (within / len(retained))
         return met / total if total else 1.0
 
     def to_dict(self) -> Dict[str, object]:

@@ -28,11 +28,13 @@ The server executes a :class:`~repro.service.batching.ServicePlan`
 
 from __future__ import annotations
 
-from typing import Dict, List, NamedTuple, Tuple
+from typing import Dict, List, NamedTuple, Optional, Tuple
 
 import numpy as np
 
-from ..cpu.trace import INIT_PERM, PERM, Trace
+from ..cpu.trace import (CTXSW, ICOUNT_PER_ACCESS, ICOUNT_PER_PERM,
+                         INIT_PERM, LOAD, PERM, STORE, Trace, TraceColumns,
+                         TraceColumnsBuilder)
 from ..errors import SimulationError
 from ..permissions import Perm
 from ..pmo.oid import OID
@@ -40,6 +42,10 @@ from ..workloads.base import PoolHandle, UnprotectedPolicy, Workspace
 from ..workloads.families import register_family
 from .batching import Batch, ServicePlan, build_plan
 from .params import ServiceParams
+
+#: Assembled events per streamed chunk (bounds transient memory — the
+#: builder's final arrays are sized up front, the chunk scratch is not).
+CHUNK_EVENTS = 1 << 20
 
 
 class ServiceWorkload:
@@ -95,6 +101,12 @@ class ServiceWorkload:
             self.shared_pools.append(pool)
             self.shared_records.append(record)
 
+        #: Streaming assembly state; stays ``None`` when the object
+        #: (recorder) path serves, and :meth:`finish` then degrades to
+        #: the plain workspace finish.
+        self._builder: Optional[TraceColumnsBuilder] = None
+        self._streamed_instructions = 0
+
     # -- serving -----------------------------------------------------------------
 
     def serve_batch(self, batch: Batch, tid: int) -> None:
@@ -142,6 +154,33 @@ class ServiceWorkload:
         every k-th batch (in plan order — the storm schedule is fixed at
         generation time, like everything else) follows it with a
         :meth:`revoke_storm` sweep.
+
+        The default configuration streams: the plan's column store is
+        assembled straight into event arrays (:meth:`_serve_columns`),
+        chunk by chunk, never materializing a ``Request``/``Batch`` or
+        event tuple — event-for-event identical to the recorder path
+        (pinned by ``tests/service/test_columns.py``).  Configurations
+        the assembler does not model (a non-default permission policy,
+        recording suspended, requests that emit no events at all) fall
+        back to :meth:`serve_objects`.
+        """
+        params = self.params
+        per_request = params.read_words + params.stack_per_request + \
+            (params.shared_words if self.shared_records else 0)
+        if (type(self.ws.policy) is not UnprotectedPolicy
+                or not self.ws.recording
+                or per_request == 0
+                or (max(1, params.workers) > 1 and params.quantum < 1)):
+            self.serve_objects(plan)
+            return
+        self._serve_columns(plan)
+
+    def serve_objects(self, plan: ServicePlan) -> None:
+        """The recorder-driven serve: one Python call per event.
+
+        Kept as the semantic reference — the differential suite replays
+        both paths and asserts identical event streams — and as the
+        fallback for configurations :meth:`serve` does not stream.
         """
         params = self.params
         every = params.revoke_every_batches
@@ -180,8 +219,334 @@ class ServiceWorkload:
                             thread)
         scheduler.run()
 
+    # -- streaming columnar serve ----------------------------------------------------
+
+    def _emitted_blocks(self, batch_workers: np.ndarray
+                        ) -> List[Tuple[int, int, int]]:
+        """The trace-order block sequence of the scheduler interleave.
+
+        Each element is ``(plan_index, -1, -1)`` for a served batch or
+        ``(-1, old_tid, new_tid)`` for a context switch.  Replicates
+        :class:`~repro.os.scheduler.RoundRobinScheduler` exactly: slots
+        rotate in spawn order, a turn runs up to ``quantum`` batches, a
+        thread whose remaining work is *less* than the quantum dies
+        within its turn, and one with exactly a quantum left is rotated
+        out alive — coming back only to die, possibly emitting one more
+        context switch first.  The first thread on the core starts
+        without a switch.
+        """
+        params = self.params
+        workers = max(1, params.workers)
+        n_batches = int(batch_workers.shape[0])
+        if workers == 1:
+            return [(index, -1, -1) for index in range(n_batches)]
+        partitions: List[List[int]] = [[] for _ in range(workers)]
+        for index, slot in enumerate(batch_workers.tolist()):
+            partitions[slot].append(index)
+        quantum = params.quantum
+        queue: List[Tuple[int, int]] = [(slot, 0) for slot in range(workers)]
+        current = -1
+        blocks: List[Tuple[int, int, int]] = []
+        while queue:
+            slot, ptr = queue.pop(0)
+            tid = self.worker_tids[slot]
+            if current >= 0 and current != tid:
+                blocks.append((-1, current, tid))
+            current = tid
+            part = partitions[slot]
+            remaining = len(part) - ptr
+            take = min(quantum, remaining)
+            for offset in range(take):
+                blocks.append((part[ptr + offset], -1, -1))
+            if remaining >= quantum:
+                queue.append((slot, ptr + take))
+        return blocks
+
+    def _fault_serving_pages(self, m_client: np.ndarray, m_rid: np.ndarray,
+                             m_write: np.ndarray) -> None:
+        """Demand-fault the pages the streamed accesses would touch.
+
+        The recorder path faults each page at its first traced access,
+        and the trace layout records page-table entries in fault order —
+        so the assembler walks the emitted members in order, faulting
+        any still-unmapped page of each member's access spans exactly
+        where the recorder would have.  Candidates are pruned to pages
+        the plan can actually reach, so the walk stops the moment the
+        last one faults; in the default configuration the setup writes
+        already mapped every serving page and the walk is skipped
+        outright.
+        """
+        params = self.params
+        ws = self.ws
+        mapped = ws.process.page_table._flat
+        n_shared = len(self.shared_records)
+
+        def span_pages(base: int, words: int) -> List[Tuple[int, int]]:
+            """(vpn, first access va) per page of ``words`` accesses."""
+            pages: List[Tuple[int, int]] = []
+            for word in range(words):
+                va = base + 8 * word
+                if not pages or (va >> 12) != pages[-1][0]:
+                    pages.append((va >> 12, va))
+            return pages
+
+        read_pages: List[List[Tuple[int, int]]] = []
+        write_pages: List[List[Tuple[int, int]]] = []
+        for pool, secret in zip(self.pools, self.secrets):
+            base = pool.va_of(secret)
+            read_pages.append(span_pages(base, params.read_words))
+            write_pages.append(span_pages(base + params.read_words * 8,
+                                          params.write_words))
+        shared_pages = [
+            span_pages(pool.va_of(record), params.shared_words)
+            for pool, record in zip(self.shared_pools, self.shared_records)]
+
+        candidates: set = set()
+        served_clients = set(np.unique(m_client).tolist())
+        writer_clients = set(np.unique(m_client[m_write]).tolist()) \
+            if m_write.any() else set()
+        if n_shared:
+            shared_seen = set(np.unique(m_rid % n_shared).tolist())
+        for client in served_clients:
+            for vpn, _ in read_pages[client]:
+                if vpn not in mapped:
+                    candidates.add(vpn)
+        for client in writer_clients:
+            for vpn, _ in write_pages[client]:
+                if vpn not in mapped:
+                    candidates.add(vpn)
+        if n_shared:
+            for shared in shared_seen:
+                for vpn, _ in shared_pages[shared]:
+                    if vpn not in mapped:
+                        candidates.add(vpn)
+        if not candidates:
+            return
+
+        fault = ws.kernel.handle_page_fault
+        process = ws.process
+        for client, rid, write in zip(m_client.tolist(), m_rid.tolist(),
+                                      m_write.tolist()):
+            spans = []
+            if n_shared:
+                spans.append(shared_pages[rid % n_shared])
+            spans.append(read_pages[client])
+            if write:
+                spans.append(write_pages[client])
+            for span in spans:
+                for vpn, va in span:
+                    if vpn in candidates:
+                        fault(process, va)
+                        candidates.discard(vpn)
+            if not candidates:
+                return
+
+    def _serve_columns(self, plan: ServicePlan) -> None:
+        """Assemble the whole serve as streamed event columns."""
+        params = self.params
+        ws = self.ws
+        cols = plan.columns
+        store = cols.requests
+
+        # Setup (and anything else recorded so far) streams out first.
+        if self._builder is None:
+            self._builder = TraceColumnsBuilder()
+        self._flush_recorder()
+
+        n_shared = len(self.shared_records)
+        n_sh = params.shared_words if n_shared else 0
+        reads = params.read_words
+        writes = params.write_words
+        stack = params.stack_per_request
+        cpr = params.compute_per_request
+        stack_base = ws._stack_vma.base
+        every = params.revoke_every_batches
+        swept = max(1, round(params.n_clients * params.revoke_fraction)) \
+            if every else 0
+        storm_domains = np.asarray([pool.domain
+                                    for pool in self.pools[:swept]],
+                                   dtype=np.int64)
+        domain_of = np.asarray([pool.domain for pool in self.pools],
+                               dtype=np.int64)
+        secret_va = np.asarray(
+            [pool.va_of(secret)
+             for pool, secret in zip(self.pools, self.secrets)],
+            dtype=np.int64)
+        shared_va = np.asarray(
+            [pool.va_of(record)
+             for pool, record in zip(self.shared_pools,
+                                     self.shared_records)],
+            dtype=np.int64) if n_shared else np.empty(0, dtype=np.int64)
+        tid_of_slot = np.asarray(self.worker_tids, dtype=np.int64)
+
+        # Trace-order block sequence (scheduler interleave).
+        blocks = self._emitted_blocks(cols.batch_workers)
+        block_plan = np.asarray([b[0] for b in blocks], dtype=np.int64) \
+            if blocks else np.empty(0, dtype=np.int64)
+        block_old = np.asarray([b[1] for b in blocks], dtype=np.int64) \
+            if blocks else np.empty(0, dtype=np.int64)
+        block_new = np.asarray([b[2] for b in blocks], dtype=np.int64) \
+            if blocks else np.empty(0, dtype=np.int64)
+        is_batch = block_plan >= 0
+        batch_ids = block_plan[is_batch]  # plan indices, emission order
+
+        # Per emitted batch (emission order).
+        starts = cols.batch_starts
+        sizes_e = np.diff(starts)[batch_ids]
+        tid_e = tid_of_slot[cols.batch_workers[batch_ids]]
+        dom_e = domain_of[cols.batch_clients[batch_ids]]
+        storm_e = np.zeros(len(batch_ids), dtype=bool)
+        if every:
+            storm_e = (batch_ids + 1) % every == 0
+
+        # Per emitted member (emission order): gather rows through the
+        # plan's CSR in the scheduler's batch order.
+        total_members = int(sizes_e.sum())
+        member_csr = np.zeros(len(batch_ids) + 1, dtype=np.int64)
+        np.cumsum(sizes_e, out=member_csr[1:])
+        intra = np.arange(total_members, dtype=np.int64) - \
+            np.repeat(member_csr[:-1], sizes_e)
+        member_idx = cols.member_rows[
+            np.repeat(starts[batch_ids], sizes_e) + intra]
+        m_rid = store.rids[member_idx]
+        m_write = store.is_write[member_idx]
+        m_client = np.repeat(cols.batch_clients[batch_ids], sizes_e)
+        m_tid = np.repeat(tid_e, sizes_e)
+        m_counts = n_sh + reads + stack + writes * m_write
+
+        # Demand faults land in first-access order, like the recorder's.
+        self._fault_serving_pages(m_client, m_rid, m_write)
+
+        # Block sizes: CTXSW blocks are one event; a batch block is the
+        # window-open PERM, the member accesses, the window-close PERM,
+        # and the storm sweep when one follows.
+        batch_events = np.add.reduceat(m_counts, member_csr[:-1]) \
+            if total_members else np.zeros(len(batch_ids), dtype=np.int64)
+        block_size = np.ones(len(blocks), dtype=np.int64)
+        block_size[is_batch] = 2 + batch_events + \
+            storm_e.astype(np.int64) * swept
+        block_csr = np.zeros(len(blocks) + 1, dtype=np.int64)
+        np.cumsum(block_size, out=block_csr[1:])
+        #: emitted-batch ordinal of each block (valid where is_batch).
+        batch_seq = np.cumsum(is_batch, dtype=np.int64) - 1
+
+        perm_rw = int(Perm.RW)
+        perm_none = int(Perm.NONE)
+        total_events = int(block_csr[-1])
+        self._builder.reserve(len(self._builder) + total_events)
+
+        cursor = 0
+        while cursor < len(blocks):
+            end = int(np.searchsorted(
+                block_csr, block_csr[cursor] + CHUNK_EVENTS, side="left"))
+            end = max(cursor + 1, min(end, len(blocks)))
+            c_isb = is_batch[cursor:end]
+            c_starts = block_csr[cursor:end] - block_csr[cursor]
+            n_chunk = int(block_csr[end] - block_csr[cursor])
+
+            kinds = np.empty(n_chunk, dtype=np.uint8)
+            tids = np.empty(n_chunk, dtype=np.int64)
+            icounts = np.empty(n_chunk, dtype=np.int64)
+            op_a = np.empty(n_chunk, dtype=np.int64)
+            op_b = np.empty(n_chunk, dtype=np.int64)
+
+            # Context switches (tid = outgoing, a = incoming).
+            cpos = c_starts[~c_isb]
+            kinds[cpos] = CTXSW
+            tids[cpos] = block_old[cursor:end][~c_isb]
+            icounts[cpos] = 0
+            op_a[cpos] = block_new[cursor:end][~c_isb]
+            op_b[cpos] = 0
+
+            # Batch windows.
+            seq = batch_seq[cursor:end][c_isb]  # emitted-batch ordinals
+            if len(seq):
+                j0, j1 = int(seq[0]), int(seq[-1]) + 1
+                open_pos = c_starts[c_isb]
+                kinds[open_pos] = PERM
+                tids[open_pos] = tid_e[j0:j1]
+                icounts[open_pos] = ICOUNT_PER_PERM
+                op_a[open_pos] = dom_e[j0:j1]
+                op_b[open_pos] = perm_rw
+
+                # Member accesses, scattered batch-contiguously.
+                m0, m1 = int(member_csr[j0]), int(member_csr[j1])
+                counts = m_counts[m0:m1]
+                n_mem_events = int(batch_events[j0:j1].sum())
+                mstart = np.zeros(len(counts) + 1, dtype=np.int64)
+                np.cumsum(counts, out=mstart[1:])
+                shift = open_pos + 1 - (mstart[:-1][member_csr[j0:j1]
+                                                    - member_csr[j0]])
+                pos = np.arange(n_mem_events, dtype=np.int64) + \
+                    np.repeat(shift, batch_events[j0:j1])
+                k = np.arange(n_mem_events, dtype=np.int64) - \
+                    np.repeat(mstart[:-1], counts)
+                wm = np.repeat(writes * m_write[m0:m1], counts)
+                sv = np.repeat(secret_va[m_client[m0:m1]], counts)
+                write_mask = (k >= n_sh + reads) & (k < n_sh + reads + wm)
+                stack_mask = k >= n_sh + reads + wm
+                addr = sv + 8 * (k - n_sh)
+                if n_sh:
+                    addr = np.where(
+                        k < n_sh,
+                        np.repeat(shared_va[m_rid[m0:m1] % n_shared],
+                                  counts) + 8 * k,
+                        addr)
+                addr = np.where(
+                    stack_mask,
+                    stack_base + (8 * (k - n_sh - reads - wm)) % 4096,
+                    addr)
+                mic = np.full(n_mem_events, ICOUNT_PER_ACCESS,
+                              dtype=np.int64)
+                mic[mstart[:-1]] += cpr  # compute() lands on the first
+                kinds[pos] = np.where(write_mask, STORE, LOAD)
+                tids[pos] = np.repeat(m_tid[m0:m1], counts)
+                icounts[pos] = mic
+                op_a[pos] = addr
+                op_b[pos] = 8
+
+                close_pos = open_pos + 1 + batch_events[j0:j1]
+                kinds[close_pos] = PERM
+                tids[close_pos] = tid_e[j0:j1]
+                icounts[close_pos] = ICOUNT_PER_PERM
+                op_a[close_pos] = dom_e[j0:j1]
+                op_b[close_pos] = perm_none
+
+                stormy = storm_e[j0:j1]
+                if stormy.any():
+                    spos = (close_pos[stormy][:, None] + 1 +
+                            np.arange(swept, dtype=np.int64)).ravel()
+                    flagged = int(stormy.sum())
+                    kinds[spos] = PERM
+                    tids[spos] = np.repeat(tid_e[j0:j1][stormy], swept)
+                    icounts[spos] = ICOUNT_PER_PERM
+                    op_a[spos] = np.tile(storm_domains, flagged)
+                    op_b[spos] = perm_none
+
+            self._streamed_instructions += int(icounts.sum())
+            self._builder.extend(kinds, tids, icounts, op_a, op_b)
+            cursor = end
+
+    def _flush_recorder(self) -> None:
+        """Drain recorder-emitted events into the streaming builder."""
+        events = self.ws.recorder.drain()
+        if events:
+            self._builder.append_columns(TraceColumns.from_events(events))
+
     def finish(self) -> Trace:
-        return self.ws.finish()
+        if self._builder is None:
+            return self.ws.finish()
+        self._flush_recorder()
+        recorder = self.ws.recorder
+        recorder.close()
+        trace = Trace(
+            columns=self._builder.finish(),
+            attach_info=recorder.attach_info,
+            total_instructions=recorder.total_instructions +
+            self._streamed_instructions,
+            label=recorder.label)
+        trace.layout = self.ws.snapshot_layout()
+        return trace
 
     # -- attack injection (examples/tests) ----------------------------------------
 

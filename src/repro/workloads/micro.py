@@ -112,11 +112,40 @@ class ZipfSampler:
             total += weight
             self._cumulative.append(total)
         self._total = total
+        self._items_arr = None
+        self._cumulative_arr = None
 
     def sample(self) -> int:
         point = self._rng.random() * self._total
         rank = self._bisect(self._cumulative, point)
         return self._items[min(rank, len(self._items) - 1)]
+
+    def map_uniforms(self, uniforms) -> "np.ndarray":
+        """Map a uniform[0,1) array through the sampler's distribution.
+
+        The batch counterpart of :meth:`sample`'s body — element ``i``
+        equals ``sample()`` fed the same uniform (``searchsorted`` over
+        the cumulative weights is exactly ``bisect_left``).  Consumes no
+        randomness itself; callers that want the sampler's own stream
+        use :meth:`sample_n`.
+        """
+        import numpy as np
+        if self._cumulative_arr is None:
+            self._cumulative_arr = np.asarray(self._cumulative,
+                                              dtype=np.float64)
+            self._items_arr = np.asarray(self._items, dtype=np.int64)
+        points = np.asarray(uniforms, dtype=np.float64) * self._total
+        ranks = np.searchsorted(self._cumulative_arr, points, side="left")
+        np.minimum(ranks, len(self._items) - 1, out=ranks)
+        return self._items_arr[ranks]
+
+    def sample_n(self, n: int) -> "np.ndarray":
+        """``n`` draws as an int64 array, element-for-element identical
+        to ``[self.sample() for _ in range(n)]`` from the same RNG state
+        (the uniforms come through :func:`repro.rng.bulk_uniforms`, so
+        the shared ``rng`` advances by exactly ``n`` draws)."""
+        from ..rng import bulk_uniforms
+        return self.map_uniforms(bulk_uniforms(self._rng, n))
 
 
 _STRUCT_CLASSES = {

@@ -91,6 +91,38 @@ class TestZipfSampler:
         sampler = ZipfSampler(7, 0.8, random.Random(2))
         assert all(0 <= sampler.sample() < 7 for _ in range(200))
 
+    @pytest.mark.parametrize("n,s,seed", [
+        (1, 1.1, 0), (13, 0.0, 1), (64, 0.99, 2), (100, 1.2, 3),
+    ])
+    def test_sample_n_matches_scalar_loop(self, n, s, seed):
+        """Batch draws are element-for-element the scalar loop from the
+        same RNG state — searchsorted over the cumulative weights is
+        exactly bisect_left on the same uniforms."""
+        import random
+        scalar = ZipfSampler(n, s, random.Random(seed))
+        batch = ZipfSampler(n, s, random.Random(seed))
+        want = [scalar.sample() for _ in range(503)]
+        assert batch.sample_n(503).tolist() == want
+
+    def test_sample_n_advances_rng_like_scalar(self):
+        """After a batch draw the shared RNG sits exactly where the
+        scalar loop would leave it: subsequent scalar draws agree."""
+        import random
+        scalar = ZipfSampler(16, 1.0, random.Random(7))
+        batch = ZipfSampler(16, 1.0, random.Random(7))
+        for _ in range(100):
+            scalar.sample()
+        batch.sample_n(100)
+        assert [batch.sample() for _ in range(50)] == \
+            [scalar.sample() for _ in range(50)]
+
+    def test_sample_n_empty(self):
+        import random
+        sampler = ZipfSampler(4, 1.0, random.Random(1))
+        before = sampler._rng.getstate()
+        assert sampler.sample_n(0).tolist() == []
+        assert sampler._rng.getstate() == before
+
 
 class TestWhisperGeneration:
     @pytest.mark.parametrize("bench", WHISPER_BENCHMARKS)

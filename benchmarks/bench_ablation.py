@@ -17,7 +17,7 @@ from dataclasses import replace
 from repro.experiments.reporting import format_table
 from repro.sim.config import DEFAULT_CONFIG, MemoryConfig
 from repro.sim.simulator import (MULTI_PMO_SCHEMES, overhead_over_lowerbound,
-                                 replay_trace)
+                                 replay_trace, viable_schemes)
 from repro.workloads.micro import MicroParams, generate_micro_trace
 
 N_POOLS = 256
@@ -30,7 +30,9 @@ def _trace():
 
 
 def _overheads(trace, ws, config):
-    results = replay_trace(trace, ws, MULTI_PMO_SCHEMES, config)
+    results = replay_trace(trace, ws,
+                           viable_schemes(MULTI_PMO_SCHEMES, N_POOLS),
+                           config)
     return [overhead_over_lowerbound(results, s) for s in SCHEMES]
 
 

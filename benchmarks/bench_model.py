@@ -8,7 +8,8 @@ charging arithmetic, reported as a table of relative errors.
 from repro.experiments.reporting import format_table
 from repro.sim.config import DEFAULT_CONFIG
 from repro.sim.model import predict, relative_error
-from repro.sim.simulator import MULTI_PMO_SCHEMES, replay_trace
+from repro.sim.simulator import (MULTI_PMO_SCHEMES, replay_trace,
+                                 viable_schemes)
 from repro.workloads.micro import MicroParams, generate_micro_trace
 
 SCHEMES = ("lowerbound", "mpk_virt", "domain_virt", "libmpk")
@@ -20,7 +21,8 @@ def test_model_vs_simulation(benchmark, save_report):
         for bench in ("avl", "bt", "ss"):
             trace, ws = generate_micro_trace(MicroParams(
                 benchmark=bench, n_pools=256, operations=1000))
-            results = replay_trace(trace, ws, MULTI_PMO_SCHEMES)
+            results = replay_trace(trace, ws,
+                                   viable_schemes(MULTI_PMO_SCHEMES, 256))
             for scheme in SCHEMES:
                 stats = results[scheme]
                 measured = stats.cycles - stats.baseline_cycles

@@ -9,7 +9,7 @@ same operation budget and reports each scheme's overhead.
 
 from repro.experiments.reporting import format_table
 from repro.sim.simulator import (MULTI_PMO_SCHEMES, overhead_over_lowerbound,
-                                 replay_trace)
+                                 replay_trace, viable_schemes)
 from repro.workloads.micro import MicroParams, generate_micro_trace
 
 SCHEMES = ("libmpk", "mpk_virt", "domain_virt")
@@ -23,7 +23,8 @@ def test_thread_scaling(benchmark, save_report):
             params = MicroParams(benchmark="avl", n_pools=256,
                                  operations=1200, threads=threads)
             trace, ws = generate_micro_trace(params)
-            results = replay_trace(trace, ws, MULTI_PMO_SCHEMES)
+            results = replay_trace(trace, ws,
+                                   viable_schemes(MULTI_PMO_SCHEMES, 256))
             rows.append(
                 [f"{threads} thread(s)"]
                 + [overhead_over_lowerbound(results, s) for s in SCHEMES])

@@ -25,7 +25,8 @@ from repro.engine import Engine
 from repro.experiments.figure6 import FIGURE6_SCHEMES
 from repro.experiments.reporting import format_table, log2_chart
 from repro.scenario import SCENARIO_DIR, compile_scenario, load_scenario
-from repro.sim.simulator import MULTI_PMO_SCHEMES, overhead_over_lowerbound
+from repro.sim.simulator import (MULTI_PMO_SCHEMES,
+                                 overhead_over_lowerbound, viable_schemes)
 from repro.workloads.micro import MICRO_LABELS
 
 
@@ -52,8 +53,9 @@ def main() -> None:
     points = []
     for cell in compiled.cells:
         n_pools = cell.axes_dict["n_pools"]
-        results = engine.replay_grid([(cell.spec, cell.config)],
-                                     MULTI_PMO_SCHEMES)[0]
+        results = engine.replay_grid(
+            [(cell.spec, cell.config)],
+            viable_schemes(MULTI_PMO_SCHEMES, n_pools))[0]
         for scheme in FIGURE6_SCHEMES:
             series[scheme][n_pools] = overhead_over_lowerbound(
                 results, scheme)

@@ -23,7 +23,7 @@ from ..mem.tlb import TLBEntry
 from ..os.address_space import VMA
 from .drt import DomainRangeTable
 from .permission_table import PTLB, PermissionTable, PTLBEntry
-from .schemes import ProtectionScheme, register_scheme
+from .schemes import CostDescriptor, ProtectionScheme, register_scheme
 
 
 @register_scheme
@@ -32,6 +32,9 @@ class DomainVirtScheme(ProtectionScheme):
 
     name = "domain_virt"
     registry_tags = {"multi_pmo": 3, "single_pmo": 2}
+    cost = CostDescriptor(switch="wrpkru", check="ptlb",
+                          consults_ptlb=True)
+    config_section = "domain_virt"
 
     def __init__(self, *args, **kwargs):
         super().__init__(*args, **kwargs)

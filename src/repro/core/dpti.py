@@ -1,0 +1,99 @@
+"""DPTI — per-domain page tables: CR3 switches instead of key churn.
+
+Domain Page-Table Isolation (PAPERS.md) gives every domain its own page
+table: opening a domain maps its pages into the active address-space
+view, closing it unmaps them.  A SETPERM therefore costs a serializing
+CR3 write (``dpti.cr3_switch_cycles``) — an order of magnitude above a
+WRPKRU — but there are *no* protection keys, so nothing ever runs out,
+nothing remaps, and no shootdown broadcasts cross cores.  The recurring
+price is the TLB: closing a domain drops its translations, which are
+re-walked (and re-charged as ordinary TLB misses) the next time the
+domain opens.
+
+Charging map:
+
+* SETPERM (CR3 write + PCID)   → ``perm_change``  (``cr3_switch_cycles``)
+* dropped translations          → re-walked as ``tlb_misses`` later
+
+Per-access permission lookups consult the software per-domain table
+(``check="swtable"``) — the page-table view itself encodes access, so
+the lookup is free.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from ..mem.tlb import TLBEntry
+from ..os.address_space import VMA
+from ..permissions import Perm, strictest
+from .schemes import CostDescriptor, ProtectionScheme, register_scheme
+
+
+@register_scheme
+class DptiScheme(ProtectionScheme):
+    """Per-domain page tables: CR3-switch cost, no keys, flush on close."""
+
+    name = "dpti"
+    registry_tags = {"multi_pmo": 6}
+    #: No key space at all — domains scale without collapse, and no
+    #: remap shootdowns exist to broadcast.
+    cost = CostDescriptor(switch="cr3", check="swtable",
+                          invalidates_tlb=True)
+    config_section = "dpti"
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self._cr3_cycles = self.config.dpti.cr3_switch_cycles
+        # Per-domain, per-thread view state: which threads currently have
+        # the domain's pages mapped, and how.
+        self._perms: Dict[int, Dict[int, Perm]] = {}
+
+    # -- setup ----------------------------------------------------------------------
+
+    def attach_domain(self, vma: VMA, intent: Perm) -> None:
+        self._perms[vma.pmo_id] = {}
+
+    def detach_domain(self, domain: int) -> None:
+        self._perms.pop(domain, None)
+        killed = self.tlb.domain_flush(domain)
+        self.stats.tlb_entries_invalidated += killed
+
+    def set_initial_perm(self, domain: int, tid: int, perm: Perm) -> None:
+        self._perms[domain][tid] = perm
+
+    # -- measured hooks ---------------------------------------------------------------
+
+    def perm_switch(self, tid: int, domain: int, perm: Perm) -> None:
+        self.stats.charge("perm_change", self._cr3_cycles)
+        table = self._perms[domain]
+        old = table.get(tid, Perm.NONE)
+        table[tid] = perm
+        if perm == Perm.NONE and old != Perm.NONE:
+            # Closing the window unmaps the domain from the active view;
+            # its translations go with it (re-walked on the next open —
+            # the TLB-refill churn that replaces shootdown broadcasts).
+            killed = self.tlb.domain_flush(domain)
+            self.stats.tlb_entries_invalidated += killed
+
+    def fill_tags(self, vma: VMA, tid: int) -> tuple:
+        # The domain's own table is walked — same depth, no extra cost.
+        return 0, vma.pmo_id
+
+    def _swtable_probe(self, domain: int, tid: int) -> Perm:
+        """Access-path permission lookup (check="swtable"): the mapped
+        view is authoritative, and consulting it is free."""
+        table = self._perms.get(domain)
+        if table is None:
+            return Perm.NONE
+        return table.get(tid, Perm.NONE)
+
+    def check_access(self, tid: int, entry: TLBEntry,
+                     is_write: bool) -> bool:
+        if entry.domain == 0:
+            return entry.perm.allows(is_write=is_write)
+        domain_perm = self._swtable_probe(entry.domain, tid)
+        return strictest(entry.perm, domain_perm).allows(is_write=is_write)
+
+    def context_switch(self, old_tid: int, new_tid: int) -> None:
+        """CR3 is per-thread state saved/restored by the OS — free here."""

@@ -1,0 +1,79 @@
+"""ERIM — call-gate isolation over unvirtualized MPK keys.
+
+ERIM (Vahldiek-Oberwagner et al., USENIX Security '19; PAPERS.md)
+hardens WRPKRU with binary inspection and a call-gate sequence around
+every protected switch — so switching domains costs the *gate*, not just
+the 27-cycle register write.  It keeps the raw key model otherwise:
+domains map one-to-one onto the 16 protection keys with nothing behind
+them, so the 17th concurrent domain has nowhere to go and the scheme
+hard-collapses, exactly like default MPK.  Unlike default MPK, ERIM
+manages the key space entirely in user space (no key is ceded to the
+kernel's default-key convention), so all 16 keys are assignable.
+
+Charging map:
+
+* SETPERM via the call gate  → ``perm_change``  (``erim.call_gate_cycles``)
+
+Everything else — TLB, caches, per-access PKRU check — is default-MPK
+behaviour inherited from :class:`~repro.core.mpk.MPKScheme`.
+"""
+
+from __future__ import annotations
+
+from ..errors import PkeyError
+from ..os.address_space import VMA
+from ..permissions import Perm
+from .mpk import MPKScheme
+from .schemes import CostDescriptor, register_scheme
+
+
+@register_scheme
+class ErimScheme(MPKScheme):
+    """Call-gate WRPKRU isolation: 16 self-managed keys, hard limit."""
+
+    name = "erim"
+    registry_tags = {"multi_pmo": 4}
+    #: All 16 keys assignable (user-space key management), but nothing
+    #: virtualizes them: the 17th domain faults.
+    cost = CostDescriptor(switch="wrpkru", check="pkru", key_space=16,
+                          reserved_keys=0, collapse="fault")
+    config_section = "erim"
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        cfg = self.config.erim
+        self._gate_cycles = cfg.call_gate_cycles
+        # ERIM's own key pool (1..usable_keys) — independent of the
+        # kernel's pkey_alloc bookkeeping, which reserves key 0.
+        self._free_keys = list(range(1, cfg.usable_keys + 1))
+
+    # -- setup ---------------------------------------------------------------------
+
+    def attach_domain(self, vma: VMA, intent: Perm) -> None:
+        """Tag the PMO's region with a key from ERIM's own pool.
+
+        Raises :class:`~repro.errors.PkeyError` once all
+        ``erim.usable_keys`` keys are taken — the scalability wall this
+        scheme shares with default MPK.
+        """
+        if not self._free_keys:
+            raise PkeyError("no free protection keys (ERIM 16-key limit "
+                            "reached)")
+        key = self._free_keys.pop(0)
+        self._key_of[vma.pmo_id] = key
+        vma.pkey = key
+        # O(mapped) rewrite; demand-mapped pages inherit ``vma.pkey``
+        # at map time (see MPKScheme.attach_domain).
+        self.process.page_table.set_pkey_for_domain(vma.pmo_id, key)
+
+    def detach_domain(self, domain: int) -> None:
+        key = self._key_of.pop(domain, None)
+        if key is not None:
+            self._free_keys.append(key)
+            self._free_keys.sort()
+
+    # -- measured hooks ---------------------------------------------------------------
+
+    def perm_switch(self, tid: int, domain: int, perm: Perm) -> None:
+        self.stats.charge("perm_change", self._gate_cycles)
+        self.pkru.set(tid, self._key_of[domain], perm)

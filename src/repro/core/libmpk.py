@@ -23,7 +23,7 @@ from ..permissions import Perm, strictest
 from ..mem.tlb import TLBEntry
 from ..os.address_space import VMA
 from .mpk import PKRU
-from .schemes import ProtectionScheme, register_scheme
+from .schemes import CostDescriptor, ProtectionScheme, register_scheme
 
 
 @register_scheme
@@ -32,6 +32,10 @@ class LibmpkScheme(ProtectionScheme):
 
     name = "libmpk"
     registry_tags = {"multi_pmo": 1}
+    cost = CostDescriptor(switch="wrpkru_virt", check="swtable",
+                          key_space=16, collapse="evict",
+                          broadcast_shootdown=True, invalidates_tlb=True)
+    config_section = "libmpk"
 
     def __init__(self, *args, **kwargs):
         super().__init__(*args, **kwargs)
@@ -94,16 +98,8 @@ class LibmpkScheme(ProtectionScheme):
             self.evictions += 1
             if self._ev is not None:
                 self._ev.emit("eviction", victim=victim_vma.pmo_id, key=key)
-        n_threads = len(self.process.threads)
-        self.stats.charge("tlb_invalidations",
-                          cfg.tlb_invalidation_cycles * n_threads)
-        if self.n_cores > 1:
-            # Multi-core replay: the IPI broadcast above reached every
-            # core.  Attribute (not re-charge) the remote slice.
-            self.stats.cross_core_shootdowns += 1
-            self.stats.cross_core_shootdown_cycles += \
-                cfg.tlb_invalidation_cycles * (self.n_cores - 1)
-        self.stats.tlb_entries_invalidated += killed
+        n_threads = self._shootdown_broadcast(cfg.tlb_invalidation_cycles,
+                                              killed)
         if self._ev is not None:
             self._ev.emit("shootdown", domain=domain, killed=killed,
                           threads=n_threads)
@@ -137,17 +133,26 @@ class LibmpkScheme(ProtectionScheme):
             self._key_of.move_to_end(domain)
         return vma.pkey, domain
 
+    def _swtable_probe(self, domain: int, tid: int) -> Perm:
+        """The access-path software permission lookup (check="swtable").
+
+        Both engines consult this: the reference interpreter through
+        :meth:`check_access`, the fast swtable kernel directly (memoised
+        per (domain, tid) between metadata mutations).
+        """
+        if domain not in self._key_of:
+            # TLB entries of unmapped domains were shot down; reaching
+            # here means the invariant broke — treat as a fault+remap.
+            self._fault_map(domain, tid)
+        # libmpk keeps per-thread permissions in its metadata and lazily
+        # syncs each thread's PKRU; the metadata is authoritative.
+        return self._perms[domain].get(tid, Perm.NONE)
+
     def check_access(self, tid: int, entry: TLBEntry,
                      is_write: bool) -> bool:
         if entry.domain == 0:
             return entry.perm.allows(is_write=is_write)
-        if entry.domain not in self._key_of:
-            # TLB entries of unmapped domains were shot down; reaching
-            # here means the invariant broke — treat as a fault+remap.
-            self._fault_map(entry.domain, tid)
-        # libmpk keeps per-thread permissions in its metadata and lazily
-        # syncs each thread's PKRU; the metadata is authoritative.
-        domain_perm = self._perms[entry.domain].get(tid, Perm.NONE)
+        domain_perm = self._swtable_probe(entry.domain, tid)
         return strictest(entry.perm, domain_perm).allows(is_write=is_write)
 
     def context_switch(self, old_tid: int, new_tid: int) -> None:

@@ -12,17 +12,21 @@ from __future__ import annotations
 from typing import Dict, List
 
 from ..permissions import Perm, strictest
-from ..mem.page_table import vpn_of
 from ..mem.tlb import TLBEntry
 from ..os.address_space import VMA
 from ..os.process import NUM_PKEYS
-from .schemes import ProtectionScheme, register_scheme
+from .schemes import CostDescriptor, ProtectionScheme, register_scheme
 
 
 class PKRU:
-    """Per-thread register file of per-key permissions (16 x 2 bits)."""
+    """Per-thread register file of per-key permissions (n_keys x 2 bits).
 
-    def __init__(self):
+    Defaults to the 16-key x86 register; overlay-register schemes
+    (``poe2``) instantiate a wider file.
+    """
+
+    def __init__(self, n_keys: int = NUM_PKEYS):
+        self.n_keys = n_keys
         self._by_tid: Dict[int, List[Perm]] = {}
 
     def for_thread(self, tid: int) -> List[Perm]:
@@ -32,8 +36,8 @@ class PKRU:
             # keys start inaccessible, matching the evaluation setup where
             # "the default permission for this key is inaccessible".  One
             # extra slot accommodates virtualization schemes that use a
-            # full 16-key pool numbered 1..16.
-            regs = [Perm.NONE] * (NUM_PKEYS + 1)
+            # full n-key pool numbered 1..n.
+            regs = [Perm.NONE] * (self.n_keys + 1)
             regs[0] = Perm.RW
             self._by_tid[tid] = regs
         return regs
@@ -52,6 +56,11 @@ class MPKScheme(ProtectionScheme):
     name = "mpk"
     #: Table V only — plain MPK cannot exceed 15 protection domains.
     registry_tags = {"single_pmo": 0}
+    #: 16 hardware keys, key 0 ceded to the kernel's default key, and no
+    #: virtualization behind them: the 16th concurrent domain faults.
+    cost = CostDescriptor(switch="wrpkru", check="pkru", key_space=16,
+                          reserved_keys=1, collapse="fault")
+    config_section = "mpk"
 
     def __init__(self, *args, **kwargs):
         super().__init__(*args, **kwargs)
@@ -69,8 +78,10 @@ class MPKScheme(ProtectionScheme):
         key = self.process.pkey_alloc()
         self._key_of[vma.pmo_id] = key
         vma.pkey = key
-        self.process.page_table.set_pkey_range(
-            vpn_of(vma.base), vma.reserved // 4096, key)
+        # Only already-mapped PTEs need the rewrite — pages demand-mapped
+        # later inherit ``vma.pkey`` at map time — and the per-domain VPN
+        # index makes that O(mapped), not O(reserved granule).
+        self.process.page_table.set_pkey_for_domain(vma.pmo_id, key)
 
     def detach_domain(self, domain: int) -> None:
         key = self._key_of.pop(domain, None)

@@ -28,7 +28,7 @@ from .dtt import NO_KEY, DTTEntry, DomainTranslationTable
 from .dttlb import DTTLB, DTTLBEntry
 from .mpk import PKRU
 from .plru import PseudoLRU
-from .schemes import ProtectionScheme, register_scheme
+from .schemes import CostDescriptor, ProtectionScheme, register_scheme
 
 
 def _pow2_at_least(n: int) -> int:
@@ -44,13 +44,23 @@ class MPKVirtScheme(ProtectionScheme):
 
     name = "mpk_virt"
     registry_tags = {"multi_pmo": 2, "single_pmo": 1}
+    cost = CostDescriptor(switch="wrpkru_virt", check="pkru", key_space=16,
+                          collapse="evict", broadcast_shootdown=True,
+                          consults_dttlb=True, invalidates_tlb=True)
+    config_section = "mpk_virt"
 
     def __init__(self, *args, **kwargs):
         super().__init__(*args, **kwargs)
-        cfg = self.config.mpk_virt
+        #: The scheme's own config section; subclasses (pks_seal, poe2)
+        #: re-point ``config_section`` and every cost below follows.
+        cfg = self.cfg = getattr(self.config, self.config_section)
+        #: Cycles one SETPERM's switch primitive costs — WRPKRU here;
+        #: poe2's POR_EL0 write overrides it.  The fast engine's inlined
+        #: SETPERM reads the same attribute.
+        self._switch_cycles = self.config.mpk.wrpkru_cycles
         self.dtt = DomainTranslationTable()
         self.dttlb = DTTLB(cfg.dttlb_entries)
-        self.pkru = PKRU()
+        self.pkru = PKRU(cfg.usable_keys)
         # Keys are numbered 1..usable_keys (0 stays the NULL key value in
         # TLB entries of domainless pages); slot i of the PLRU tracks
         # key i+1.
@@ -81,7 +91,7 @@ class MPKVirtScheme(ProtectionScheme):
 
     def _ensure_key(self, dtt_entry: DTTEntry, tid: int) -> int:
         """Give the domain a protection key, evicting a victim if needed."""
-        cfg = self.config.mpk_virt
+        cfg = self.cfg
         if dtt_entry.key != NO_KEY:
             self._key_plru.touch(dtt_entry.key - 1)
             return dtt_entry.key
@@ -110,7 +120,7 @@ class MPKVirtScheme(ProtectionScheme):
 
     def _evict_key(self, key: int) -> None:
         """Unmap the victim domain: DTTLB invalidate + TLB range flush."""
-        cfg = self.config.mpk_virt
+        cfg = self.cfg
         victim_domain = self.key_of_slot[key]
         victim_entry = self.dtt.by_domain(victim_domain)
         victim_entry.key = NO_KEY
@@ -121,16 +131,8 @@ class MPKVirtScheme(ProtectionScheme):
             cached.dirty = True
             self.stats.charge("entry_changes", cfg.dttlb_entry_change_cycles)
         killed = self.tlb.domain_flush(victim_domain)
-        n_threads = len(self.process.threads)
-        self.stats.charge("tlb_invalidations",
-                          cfg.tlb_invalidation_cycles * n_threads)
-        if self.n_cores > 1:
-            # Multi-core replay: the broadcast above crossed core
-            # boundaries.  Attribute (not re-charge) the remote slice.
-            self.stats.cross_core_shootdowns += 1
-            self.stats.cross_core_shootdown_cycles += \
-                cfg.tlb_invalidation_cycles * (self.n_cores - 1)
-        self.stats.tlb_entries_invalidated += killed
+        n_threads = self._shootdown_broadcast(cfg.tlb_invalidation_cycles,
+                                              killed)
         self.stats.evictions += 1
         self.key_of_slot[key] = None
         if self._ev is not None:
@@ -140,7 +142,7 @@ class MPKVirtScheme(ProtectionScheme):
 
     def _dttlb_fetch(self, domain: int, tid: int) -> DTTLBEntry:
         """DTTLB lookup; on miss, walk the DTT and install the entry."""
-        cfg = self.config.mpk_virt
+        cfg = self.cfg
         cached = self.dttlb.lookup(domain)
         if cached is not None:
             return cached
@@ -166,16 +168,18 @@ class MPKVirtScheme(ProtectionScheme):
     # -- measured hooks ------------------------------------------------------------------
 
     def perm_switch(self, tid: int, domain: int, perm: Perm) -> None:
-        # The 27-cycle SETPERM covers the PKRU write itself, exactly like
-        # WRPKRU in default MPK — which is why MPK virtualization matches
-        # default MPK on single-PMO workloads (Table V).
+        # The SETPERM switch primitive (27-cycle WRPKRU here; poe2's MSR
+        # write via ``_switch_cycles``) covers the register write itself,
+        # exactly like WRPKRU in default MPK — which is why MPK
+        # virtualization matches default MPK on single-PMO workloads
+        # (Table V).
         #
         # SETPERM only updates the permission state (DTT/DTTLB, and the
         # PKRU when the domain currently holds a key).  It does NOT assign
         # a key to an unmapped domain — keys are assigned on the TLB-miss
         # path (Section IV-D), so a SETPERM burst over many domains does
         # not by itself trigger remap shootdowns.
-        self.stats.charge("perm_change", self.config.mpk.wrpkru_cycles)
+        self.stats.charge("perm_change", self._switch_cycles)
         cached = self._dttlb_fetch(domain, tid)
         dtt_entry = cached.dtt_entry
         cached.perm = perm
@@ -209,7 +213,7 @@ class MPKVirtScheme(ProtectionScheme):
     def context_switch(self, old_tid: int, new_tid: int) -> None:
         """Flush the DTTLB (writing back dirty entries); PKRU is restored
         from the DTT when the new thread touches domains again."""
-        cfg = self.config.mpk_virt
+        cfg = self.cfg
         dirty = self.dttlb.flush()
         for entry in dirty:
             if entry.dtt_entry is not None:

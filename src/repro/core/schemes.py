@@ -21,7 +21,8 @@ the replay engine stays scheme-agnostic.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Dict, List, Tuple, Type
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple, Type
 
 from .. import obs
 from ..permissions import Perm
@@ -33,6 +34,96 @@ from ..os.process import Process
 if TYPE_CHECKING:  # sim imports core.schemes; keep the reverse type-only
     from ..sim.config import SimConfig
     from ..sim.stats import RunStats
+
+#: CostDescriptor.switch vocabulary — the switch primitive a SETPERM pays.
+SWITCH_KINDS = ("none", "wrpkru", "wrpkru_virt", "cr3", "overlay")
+#: CostDescriptor.check vocabulary — how a load/store is authorized.
+CHECK_KINDS = ("page", "pkru", "ptlb", "swtable")
+#: CostDescriptor.collapse vocabulary — behavior past the key space.
+COLLAPSE_KINDS = ("none", "evict", "fault")
+
+
+@dataclass(frozen=True)
+class CostDescriptor:
+    """What a protection scheme *costs*, declared rather than inferred.
+
+    Every consumer that used to pattern-match on scheme classes reads
+    this instead: the fast engine picks a fused kernel family from
+    ``check``/``invalidates_tlb`` (``repro.cpu.fast_timing.kernel_for``),
+    multicore replay attributes cross-core shootdown slices only to
+    schemes with ``broadcast_shootdown``, and the serving layer derives
+    which schemes are *fragile* — hard-collapse past their key space —
+    from ``collapse``/``key_space`` (calibration refuses early, reports
+    render a FAIL row).  A scheme declaring a capability promises the
+    matching hook semantics:
+
+    * ``check == "page"``: ``check_access`` never fails and charges
+      nothing — accesses replay as pure page-permission traffic.
+    * ``check == "pkru"``: ``fill_tags`` returns a key in ``[0,
+      key_space]``, ``check_access`` is ``strictest(page, pkru[key])``
+      via a :class:`~repro.core.mpk.PKRU`-compatible ``self.pkru``.
+    * ``check == "ptlb"``: accesses consult a ``self.ptlb`` with
+      :class:`~repro.core.domain_virt.DomainVirtScheme`'s refill
+      protocol and a per-access integer charge.
+    * ``check == "swtable"``: accesses consult software metadata via
+      ``self._swtable_probe(domain, tid) -> Perm`` (cold side effects —
+      faults, remaps — included).
+    """
+
+    switch: str = "none"
+    check: str = "page"
+    #: Hardware key/overlay space domains map onto; ``None`` when the
+    #: scheme tracks domains without consuming keys.
+    key_space: Optional[int] = None
+    #: Keys inside ``key_space`` the scheme cannot hand to domains
+    #: (e.g. default MPK cedes key 0 to the kernel's default key).
+    reserved_keys: int = 0
+    #: Past the usable key space: ``evict`` virtualizes (remap + TLB
+    #: shootdown), ``fault`` hard-collapses (PkeyError), ``none`` means
+    #: the space is unbounded.
+    collapse: str = "none"
+    #: Key remaps broadcast TLB shootdowns to every core (the paper's
+    #: ``286cy x cores`` bill); multicore replay attributes the remote
+    #: slice per this flag.
+    broadcast_shootdown: bool = False
+    consults_ptlb: bool = False
+    consults_dttlb: bool = False
+    #: Whether any hook ever invalidates TLB entries; when False the
+    #: fast engine may replay the baseline-pure TLB radiograph.
+    invalidates_tlb: bool = False
+
+    def __post_init__(self):
+        if self.switch not in SWITCH_KINDS:
+            raise ValueError(f"unknown switch kind {self.switch!r} "
+                             f"(expected one of {SWITCH_KINDS})")
+        if self.check not in CHECK_KINDS:
+            raise ValueError(f"unknown check kind {self.check!r} "
+                             f"(expected one of {CHECK_KINDS})")
+        if self.collapse not in COLLAPSE_KINDS:
+            raise ValueError(f"unknown collapse kind {self.collapse!r} "
+                             f"(expected one of {COLLAPSE_KINDS})")
+        if self.collapse != "none" and self.key_space is None:
+            raise ValueError(
+                f"collapse={self.collapse!r} needs a key_space")
+        if self.broadcast_shootdown and not self.invalidates_tlb:
+            raise ValueError("a scheme cannot broadcast shootdowns "
+                             "without invalidating TLB entries")
+
+    @property
+    def hard_domain_limit(self) -> Optional[int]:
+        """Concurrent domains past which the scheme hard-fails, or None.
+
+        Only ``collapse="fault"`` schemes have one; eviction-based
+        schemes degrade instead of failing.
+        """
+        if self.collapse != "fault":
+            return None
+        return self.key_space - self.reserved_keys
+
+    @property
+    def fail_label(self) -> str:
+        """Report-table cell for a run past the hard domain limit."""
+        return f"FAIL ({self.key_space}-key limit)"
 
 
 class ProtectionScheme:
@@ -46,6 +137,14 @@ class ProtectionScheme:
     #: of hard-coded.  Known tags: ``multi_pmo`` (Figure 6/7, Table
     #: VII), ``single_pmo`` (Table V).
     registry_tags: Dict[str, int] = {}
+    #: The scheme's declared cost model — see :class:`CostDescriptor`.
+    #: The base default describes the unprotected baseline (free page
+    #: checks, no switch primitive, no keys).
+    cost: CostDescriptor = CostDescriptor()
+    #: Name of the scheme's :class:`~repro.sim.config.SimConfig` section
+    #: (``config.<config_section>``), or None for config-free schemes.
+    #: The fast engine reads per-scheme envelope fields through it.
+    config_section: Optional[str] = None
     #: Cores the surrounding machine runs — 1 for the classic whole-trace
     #: replay, the worker count for a sharded multi-core replay (set by
     #: ``ReplayEngine`` from its ``n_cores`` argument).  Key-remap TLB
@@ -96,6 +195,29 @@ class ProtectionScheme:
     def context_switch(self, old_tid: int, new_tid: int) -> None:
         """The core switched threads; flush thread-specific state."""
 
+    # -- shared cost machinery ----------------------------------------------------
+
+    def _shootdown_broadcast(self, cycles_per_core: int, killed: int) -> int:
+        """Bill one key-remap TLB shootdown broadcast; returns n_threads.
+
+        Charges ``cycles_per_core`` per thread into the
+        ``tlb_invalidations`` bucket and credits the ``killed`` flushed
+        entries.  When the descriptor declares
+        ``broadcast_shootdown`` and the replay spans cores, the remote
+        slice is *attributed* (never re-charged) to
+        ``RunStats.cross_core_shootdowns`` / ``..._cycles``, so
+        single-core totals are untouched.
+        """
+        stats = self.stats
+        n_threads = len(self.process.threads)
+        stats.charge("tlb_invalidations", cycles_per_core * n_threads)
+        if self.cost.broadcast_shootdown and self.n_cores > 1:
+            stats.cross_core_shootdowns += 1
+            stats.cross_core_shootdown_cycles += \
+                cycles_per_core * (self.n_cores - 1)
+        stats.tlb_entries_invalidated += killed
+        return n_threads
+
     # -- observability (never part of measured cost) -----------------------------
 
     def report_metrics(self, registry) -> None:
@@ -127,6 +249,7 @@ class LowerboundScheme(NullProtection):
 
     name = "lowerbound"
     registry_tags = {"multi_pmo": 0}
+    cost = CostDescriptor(switch="wrpkru", check="page")
 
     def perm_switch(self, tid: int, domain: int, perm: Perm) -> None:
         self.stats.charge("perm_change", self.config.mpk.wrpkru_cycles)
@@ -141,6 +264,10 @@ SCHEMES = Registry("scheme", discover=(
     "repro.core.domain_virt",
     "repro.core.mpk",
     "repro.core.mpk_virt",
+    "repro.core.erim",
+    "repro.core.pks_seal",
+    "repro.core.dpti",
+    "repro.core.poe2",
 ))
 
 
@@ -172,11 +299,37 @@ def schemes_tagged(tag: str) -> Tuple[str, ...]:
     return SCHEMES.tagged(tag)
 
 
+def scheme_descriptor(name: str) -> CostDescriptor:
+    """The :class:`CostDescriptor` of a scheme (aliases accepted)."""
+    return scheme_by_name(resolve_scheme(name)).cost
+
+
+def hard_domain_limit(name: str) -> Optional[int]:
+    """Concurrent domains past which ``name`` hard-fails, or None."""
+    return scheme_descriptor(name).hard_domain_limit
+
+
+def supports_domain_count(name: str,
+                          n_domains: Optional[int]) -> bool:
+    """Whether ``name`` can hold ``n_domains`` concurrent domains.
+
+    ``None`` (unknown domain count) is treated as supported — callers
+    that cannot bound the count let the replay fail organically.
+    """
+    if n_domains is None:
+        return True
+    limit = scheme_descriptor(name).hard_domain_limit
+    return limit is None or n_domains <= limit
+
+
 #: Short scheme aliases accepted by the serving layer, the scenario
-#: compiler and every CLI (-> canonical registry names).
+#: compiler and every CLI (-> canonical registry names).  The four 2026
+#: additions (erim/pks_seal/dpti/poe2) register under names short
+#: enough to use directly; ``pks`` is kept as the colloquial short form.
 SCHEME_ALIASES = {
     "mpkv": "mpk_virt",
     "dv": "domain_virt",
+    "pks": "pks_seal",
 }
 
 

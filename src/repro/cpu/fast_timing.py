@@ -31,13 +31,22 @@ protection state:
   lookups with an inlined pseudo-LRU touch, batched 1-cycle access
   charges, and the scheme's own refill/writeback methods on misses.
 
-* **Fused kernels** (``mpk``/``mpk_virt``/``libmpk``): key remapping
-  flushes TLB entries, so the TLB is simulated live against flat-array
-  levels (:class:`~repro.mem.tlb.ArrayTLBLevel`) with the hit path and
-  the per-scheme permission check inlined; every cold path (page walk,
-  key remap, SETPERM, context switch, attach/detach) calls the *real*
-  scheme methods, so charging and state transitions are the reference
-  code's own.
+* **Fused kernels** (``check="pkru"`` / ``check="swtable"`` schemes):
+  key remapping or domain closing flushes TLB entries, so the TLB is
+  simulated live against flat-array levels
+  (:class:`~repro.mem.tlb.ArrayTLBLevel`) with the hit path and the
+  declared permission check inlined — a PKRU register read for
+  ``pkru`` schemes, a memoised ``_swtable_probe`` for ``swtable``
+  schemes; every cold path (page walk, key remap, SETPERM, context
+  switch, attach/detach) calls the *real* scheme methods, so charging
+  and state transitions are the reference code's own.
+
+Which kernel a scheme gets is decided by :func:`kernel_for` from the
+scheme's declared :class:`~repro.core.schemes.CostDescriptor` — the
+``check`` kind picks the family, ``invalidates_tlb`` decides whether
+the radiograph TLB stream may be replayed — not by matching scheme
+classes, so a new scheme that declares its cost model correctly is fast
+from its first replay.
 
 Bit-identity hinges on float-add order: per memory event the reference
 adds ``icount*cpi``, then the TLB penalty, then the cache penalty, as
@@ -57,25 +66,26 @@ Selection is centralised in :func:`make_replay_engine`, controlled by
 the ``REPRO_FAST`` environment knob (default on; ``REPRO_FAST=0`` forces
 the reference interpreter).  The fast path steps aside automatically
 when event tracing is active (it emits no per-event observability
-records), for scheme classes it was not verified against, and for
-``domain_virt`` configs with a non-integer PTLB access charge (the
-batched charge would not be exact).
+records), for scheme descriptors no kernel family covers, and for
+``check="ptlb"`` configs with a non-integer access charge (the batched
+charge would not be exact).  A descriptor-driven fallback is never
+silent: it bumps the ``engine.fast_fallback`` counter and warns once
+per scheme.
 """
 
 from __future__ import annotations
 
 import os
+import warnings
 from typing import Dict, List, Optional, Sequence, Tuple, Type
 
 import numpy as np
 
 from .. import obs
 from ..permissions import Perm
-from ..core.domain_virt import DomainVirtScheme
 from ..core.libmpk import LibmpkScheme
-from ..core.mpk import MPKScheme
 from ..core.mpk_virt import MPKVirtScheme
-from ..core.schemes import LowerboundScheme, NullProtection, ProtectionScheme
+from ..core.schemes import ProtectionScheme
 from ..errors import ProtectionFault, SimulationError
 from ..mem.cache import ArrayCacheHierarchy, ArrayCacheLevel
 from ..mem.memory import NVM_FRAME_BASE
@@ -90,15 +100,16 @@ from .timing import ReplayEngine
 #: Environment knob: ``REPRO_FAST=0`` disables the fast engine globally.
 ENV_FAST = "REPRO_FAST"
 
-# Kernel selector per scheme class (identity match — a subclass may
-# override hooks a kernel bakes in, so it falls back to the reference).
+# Fused kernel families; which one a scheme gets is derived from its
+# CostDescriptor by kernel_for().
 _CODES = "codes"
 _DV = "dv"
 _MPK = "mpk"
-_LIBMPK = "libmpk"
-_KERNEL_OF = {NullProtection: _CODES, LowerboundScheme: _CODES,
-              DomainVirtScheme: _DV, MPKScheme: _MPK, MPKVirtScheme: _MPK,
-              LibmpkScheme: _LIBMPK}
+_SWTABLE = "swtable"
+
+#: Schemes already warned about falling back to the reference
+#: interpreter (one warning per scheme name per process).
+_warned_fallback: set = set()
 
 
 def fast_replay_enabled() -> bool:
@@ -106,13 +117,65 @@ def fast_replay_enabled() -> bool:
     return os.environ.get(ENV_FAST, "1").strip() != "0"
 
 
+def kernel_for(config: SimConfig,
+               scheme_class: Type[ProtectionScheme]) -> Optional[str]:
+    """The fused kernel family for a scheme's declared cost model.
+
+    Derived from the scheme's :class:`~repro.core.schemes.CostDescriptor`
+    — the capability dispatch replacing the old class-identity table:
+
+    * free page checks, TLB never invalidated      → codes kernel
+    * PTLB consultation, TLB never invalidated      → dv kernel
+      (integer per-access charge only — batched as ``n*c``)
+    * PKRU-register checks                          → mpk kernel
+    * software-table checks (``_swtable_probe``)    → swtable kernel
+
+    Returns ``None`` when no family covers the descriptor/config pair
+    (the caller falls back to the reference interpreter).
+    """
+    desc = getattr(scheme_class, "cost", None)
+    if desc is None:
+        return None
+    if desc.check == "page":
+        return _CODES if not desc.invalidates_tlb else None
+    if desc.check == "ptlb":
+        if desc.invalidates_tlb:
+            return None
+        section = getattr(config, scheme_class.config_section or "", None)
+        acc = getattr(section, "ptlb_access_cycles", None)
+        # The per-access charge is batched as n*c — exact only for ints.
+        return _DV if isinstance(acc, int) else None
+    if desc.check == "pkru":
+        return _MPK
+    if desc.check == "swtable":
+        return _SWTABLE
+    return None
+
+
 def supports_fast_replay(config: SimConfig,
                          scheme_class: Type[ProtectionScheme]) -> bool:
-    """Whether the fast engine is verified for this scheme/config pair."""
-    if scheme_class is DomainVirtScheme:
-        # The PTLB access charge is batched as n*c — exact only for ints.
-        return isinstance(config.domain_virt.ptlb_access_cycles, int)
-    return any(scheme_class is cls for cls in _KERNEL_OF)
+    """Whether the fast engine covers this scheme/config pair."""
+    return kernel_for(config, scheme_class) is not None
+
+
+def _note_fast_fallback(scheme_class: Type[ProtectionScheme]) -> None:
+    """A fast-eligible replay fell back to the reference interpreter.
+
+    Bumps the ``engine.fast_fallback`` counter (when metrics are on)
+    and warns once per scheme — a 10x slowdown should never be silent.
+    """
+    registry = obs.metrics()
+    if registry is not None:
+        registry.counter("engine.fast_fallback").inc()
+    name = getattr(scheme_class, "name", scheme_class.__name__)
+    if name not in _warned_fallback:
+        _warned_fallback.add(name)
+        warnings.warn(
+            f"scheme {name!r} has no fast-replay kernel for this "
+            f"configuration; replaying through the reference interpreter "
+            f"(~10x slower). Declare a CostDescriptor the fast engine "
+            f"covers, or set REPRO_FAST=0 to silence.",
+            RuntimeWarning, stacklevel=3)
 
 
 def make_replay_engine(config: SimConfig, kernel: Kernel, process: Process,
@@ -123,12 +186,14 @@ def make_replay_engine(config: SimConfig, kernel: Kernel, process: Process,
 
     Falls back to the reference interpreter when ``REPRO_FAST=0``, when
     event tracing is active (the fast kernels emit no per-event records),
-    or for scheme classes / configs outside the verified envelope.
+    or for descriptor/config pairs outside the kernel families' envelope
+    — the last case counted and warned via :func:`_note_fast_fallback`.
     """
-    if (fast_replay_enabled() and obs.active_events() is None
-            and supports_fast_replay(config, scheme_class)):
-        return FastReplayEngine(config, kernel, process, scheme_class,
-                                attach_info=attach_info, n_cores=n_cores)
+    if fast_replay_enabled() and obs.active_events() is None:
+        if supports_fast_replay(config, scheme_class):
+            return FastReplayEngine(config, kernel, process, scheme_class,
+                                    attach_info=attach_info, n_cores=n_cores)
+        _note_fast_fallback(scheme_class)
     return ReplayEngine(config, kernel, process, scheme_class,
                         attach_info=attach_info, n_cores=n_cores)
 
@@ -158,8 +223,8 @@ class FastReplayEngine(ReplayEngine):
     """Replays one trace under one protection scheme — fast and exact.
 
     Construct through :func:`make_replay_engine`; direct construction is
-    fine in tests but assumes event tracing is off and the scheme class
-    is one of the supported six.
+    fine in tests but assumes event tracing is off and the scheme's
+    descriptor maps to a kernel family (:func:`kernel_for`).
     """
 
     tlb_class = ArrayTwoLevelTLB
@@ -171,11 +236,7 @@ class FastReplayEngine(ReplayEngine):
                  n_cores: int = 1):
         super().__init__(config, kernel, process, scheme_class,
                          attach_info=attach_info, n_cores=n_cores)
-        self._kernel_kind = None
-        for cls, kind in _KERNEL_OF.items():
-            if scheme_class is cls:
-                self._kernel_kind = kind
-                break
+        self._kernel_kind = kernel_for(config, scheme_class)
         if self._kernel_kind is None:
             raise ValueError(
                 f"fast replay does not support scheme class {scheme_class!r}")
@@ -593,7 +654,7 @@ class FastReplayEngine(ReplayEngine):
         elif kind == _MPK:
             runner = self._run_mpk
         else:
-            runner = self._run_libmpk
+            runner = self._run_swtable
         self._seen_l2h = 0
         self._seen_tm = 0
 
@@ -662,7 +723,7 @@ class FastReplayEngine(ReplayEngine):
             scheme.perm_switch(tid, dom, perm)
             return
         stats = self.stats
-        wr = self.config.mpk.wrpkru_cycles
+        wr = scheme._switch_cycles
         stats.buckets["perm_change"] += wr
         stats.cycles += wr
         dttlb.hits += 1
@@ -769,7 +830,8 @@ class FastReplayEngine(ReplayEngine):
         touch_ops = plru._touch_ops
         refill = scheme._ptlb_refill
         noted = scheme._current_tid != -1
-        acc_c = self.config.domain_virt.ptlb_access_cycles
+        acc_c = getattr(self.config,
+                        type(scheme).config_section).ptlb_access_cycles
         lsl = -1
         ldp = 0
         n_ph = 0
@@ -879,11 +941,15 @@ class FastReplayEngine(ReplayEngine):
         ltid = -1
         regs = None
 
-        # SETPERM dominates the cold stream; mpk_virt's DTTLB-hit case
-        # gets the inlined handler (plain MPK's perm_switch is already a
-        # two-line method — not worth bypassing).
+        # SETPERM dominates the cold stream; the DTTLB-hit case gets the
+        # inlined handler for mpk_virt and any subclass that inherits
+        # its perm_switch unchanged (pks_seal, poe2 — their overrides
+        # live on colder paths).  Plain MPK's perm_switch is already a
+        # two-line method — not worth bypassing.
         fast_ps = (self._mpkv_perm_switch
-                   if type(scheme) is MPKVirtScheme else None)
+                   if isinstance(scheme, MPKVirtScheme)
+                   and type(scheme).perm_switch is MPKVirtScheme.perm_switch
+                   else None)
 
         n_l2h = n_tm = 0
 
@@ -964,9 +1030,10 @@ class FastReplayEngine(ReplayEngine):
             self._seen_tm += n_tm
         return cycles, ci
 
-    def _run_libmpk(self, p: int, q: int, ci: int,
-                    cycles: float) -> Tuple[float, int]:
-        """libmpk: live TLB, software (domain, thread) permission check."""
+    def _run_swtable(self, p: int, q: int, ci: int,
+                     cycles: float) -> Tuple[float, int]:
+        """check="swtable" schemes (libmpk, dpti): live TLB, software
+        (domain, thread) permission probe."""
         stats = self.stats
         scheme = self.scheme
         enforce = self.config.enforce_protection
@@ -991,13 +1058,18 @@ class FastReplayEngine(ReplayEngine):
         t1 = l1._age
         t2 = l2._age
 
-        key_of = scheme._key_of
-        perms = scheme._perms
-        fault_map = scheme._fault_map
+        # The declared software permission lookup — cold side effects
+        # (libmpk's fault/remap path) included.
+        probe = scheme._swtable_probe
+        # SETPERM dominates the cold stream; libmpk's key-hit case gets
+        # the inlined handler when perm_switch is inherited unchanged.
+        fast_ps = (self._lib_perm_switch
+                   if type(scheme).perm_switch is LibmpkScheme.perm_switch
+                   else None)
         # (domain, tid) permission memo: valid until anything runs that
-        # can rewrite libmpk metadata — a cold event (SETPERM/attach/
-        # detach rebind or mutate _perms) or a TLB walk (fill_tags can
-        # evict the domain from _key_of).
+        # can rewrite scheme metadata — a cold event (SETPERM/attach/
+        # detach rebind or mutate the tables) or a TLB walk (fill_tags
+        # can evict a domain's key mapping).
         ldom = -1
         lptid = -1
         ldp = 0
@@ -1044,9 +1116,7 @@ class FastReplayEngine(ReplayEngine):
                         dom = rec[4]
                         if dom:
                             if dom != ldom or tid != lptid:
-                                if dom not in key_of:
-                                    fault_map(dom, tid)
-                                ldp = perms[dom].get(tid, 0)  # 0 == NONE
+                                ldp = probe(dom, tid)  # Perm.NONE == 0
                                 ldom = dom
                                 lptid = tid
                             if ldp < pm:
@@ -1065,9 +1135,9 @@ class FastReplayEngine(ReplayEngine):
                 else:
                     ci += 1
                     c = cold[ci - 1]
-                    if k == 2:
+                    if k == 2 and fast_ps is not None:
                         stats.perm_switches += 1
-                        self._lib_perm_switch(tid, a, c[4])
+                        fast_ps(tid, a, c[4])
                     else:
                         self._cold_event(k, tid, a, c[4])
                     ldom = -1

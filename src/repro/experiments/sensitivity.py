@@ -24,7 +24,8 @@ from ..engine import Engine
 # compatibility.
 from ..scenario import Scenario, compile_scenario
 from ..sim.config import DEFAULT_CONFIG, SimConfig, apply_override
-from ..sim.simulator import MULTI_PMO_SCHEMES, overhead_over_lowerbound
+from ..sim.simulator import (MULTI_PMO_SCHEMES, overhead_over_lowerbound,
+                             viable_schemes)
 from .reporting import format_table
 
 SWEPT_SCHEMES = ("libmpk", "mpk_virt", "domain_virt")
@@ -72,7 +73,7 @@ def sweep_config(field_path: str, values: Sequence,
         smoke=False, scale=1.0, base_config=base_config)
     grid = Engine(base_config).replay_grid(
         [(cell.spec, cell.config) for cell in compiled.cells],
-        MULTI_PMO_SCHEMES)
+        viable_schemes(MULTI_PMO_SCHEMES, n_pools))
     return [[cell.label]
             + [overhead_over_lowerbound(results, scheme)
                for scheme in SWEPT_SCHEMES]

@@ -21,11 +21,13 @@ Two loop modes:
 
 ``--arrivals burst|diurnal`` modulates the offered rate over time
 (composable with either loop).  Scheme names accept the serving-layer
-aliases ``mpkv`` (MPK virtualization) and ``dv`` (domain
-virtualization) alongside the canonical registry names.  Plain ``mpk``
-is allowed and *expected to fail* past 16 clients — the 16-key limit is
-reported as a row, not an exception, because hitting that wall is the
-finding.
+aliases ``mpkv`` (MPK virtualization), ``dv`` (domain virtualization)
+and ``pks`` (sealable keys) alongside the canonical registry names.
+Hard-limited schemes — any whose
+:class:`~repro.core.schemes.CostDescriptor` declares
+``collapse="fault"``, i.e. plain ``mpk`` and ``erim`` — are allowed and
+*expected to fail* past their key space; the limit is reported as a
+row, not an exception, because hitting that wall is the finding.
 
 CLI::
 
@@ -40,7 +42,8 @@ import os
 import sys
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from ..core.schemes import SCHEME_ALIASES, resolve_scheme
+from ..core.schemes import (SCHEME_ALIASES, hard_domain_limit,
+                            resolve_scheme, scheme_descriptor)
 from ..errors import PkeyError
 from ..registry import RegistryKeyError
 from ..scenario import Scenario, compile_scenario
@@ -92,15 +95,21 @@ def _accounted(engine, spec, plan, trace, canonical, config, frequency, *,
             for name in canonical}
 
 
+def _fragile(names: Sequence[str]) -> List[str]:
+    """Names of hard-limited schemes (descriptor ``collapse="fault"``).
+
+    These fault once the trace's domains outrun their key space, so
+    they always replay separately — one wall must not kill the batch.
+    """
+    return [n for n in names if hard_domain_limit(n) is not None]
+
+
 def _summaries_nominal(engine, spec, names, config, frequency):
     """One shared schedule/trace, every scheme re-timed onto it."""
     plan = build_plan(spec.params)
     trace = engine.trace_for(spec)
     row: Dict[str, Optional[ServiceSummary]] = {}
-    # Plain MPK faults once the trace's domains outrun the 16 hardware
-    # keys (pools plus the runtime's own regions), so it always replays
-    # separately — one wall must not kill the batch.
-    fragile = [n for n in names if resolve_scheme(n) == "mpk"]
+    fragile = _fragile(names)
     sturdy = [n for n in names if n not in fragile]
     if sturdy:
         cell = _accounted(engine, spec, plan, trace,
@@ -109,10 +118,11 @@ def _summaries_nominal(engine, spec, names, config, frequency):
         for name in sturdy:
             row[name] = cell[resolve_scheme(name)]
     for name in fragile:
+        canonical = resolve_scheme(name)
         try:
-            cell = _accounted(engine, spec, plan, trace, ["mpk"], config,
-                              frequency, include_baseline=False)
-            row[name] = cell["mpk"]
+            cell = _accounted(engine, spec, plan, trace, [canonical],
+                              config, frequency, include_baseline=False)
+            row[name] = cell[canonical]
         except PkeyError:
             row[name] = None
     engine.release(spec)
@@ -122,7 +132,7 @@ def _summaries_nominal(engine, spec, names, config, frequency):
 def _summaries_keyed(engine, spec, names, config, frequency):
     """One schedule/trace *per scheme* (``dispatch="replay"``)."""
     row: Dict[str, Optional[ServiceSummary]] = {}
-    fragile = [n for n in names if resolve_scheme(n) == "mpk"]
+    fragile = _fragile(names)
     sturdy = [n for n in names if n not in fragile]
 
     if max(1, spec.params.workers) > 1:
@@ -161,12 +171,13 @@ def _summaries_keyed(engine, spec, names, config, frequency):
         for name in sturdy:
             row[name] = account_keyed(name, cell[resolve_scheme(name)])
     for name in fragile:
-        # The calibration replay itself hits the 16-key wall, so the
+        # The calibration replay itself hits the key wall, so the
         # failure surfaces at trace generation rather than replay.
+        canonical = resolve_scheme(name)
         try:
-            cell = engine.replay_marked_keyed(spec, ["mpk"], config,
+            cell = engine.replay_marked_keyed(spec, [canonical], config,
                                               include_baseline=False)
-            row[name] = account_keyed(name, cell["mpk"])
+            row[name] = account_keyed(name, cell[canonical])
         except PkeyError:
             row[name] = None
     return row
@@ -178,9 +189,10 @@ def summaries_for_spec(runner: ExperimentRunner, spec, names: Sequence[str],
     """Serving summaries of one compiled service spec, per scheme name.
 
     The scenario executor's entry point for ``runner: service``
-    workload families; ``names`` may be aliases (``mpkv``/``dv``) and
-    key the result as given.  ``None`` marks a scheme that cannot run
-    at this client count (plain ``mpk`` beyond the 16-key limit).
+    workload families; ``names`` may be aliases (``mpkv``/``dv``/
+    ``pks``) and key the result as given.  ``None`` marks a scheme that
+    cannot run at this client count (a hard-limited scheme — ``mpk``,
+    ``erim`` — beyond its key space).
     """
     config = config or runner.config
     frequency = config.processor.frequency_hz
@@ -211,8 +223,8 @@ def run_service(runner: Optional[ExperimentRunner] = None, *,
                 ) -> Dict[int, Dict[str, Optional[ServiceSummary]]]:
     """Returns client count -> scheme (as given) -> summary.
 
-    ``None`` marks a scheme that cannot run at that client count (plain
-    ``mpk`` beyond the 16-key hardware limit).  ``overrides`` are
+    ``None`` marks a scheme that cannot run at that client count (a
+    hard-limited scheme beyond its key space).  ``overrides`` are
     :class:`~repro.service.ServiceParams` fields and become part of the
     trace-cache identity; ``dispatch="replay"`` switches every row to
     scheme-keyed schedules.
@@ -251,7 +263,7 @@ def report_service(runner: Optional[ExperimentRunner] = None, *,
             if summary is None:
                 rows.append([n_clients, name, "-", "-", "-", "-", "-", "-",
                              "-", "-", "-", "-", "-", "-",
-                             "FAIL (16-key limit)"])
+                             scheme_descriptor(name).fail_label])
                 continue
             rows.append([
                 n_clients, name, summary.n_served, summary.n_rejected,
@@ -330,7 +342,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser.add_argument("--schemes", type=_csv_names,
                         default=DEFAULT_SCHEMES, metavar="S,S,...",
                         help="schemes to compare; aliases: mpkv=mpk_virt, "
-                             "dv=domain_virt (default: %(default)s)")
+                             "dv=domain_virt, pks=pks_seal "
+                             "(default: %(default)s)")
     parser.add_argument("--requests", type=int, default=None,
                         help="offered requests per run (default: "
                              "ServiceParams.n_requests)")

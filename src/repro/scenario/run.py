@@ -27,7 +27,8 @@ from __future__ import annotations
 import sys
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
-from ..core.schemes import resolve_scheme
+from ..core.schemes import (resolve_scheme, scheme_descriptor,
+                            supports_domain_count)
 from ..engine import Engine
 from ..registry import Registry
 from ..sim.simulator import overhead_over_lowerbound
@@ -52,6 +53,23 @@ def register_report(name: str):
 # -- execution ---------------------------------------------------------------------
 
 
+def _viable_schemes(schemes: Sequence[str], cell: ScenarioCell
+                    ) -> Tuple[str, ...]:
+    """The canonical schemes that can run this cell at all.
+
+    A hard-limited scheme (descriptor ``collapse="fault"``) cannot
+    attach more domains than its key space, so cells whose domain count
+    (``n_pools`` — one PMO per pool) exceeds the limit drop it from the
+    replay rather than poisoning the whole grid; reports surface the
+    gap as a FAIL row.
+    """
+    n_domains = getattr(cell.spec.params, "n_pools", None)
+    if n_domains is None:
+        return tuple(schemes)
+    return tuple(name for name in schemes
+                 if supports_domain_count(name, n_domains))
+
+
 def replay_compiled(compiled: CompiledScenario,
                     engine: Optional[Engine] = None, *,
                     release: bool = True,
@@ -61,15 +79,27 @@ def replay_compiled(compiled: CompiledScenario,
     Results are keyed by *canonical* scheme names (aliases resolved).
     Chunking follows :meth:`CompiledScenario.chunks`; with ``release``
     each chunk's traces are dropped before the next chunk generates.
+    Hard-limited schemes are absent from the results of cells beyond
+    their key space (:func:`_viable_schemes`).
     """
     engine = engine or Engine()
     schemes = [resolve_scheme(name) for name in compiled.schemes]
     outcomes: List[Outcome] = []
     for chunk in compiled.chunks():
-        results = engine.replay_grid(
-            [(cell.spec, cell.config) for cell in chunk], schemes,
-            include_baseline=include_baseline)
-        outcomes.extend(zip(chunk, results))
+        # Cells with different viable-scheme subsets replay as separate
+        # grid batches; original cell order is restored afterwards.
+        batches: Dict[Tuple[str, ...], List[ScenarioCell]] = {}
+        for cell in chunk:
+            batches.setdefault(_viable_schemes(schemes, cell),
+                               []).append(cell)
+        by_cell: Dict[int, Outcome] = {}
+        for viable, cells in batches.items():
+            results = engine.replay_grid(
+                [(cell.spec, cell.config) for cell in cells], list(viable),
+                include_baseline=include_baseline)
+            for cell, cell_results in zip(cells, results):
+                by_cell[id(cell)] = (cell, cell_results)
+        outcomes.extend(by_cell[id(cell)] for cell in chunk)
         if release:
             for cell in chunk:
                 engine.release(cell.spec)
@@ -139,12 +169,15 @@ def _leaderboard_report(compiled: CompiledScenario,
     for cell, results in outcomes:
         row: List[object] = [cell.label]
         for name in schemes:
-            stats = results[resolve_scheme(name)]
-            if relative == "lowerbound":
-                row.append(overhead_over_lowerbound(results,
-                                                    resolve_scheme(name)))
+            canonical = resolve_scheme(name)
+            if canonical not in results:
+                # Dropped by the viability partition: the scheme's key
+                # space cannot cover this cell's domain count.
+                row.append(scheme_descriptor(name).fail_label)
+            elif relative == "lowerbound":
+                row.append(overhead_over_lowerbound(results, canonical))
             else:
-                row.append(stats.overhead_percent(
+                row.append(results[canonical].overhead_percent(
                     results["baseline"].cycles))
         rows.append(row)
     return format_table(f"{_title(compiled)} (% over {relative})",
@@ -180,7 +213,7 @@ def _service_report(compiled: CompiledScenario,
             if summaries.get(name) is None:
                 rows.append([cell.label, "-", name, "-", "-", "-", "-", "-",
                              "-", "-", "-", "-", "-",
-                             "FAIL (16-key limit)"])
+                             scheme_descriptor(name).fail_label])
     return format_table(f"{_title(compiled)} — scheme leaderboard by p99",
                         headers, rows)
 

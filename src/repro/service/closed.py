@@ -33,8 +33,9 @@ from __future__ import annotations
 from dataclasses import replace
 from typing import Dict, List, Tuple
 
+from ..core.schemes import hard_domain_limit
 from ..cpu.trace import Trace
-from ..errors import SimulationError
+from ..errors import PkeyError, SimulationError
 from ..workloads.base import Workspace
 from .batching import CalibratedClock, ServicePlan, build_plan
 from .params import ServiceParams
@@ -70,6 +71,14 @@ def calibration_params(params: ServiceParams) -> ServiceParams:
 
 def scheme_clock(params: ServiceParams, scheme: str) -> CalibratedClock:
     """The calibrated dispatch clock of ``scheme`` under ``params``."""
+    limit = hard_domain_limit(scheme)
+    if limit is not None and params.n_clients > limit:
+        # One domain per client: a hard-limited scheme (descriptor
+        # collapse="fault") cannot even finish the calibration probe, so
+        # fail before generating a doomed trace.
+        raise PkeyError(
+            f"scheme {scheme!r} supports at most {limit} domains "
+            f"({params.n_clients} clients requested)")
     probe = calibration_params(params)
     key = (probe, scheme)
     clock = _CLOCK_MEMO.get(key)

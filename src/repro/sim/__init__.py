@@ -12,7 +12,8 @@ from .config import (DEFAULT_CONFIG, CacheConfig, DomainVirtConfig,
 from .stats import OVERHEAD_BUCKETS, RunStats
 
 _SIMULATOR_EXPORTS = ("MULTI_PMO_SCHEMES", "SINGLE_PMO_SCHEMES",
-                      "overhead_over_lowerbound", "replay_trace")
+                      "overhead_over_lowerbound", "replay_trace",
+                      "viable_schemes")
 
 __all__ = [
     "AreaReport",
@@ -34,6 +35,7 @@ __all__ = [
     "mpk_virt_area",
     "overhead_over_lowerbound",
     "replay_trace",
+    "viable_schemes",
 ]
 
 

@@ -114,6 +114,90 @@ class LibmpkConfig:
 
 
 @dataclass(frozen=True)
+class ErimConfig:
+    """ERIM-style call-gate isolation (Vahldiek-Oberwagner et al.).
+
+    ERIM keeps WRPKRU as the only switch primitive but wraps it in a
+    binary-inspected call gate, so a protected switch costs the gate
+    sequence rather than a bare register write.  Domains map straight
+    onto protection keys with no virtualization layer behind them, so
+    the scheme hard-fails once the keys run out — the same scalability
+    wall as default MPK, with a 16-domain budget (ERIM compartments are
+    self-managed in user space; no key is ceded to the kernel).
+    """
+
+    #: Call-gate entry/exit sequence around the WRPKRU (the ERIM paper
+    #: measures 55-99 cycles per protected switch; the low end models
+    #: the inlined gate).
+    call_gate_cycles: int = 55
+    usable_keys: int = 16
+
+
+@dataclass(frozen=True)
+class PksSealConfig:
+    """Sealable protection keys (PKS-style supervisor keys with seals).
+
+    Same virtualized key pool as :class:`MPKVirtConfig`, but the first
+    ``sealable_keys`` key assignments *seal* their key: a sealed key is
+    never picked as a remap victim, so its domain never re-keys (and
+    never pays a shootdown) for the life of the attachment.  The
+    unsealed remainder of the pool absorbs all churn.
+    """
+
+    dttlb_entries: int = 16
+    usable_keys: int = 16
+    #: Keys sealed on first assignment; must stay below ``usable_keys``
+    #: (at least one key must remain evictable).
+    sealable_keys: int = 8
+    free_key_check_cycles: int = 1
+    dttlb_hit_cycles: int = 1
+    dttlb_entry_change_cycles: int = 1
+    dttlb_miss_cycles: int = 30
+    pkru_update_cycles: int = 1
+    tlb_invalidation_cycles: int = 286
+
+
+@dataclass(frozen=True)
+class DptiConfig:
+    """Domain Page-Table Isolation: one page table per domain.
+
+    Opening/closing a domain swaps the address-space view (a CR3 write
+    with PCID), so a permission switch costs a pipeline-serializing
+    CR3 load instead of key maintenance.  There are no keys to churn
+    and no shootdown broadcasts; the recurring price is the TLB, which
+    drops the domain's translations every time its window closes.
+    """
+
+    #: Serializing CR3 write + PCID bookkeeping per SETPERM.
+    cr3_switch_cycles: int = 150
+
+
+@dataclass(frozen=True)
+class Poe2Config:
+    """Arm permission-overlay registers (POE), widened to 64 overlays.
+
+    The overlay index in the PTE selects a field of the POR_EL0
+    register, so a switch is an unprivileged MSR write — cheaper than
+    WRPKRU — and the 64-entry overlay space virtualizes exactly like
+    MPK keys (descriptor cache + remap on demand).  Shootdowns ride the
+    hardware DVM broadcast (TLBI), not IPIs, so the per-remap bill is
+    well below x86's.
+    """
+
+    dttlb_entries: int = 16
+    usable_keys: int = 64
+    free_key_check_cycles: int = 1
+    dttlb_hit_cycles: int = 1
+    dttlb_entry_change_cycles: int = 1
+    dttlb_miss_cycles: int = 30
+    pkru_update_cycles: int = 1
+    #: TLBI broadcast over the DVM fabric (no IPI round-trip).
+    tlb_invalidation_cycles: int = 120
+    #: Unprivileged POR_EL0 MSR write.
+    por_switch_cycles: int = 12
+
+
+@dataclass(frozen=True)
 class SimConfig:
     """Top-level configuration — one object per simulated machine."""
 
@@ -125,6 +209,10 @@ class SimConfig:
     mpk_virt: MPKVirtConfig = field(default_factory=MPKVirtConfig)
     domain_virt: DomainVirtConfig = field(default_factory=DomainVirtConfig)
     libmpk: LibmpkConfig = field(default_factory=LibmpkConfig)
+    erim: ErimConfig = field(default_factory=ErimConfig)
+    pks_seal: PksSealConfig = field(default_factory=PksSealConfig)
+    dpti: DptiConfig = field(default_factory=DptiConfig)
+    poe2: Poe2Config = field(default_factory=Poe2Config)
     #: Raise ProtectionFault on illegal accesses during replay.  The
     #: instrumented workloads are permission-correct by construction, so
     #: replay enables this to *verify* the schemes rather than tolerate

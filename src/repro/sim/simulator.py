@@ -19,7 +19,8 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, Optional
 
-from ..core.schemes import NullProtection, scheme_by_name, schemes_tagged
+from ..core.schemes import (NullProtection, scheme_by_name, schemes_tagged,
+                            supports_domain_count)
 from ..cpu.fast_timing import make_replay_engine
 from ..cpu.trace import Trace
 from ..workloads.base import Workspace
@@ -34,6 +35,17 @@ MULTI_PMO_SCHEMES = schemes_tagged("multi_pmo")
 #: The schemes of the single-PMO evaluation (Table V), from the
 #: ``single_pmo`` tag.
 SINGLE_PMO_SCHEMES = schemes_tagged("single_pmo")
+
+
+def viable_schemes(schemes: Iterable[str], n_domains: int) -> tuple:
+    """The subset of ``schemes`` that can attach ``n_domains`` domains.
+
+    Hard-limited schemes (descriptor ``collapse="fault"``, e.g. ``erim``)
+    fault past their key space; sweeps beyond it filter them here and
+    report the wall instead of crashing mid-grid.
+    """
+    return tuple(name for name in schemes
+                 if supports_domain_count(name, n_domains))
 
 
 def _replay_shared(trace: Trace, workspace: Workspace, names, config,

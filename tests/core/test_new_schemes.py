@@ -1,0 +1,182 @@
+"""Behavior tests for the four literature-competitor schemes.
+
+Each scheme's *distinguishing* mechanics are pinned here — the
+cost-shape contracts their CostDescriptors promise (docs/SCHEMES.md):
+
+* erim: call-gate switch cost, direct key mapping, hard 16-key wall;
+* pks_seal: first assignments seal their keys, sealed keys are never
+  remap victims;
+* dpti: CR3-switch cost, no keys, domain-close TLB flush;
+* poe2: 64-overlay space (no evictions until 65 domains), POR-priced
+  switches, cheaper shootdowns.
+
+Bit-identity between the engines is covered by tests/cpu; accounting
+across layers by tests/service and tests/integration.
+"""
+
+import pytest
+
+from repro.errors import PkeyError
+from repro.permissions import Perm
+from repro.sim.config import DEFAULT_CONFIG
+
+
+class TestErim:
+    def test_domains_map_directly_onto_keys(self, harness):
+        h = harness("erim")
+        domains = [h.add_pmo(size=1 << 20, initial=Perm.R)
+                   for _ in range(16)]
+        assert all(h.access(d) for d in domains)
+        assert h.stats.evictions == 0  # nothing virtualizes, ever
+
+    def test_seventeenth_domain_hits_the_wall(self, harness):
+        h = harness("erim")
+        for _ in range(16):
+            h.add_pmo(size=1 << 20)
+        with pytest.raises(PkeyError, match="ERIM 16-key limit"):
+            h.add_pmo(size=1 << 20)
+
+    def test_detach_frees_the_key(self, harness):
+        h = harness("erim")
+        domains = [h.add_pmo(size=1 << 20) for _ in range(16)]
+        h.scheme.detach_domain(domains[0])
+        h.add_pmo(size=1 << 20)  # the freed key is reusable
+
+    def test_switch_costs_the_call_gate(self, harness):
+        h = harness("erim")
+        domain = h.add_pmo(initial=Perm.R)
+        before = h.stats.buckets["perm_change"]
+        h.setperm(domain, Perm.RW)
+        gate = DEFAULT_CONFIG.erim.call_gate_cycles
+        assert h.stats.buckets["perm_change"] - before == gate
+        assert gate > DEFAULT_CONFIG.mpk.wrpkru_cycles
+
+
+class TestPksSeal:
+    def _churn(self, h, n_domains):
+        domains = [h.add_pmo(size=1 << 20, initial=Perm.R)
+                   for _ in range(n_domains)]
+        for domain in domains:
+            h.access(domain)
+        return domains
+
+    def test_first_assignments_seal_their_keys(self, harness):
+        h = harness("pks_seal")
+        self._churn(h, 8)
+        assert len(h.scheme._sealed) == 8
+
+    def test_seal_population_is_bounded(self, harness):
+        h = harness("pks_seal")
+        self._churn(h, 40)
+        assert len(h.scheme._sealed) == \
+            DEFAULT_CONFIG.pks_seal.sealable_keys
+
+    def test_sealed_keys_are_never_evicted(self, harness):
+        h = harness("pks_seal")
+        domains = self._churn(h, 40)
+        sealed_keys = set(h.scheme._sealed)
+        # The first 8 domains took the sealed keys; their mappings must
+        # have survived all the churn of the other 32.
+        for domain in domains[:8]:
+            entry = h.scheme.dtt.by_domain(domain)
+            assert entry.key in sealed_keys
+        # And every eviction victim was an unsealed key.
+        assert h.stats.evictions > 0
+
+    def test_detach_releases_the_seal(self, harness):
+        h = harness("pks_seal")
+        domains = self._churn(h, 8)
+        h.scheme.detach_domain(domains[0])
+        assert len(h.scheme._sealed) == 7
+
+    def test_matches_mpk_virt_when_nothing_evicts(self, harness):
+        # Below the key space the seal never engages: byte-identical
+        # charging to plain MPK virtualization.
+        a, b = harness("pks_seal"), harness("mpk_virt")
+        for h in (a, b):
+            for domain in [h.add_pmo(size=1 << 20, initial=Perm.R)
+                           for _ in range(12)]:
+                h.access(domain)
+                h.setperm(domain, Perm.RW)
+        assert a.stats.buckets == b.stats.buckets
+
+
+class TestDpti:
+    def test_unbounded_domains(self, harness):
+        h = harness("dpti")
+        domains = [h.add_pmo(size=1 << 20, initial=Perm.R)
+                   for _ in range(40)]
+        assert all(h.access(d) for d in domains)
+        assert h.stats.evictions == 0
+
+    def test_switch_costs_a_cr3_write(self, harness):
+        h = harness("dpti")
+        domain = h.add_pmo(initial=Perm.R)
+        before = h.stats.buckets["perm_change"]
+        h.setperm(domain, Perm.RW)
+        assert h.stats.buckets["perm_change"] - before == \
+            DEFAULT_CONFIG.dpti.cr3_switch_cycles
+
+    def test_closing_a_domain_flushes_its_translations(self, harness):
+        h = harness("dpti")
+        domain = h.add_pmo(initial=Perm.R)
+        h.access(domain)  # one TLB entry tagged with the domain
+        before = h.stats.tlb_entries_invalidated
+        h.setperm(domain, Perm.NONE)
+        assert h.stats.tlb_entries_invalidated > before
+
+    def test_reclosing_a_closed_domain_flushes_nothing(self, harness):
+        h = harness("dpti")
+        domain = h.add_pmo(initial=Perm.NONE)
+        before = h.stats.tlb_entries_invalidated
+        h.setperm(domain, Perm.NONE)
+        assert h.stats.tlb_entries_invalidated == before
+
+    def test_no_shootdown_broadcasts(self, harness):
+        h = harness("dpti")
+        h.spawn_thread()
+        domain = h.add_pmo(initial=Perm.R)
+        h.access(domain)
+        h.setperm(domain, Perm.NONE)
+        assert h.stats.cross_core_shootdowns == 0
+        assert h.stats.buckets["tlb_invalidations"] == 0
+
+    def test_access_respects_the_mapped_view(self, harness):
+        h = harness("dpti")
+        domain = h.add_pmo(initial=Perm.R)
+        assert h.access(domain)
+        assert not h.access(domain, is_write=True)
+        h.setperm(domain, Perm.RW)
+        assert h.access(domain, is_write=True)
+
+
+class TestPoe2:
+    def test_no_evictions_up_to_64_domains(self, harness):
+        h = harness("poe2")
+        for domain in [h.add_pmo(size=1 << 20, initial=Perm.R)
+                       for _ in range(64)]:
+            h.access(domain)
+        assert h.stats.evictions == 0
+
+    def test_65th_active_domain_evicts(self, harness):
+        h = harness("poe2")
+        for domain in [h.add_pmo(size=1 << 20, initial=Perm.R)
+                       for _ in range(65)]:
+            h.access(domain)
+        assert h.stats.evictions == 1
+
+    def test_switch_costs_the_por_write(self, harness):
+        h = harness("poe2")
+        domain = h.add_pmo(initial=Perm.R)
+        h.access(domain)  # give the domain an overlay
+        before = h.stats.buckets["perm_change"]
+        h.setperm(domain, Perm.RW)
+        charged = h.stats.buckets["perm_change"] - before
+        por = DEFAULT_CONFIG.poe2.por_switch_cycles
+        assert charged >= por
+        assert por < DEFAULT_CONFIG.mpk.wrpkru_cycles
+
+    def test_shootdowns_are_cheaper_than_x86(self, harness):
+        cfg = DEFAULT_CONFIG
+        assert cfg.poe2.tlb_invalidation_cycles < \
+            cfg.mpk_virt.tlb_invalidation_cycles

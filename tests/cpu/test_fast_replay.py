@@ -23,7 +23,12 @@ from repro.workloads.base import Workspace
 from repro.workloads.micro import MicroParams, generate_micro_trace
 
 SCHEMES = ("baseline", "lowerbound", "mpk", "mpk_virt", "libmpk",
-           "domain_virt")
+           "domain_virt", "erim", "pks_seal", "dpti", "poe2")
+
+#: Hard-limited schemes that cannot attach one key per tenant at the
+#: service trace's scale — the wall is the paper's point, so they are
+#: exercised on the micro/datastructure traces instead.
+KEY_LIMITED = ("mpk",)
 
 
 @pytest.fixture(scope="module")
@@ -122,6 +127,61 @@ class TestEngineSelection:
             obs.reset()
 
 
+class TestFallbackObservability:
+    """A scheme without a fast kernel must fall back *loudly*: a
+    one-time RuntimeWarning naming the scheme plus an
+    ``engine.fast_fallback`` counter increment."""
+
+    def _undeclared_scheme(self):
+        from repro.core.schemes import ProtectionScheme
+
+        class BespokeScheme(ProtectionScheme):
+            name = "bespoke_test_scheme"
+            cost = None  # no descriptor -> no kernel family
+
+        return BespokeScheme
+
+    def test_every_registered_scheme_has_a_kernel(self):
+        from repro.core.schemes import scheme_by_name
+        from repro.cpu.fast_timing import supports_fast_replay
+        for scheme in SCHEMES:
+            if scheme == "baseline":
+                continue
+            assert supports_fast_replay(DEFAULT_CONFIG,
+                                        scheme_by_name(scheme)), scheme
+
+    def test_fallback_warns_once_and_counts(self, monkeypatch):
+        import warnings
+
+        from repro import obs
+        from repro.cpu import fast_timing
+
+        monkeypatch.setenv("REPRO_FAST", "1")
+        monkeypatch.setenv("REPRO_METRICS", "1")
+        monkeypatch.setattr(fast_timing, "_warned_fallback", set())
+        obs.reset()
+        ws = Workspace(seed=3)
+        cls = self._undeclared_scheme()
+        try:
+            with warnings.catch_warnings(record=True) as caught:
+                warnings.simplefilter("always")
+                engine = make_replay_engine(DEFAULT_CONFIG, ws.kernel,
+                                            ws.process, cls)
+                make_replay_engine(DEFAULT_CONFIG, ws.kernel, ws.process,
+                                   cls)
+            assert not isinstance(engine, FastReplayEngine)
+            warned = [w for w in caught
+                      if issubclass(w.category, RuntimeWarning)]
+            assert len(warned) == 1  # one-time, not per replay
+            assert "bespoke_test_scheme" in str(warned[0].message)
+            registry = obs.metrics()
+            assert registry is not None
+            assert registry.value("engine.fast_fallback") == 2
+        finally:
+            monkeypatch.delenv("REPRO_METRICS")
+            obs.reset()
+
+
 class TestBitIdenticalReplay:
     @pytest.mark.parametrize("scheme", SCHEMES)
     def test_micro(self, monkeypatch, micro_trace, scheme):
@@ -134,18 +194,20 @@ class TestBitIdenticalReplay:
         _assert_identical(ref, fast)
 
     @pytest.mark.parametrize("scheme",
-                             [s for s in SCHEMES if s != "mpk"])
+                             [s for s in SCHEMES if s not in KEY_LIMITED])
     def test_service(self, monkeypatch, service_trace, scheme):
         # Default MPK cannot attach one key per tenant at this scale —
         # that wall is the paper's point, so mpk is exercised on the
-        # micro/datastructure traces instead.
+        # micro/datastructure traces instead.  erim's 16-key budget
+        # still covers the fixture's 10 tenants, so it stays in.
         ref, fast = _replay_both(monkeypatch, service_trace, scheme)
         _assert_identical(ref, fast)
 
 
 class TestMarks:
     @pytest.mark.parametrize("scheme", ("baseline", "domain_virt",
-                                        "mpk_virt", "libmpk"))
+                                        "mpk_virt", "libmpk", "erim",
+                                        "pks_seal", "dpti", "poe2"))
     def test_mark_cycles_identical(self, monkeypatch, micro_trace, scheme):
         n = len(micro_trace)
         marks = [0, 1, n // 3, n // 2, n - 1]
@@ -158,7 +220,8 @@ class TestMarks:
 
 
     @pytest.mark.parametrize("scheme", ("baseline", "domain_virt",
-                                        "mpk_virt", "libmpk"))
+                                        "mpk_virt", "libmpk", "pks_seal",
+                                        "dpti", "poe2"))
     def test_marked_closed_loop_service(self, monkeypatch,
                                         closed_service_trace, scheme):
         # The marks the service accounting consumes: every batch's
@@ -175,7 +238,7 @@ class TestMarks:
 
 class TestMetricsParity:
     @pytest.mark.parametrize("scheme", ("domain_virt", "mpk_virt",
-                                        "libmpk"))
+                                        "libmpk", "pks_seal", "poe2"))
     def test_harvested_metrics_match(self, monkeypatch, micro_trace,
                                      scheme):
         from repro import obs
@@ -202,7 +265,8 @@ class TestProtectionFaultParity:
         return ws.finish()
 
     @pytest.mark.parametrize("scheme", ("domain_virt", "mpk_virt",
-                                        "libmpk", "mpk"))
+                                        "libmpk", "mpk", "erim",
+                                        "pks_seal", "dpti", "poe2"))
     def test_same_fault(self, monkeypatch, scheme):
         trace = self._violating_trace()
         monkeypatch.setenv("REPRO_FAST", "0")
@@ -216,7 +280,7 @@ class TestProtectionFaultParity:
             assert getattr(ref.value, attr) == getattr(fast.value, attr)
 
     @pytest.mark.parametrize("scheme", ("domain_virt", "mpk_virt",
-                                        "libmpk"))
+                                        "libmpk", "erim", "dpti"))
     def test_unenforced_run_identical(self, monkeypatch, scheme):
         # With enforcement off the run completes, counting the faults —
         # and completed runs are bit-identical under both engines.

@@ -8,7 +8,8 @@ behaviour, relative factors — not absolute numbers.
 import pytest
 
 from repro.sim.simulator import (MULTI_PMO_SCHEMES, SINGLE_PMO_SCHEMES,
-                                 overhead_over_lowerbound, replay_trace)
+                                 overhead_over_lowerbound, replay_trace,
+                                 viable_schemes)
 from repro.workloads.micro import MicroParams, generate_micro_trace
 from repro.workloads.whisper import WhisperParams, generate_whisper_trace
 
@@ -18,7 +19,7 @@ MICRO = dict(initial_nodes=48, operations=400)
 def micro_results(benchmark, n_pools):
     trace, ws = generate_micro_trace(
         MicroParams(benchmark=benchmark, n_pools=n_pools, **MICRO))
-    return replay_trace(trace, ws, MULTI_PMO_SCHEMES)
+    return replay_trace(trace, ws, viable_schemes(MULTI_PMO_SCHEMES, n_pools))
 
 
 @pytest.fixture(scope="module")

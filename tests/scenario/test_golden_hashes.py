@@ -60,6 +60,10 @@ GOLDEN = {
     "service/1024c": "247f57e7b877644a2e1e4d51df938687",
     "service/64c-closed-burst": "ed4650ccd5bfde3d2c72e0c30c5a3d89",
     "service/64c-closed-burst-dv": "4b2ceaf692e8db823f8e9856403809bd",
+    "service/64c-closed-burst-erim": "a81b07e07b456c746e1b09dd78b5756a",
+    "service/64c-closed-burst-pks": "3e562464e76ab52bdce48474de2587a0",
+    "service/64c-closed-burst-dpti": "42e66c656c23a72097df5d678dbef4b8",
+    "service/64c-closed-burst-poe2": "76b391ed90c542a0e40006f215f979e4",
     "sweep_pmos/avl/16": "70b8b56f089c27d5a1cab3c6ab58e710",
     "sweep_pmos/avl/32": "8c5d2295e0ed6a4c092dcb9d3ec80634",
     "sweep_pmos/avl/64": "35524f92650a53e137c43d45412480a6",
@@ -108,6 +112,22 @@ class TestConstructors:
         assert spec.cache_key() == GOLDEN["service/64c-closed-burst"]
         assert spec.keyed("domain_virt").cache_key() \
             == GOLDEN["service/64c-closed-burst-dv"]
+
+    def test_new_scheme_keyed_specs_are_distinct_and_stable(self):
+        # The four literature competitors key their own service specs;
+        # their cache keys must neither collide with each other nor
+        # perturb the pre-existing pins above.
+        spec = WorkloadSpec.service(n_clients=64, arrival="closed",
+                                    dispatch="replay", pattern="burst")
+        keyed = {
+            "erim": GOLDEN["service/64c-closed-burst-erim"],
+            "pks_seal": GOLDEN["service/64c-closed-burst-pks"],
+            "dpti": GOLDEN["service/64c-closed-burst-dpti"],
+            "poe2": GOLDEN["service/64c-closed-burst-poe2"],
+        }
+        assert len(set(keyed.values())) == len(keyed)
+        for scheme, golden in keyed.items():
+            assert spec.keyed(scheme).cache_key() == golden
 
 
 class TestCompiledScenarios:

@@ -69,13 +69,27 @@ class TestBundledLibrary:
                                             scale=1.0)
                 assert compiled.cells and compiled.schemes
 
-    def test_tenant_churn_is_a_four_scheme_leaderboard(self):
+    def test_tenant_churn_is_the_full_roster_leaderboard(self):
         scenario = find_scenario("tenant_churn")
-        assert len(scenario.schemes) == 4
+        assert len(scenario.schemes) == 8
+        # Both hard-limited schemes compete (and FAIL past 16 tenants).
+        assert "mpk" in scenario.schemes and "erim" in scenario.schemes
         assert scenario.report == "service"
         compiled = compile_scenario(scenario, smoke=True, scale=1.0)
         assert all(cell.spec.params.pattern == "churn"
                    for cell in compiled.cells)
+
+    def test_scheme_leaderboard_crosses_the_key_wall(self):
+        scenario = find_scenario("scheme_leaderboard")
+        assert len(scenario.schemes) == 8
+        assert scenario.report == "service"
+        for smoke in (False, True):
+            compiled = compile_scenario(scenario, smoke=smoke, scale=1.0)
+            counts = [cell.spec.params.n_clients
+                      for cell in compiled.cells]
+            # At least one cell fits the 16-key schemes, at least one
+            # overruns them — the FAIL rows are the scenario's point.
+            assert min(counts) <= 16 < max(counts)
 
     def test_revocation_storm_enables_storms(self):
         compiled = compile_scenario(find_scenario("revocation_storm"),

@@ -65,7 +65,8 @@ class TestValidation:
     def test_tag_expansion_preserves_rank_order(self):
         scenario = Scenario.from_document(doc(schemes=["@multi_pmo"]))
         assert scenario.schemes == (
-            "lowerbound", "libmpk", "mpk_virt", "domain_virt")
+            "lowerbound", "libmpk", "mpk_virt", "domain_virt",
+            "erim", "pks_seal", "dpti", "poe2")
 
     def test_unknown_tag_rejected(self):
         with pytest.raises(ScenarioError, match="matches no registered"):

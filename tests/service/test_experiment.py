@@ -75,8 +75,12 @@ class TestDriver:
     def test_aliases_resolve(self):
         assert resolve_scheme("mpkv") == "mpk_virt"
         assert resolve_scheme("dv") == "domain_virt"
+        assert resolve_scheme("pks") == "pks_seal"
         assert resolve_scheme("libmpk") == "libmpk"
-        assert set(SCHEME_ALIASES) == {"mpkv", "dv"}
+        assert resolve_scheme("erim") == "erim"
+        assert resolve_scheme("dpti") == "dpti"
+        assert resolve_scheme("poe2") == "poe2"
+        assert set(SCHEME_ALIASES) == {"mpkv", "dv", "pks"}
 
     def test_run_service_shape(self, engine):
         runner = ExperimentRunner(engine=engine)

@@ -27,10 +27,19 @@ from repro.service import (ServiceParams, account, account_sharded,
 from repro.sim.config import DEFAULT_CONFIG
 from repro.sim.stats import merge_run_stats
 
+from repro.core.schemes import scheme_descriptor
+
 ALL_SCHEMES = ("baseline", "lowerbound", "mpk", "mpk_virt", "libmpk",
-               "domain_virt")
-#: Schemes whose key remaps broadcast shootdowns across cores.
-BROADCASTING = ("mpk_virt", "libmpk")
+               "domain_virt", "erim", "pks_seal", "dpti", "poe2")
+#: Schemes whose key remaps broadcast shootdowns across cores —
+#: *derived* from the cost descriptors, so a new scheme declaring
+#: broadcast_shootdown joins these assertions automatically.
+BROADCASTING = tuple(
+    name for name in ALL_SCHEMES
+    if name != "baseline" and scheme_descriptor(name).broadcast_shootdown)
+#: Schemes with TLB churn but no cross-core broadcasts (dpti drops its
+#: own translations; dv never invalidates at all).
+NON_BROADCASTING = ("domain_virt", "dpti")
 FREQ = DEFAULT_CONFIG.processor.frequency_hz
 
 #: Small enough to replay every scheme, large enough that 24 client
@@ -193,22 +202,44 @@ class TestCrossCoreShootdowns:
     def summaries(self, sharded):
         plan, _trace, shards = sharded
         out = {}
-        for scheme in ("mpk_virt", "libmpk", "domain_virt"):
+        for scheme in BROADCASTING + NON_BROADCASTING:
             stats = [replay_one(shard.trace, scheme, marks=shard.marks,
                                 n_cores=len(shards)) for shard in shards]
             out[scheme] = account_sharded(plan, shards, stats,
                                           frequency_hz=FREQ)
         return out
 
-    @pytest.mark.parametrize("scheme", BROADCASTING)
+    def test_descriptors_pin_the_broadcast_roster(self):
+        assert set(BROADCASTING) == {"mpk_virt", "libmpk", "pks_seal",
+                                     "poe2"}
+
+    @pytest.mark.parametrize(
+        "scheme", [s for s in BROADCASTING if s != "poe2"])
     def test_broadcasting_schemes_pay_cross_core(self, summaries, scheme):
+        # poe2's 64-overlay space does not churn at 24 clients — its
+        # broadcast behavior gets a beyond-64-domain run below.
         summary = summaries[scheme]
         assert summary.cross_core_shootdowns > 0
         assert summary.cross_core_shootdown_cycles > 0
 
-    def test_domain_virt_pays_zero(self, summaries):
-        assert summaries["domain_virt"].cross_core_shootdowns == 0
-        assert summaries["domain_virt"].cross_core_shootdown_cycles == 0.0
+    def test_poe2_broadcasts_only_past_its_overlay_space(self, summaries):
+        # Below 64 domains poe2 never remaps, so no broadcasts at all...
+        assert summaries["poe2"].cross_core_shootdowns == 0
+        # ...but once the overlay space overflows it pays like MPKV,
+        # at its cheaper DVM rate.
+        params = ServiceParams(n_clients=80, n_requests=600)
+        trace, _ws = generate_service_trace(params)
+        stats = replay_one(trace, "poe2", marks=batch_boundaries(trace),
+                           n_cores=4)
+        assert stats.cross_core_shootdowns > 0
+        assert stats.cross_core_shootdown_cycles == pytest.approx(
+            stats.cross_core_shootdowns *
+            DEFAULT_CONFIG.poe2.tlb_invalidation_cycles * 3)
+
+    @pytest.mark.parametrize("scheme", NON_BROADCASTING)
+    def test_non_broadcasters_pay_zero(self, summaries, scheme):
+        assert summaries[scheme].cross_core_shootdowns == 0
+        assert summaries[scheme].cross_core_shootdown_cycles == 0.0
 
     @pytest.mark.parametrize("scheme", BROADCASTING)
     def test_formula_invalidation_cycles_times_remote_cores(

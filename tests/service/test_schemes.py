@@ -16,7 +16,8 @@ from repro.service import (ServiceParams, account, batch_boundaries,
 from repro.sim.config import DEFAULT_CONFIG
 
 PARAMS = ServiceParams(n_clients=64, n_requests=400)
-SCHEMES = ("lowerbound", "domain_virt", "mpk_virt", "libmpk")
+SCHEMES = ("lowerbound", "domain_virt", "mpk_virt", "libmpk",
+           "pks_seal", "dpti", "poe2")
 FREQ = DEFAULT_CONFIG.processor.frequency_hz
 
 
@@ -53,6 +54,42 @@ class TestTableVIIOrdering:
         small = ServiceParams(n_clients=8, n_requests=80)
         trace, _ws = generate_service_trace(small)
         replay_one(trace, "mpk")  # must not raise
+
+
+class TestLiteratureCompetitors:
+    """The four descriptor-declared competitors at the serving level."""
+
+    def test_erim_hits_the_same_wall_as_mpk(self):
+        trace, _ws = generate_service_trace(PARAMS)
+        with pytest.raises(PkeyError, match="ERIM 16-key limit"):
+            replay_one(trace, "erim")
+
+    def test_erim_fits_within_its_key_budget(self):
+        small = ServiceParams(n_clients=16, n_requests=120)
+        trace, _ws = generate_service_trace(small)
+        stats = replay_one(trace, "erim")  # 16 clients: exactly at budget
+        assert stats.evictions == 0  # direct mapping never virtualizes
+
+    def test_sealing_spares_the_hot_keys(self, summaries):
+        # Zipf churn concentrates on few clients; sealing pins them, so
+        # pks_seal strictly out-serves plain MPK virtualization.
+        assert summaries["pks_seal"].stats.evictions < \
+            summaries["mpk_virt"].stats.evictions
+        assert summaries["pks_seal"].cycles < summaries["mpk_virt"].cycles
+
+    def test_poe2_overlays_absorb_all_64_clients(self, summaries):
+        # 64 overlay registers = one per client: no churn at all, and
+        # the cheap POR write undercuts virtualized WRPKRU.
+        assert summaries["poe2"].stats.evictions == 0
+        assert summaries["poe2"].cycles < summaries["mpk_virt"].cycles
+
+    def test_dpti_trades_key_churn_for_cr3_switches(self, summaries):
+        dpti = summaries["dpti"]
+        assert dpti.stats.evictions == 0  # page tables, not keys
+        assert dpti.stats.cross_core_shootdowns == 0
+        # But every protection switch pays the CR3 write, which costs
+        # more than DV's virtualized WRPKRU path end to end.
+        assert dpti.cycles > summaries["domain_virt"].cycles
 
 
 class TestBatchingEffect:

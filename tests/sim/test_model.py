@@ -4,7 +4,8 @@ import pytest
 
 from repro.sim.config import DEFAULT_CONFIG
 from repro.sim.model import (estimate_remap_rate, predict, relative_error)
-from repro.sim.simulator import MULTI_PMO_SCHEMES, replay_trace
+from repro.sim.simulator import (MULTI_PMO_SCHEMES, replay_trace,
+                                 viable_schemes)
 from repro.workloads.micro import MicroParams, generate_micro_trace
 
 
@@ -12,7 +13,7 @@ from repro.workloads.micro import MicroParams, generate_micro_trace
 def measured():
     trace, ws = generate_micro_trace(MicroParams(
         benchmark="rbt", n_pools=128, initial_nodes=48, operations=500))
-    return replay_trace(trace, ws, MULTI_PMO_SCHEMES)
+    return replay_trace(trace, ws, viable_schemes(MULTI_PMO_SCHEMES, 128))
 
 
 class TestPredictionsMatchSimulation:

@@ -5,9 +5,11 @@ from repro.sim.simulator import MULTI_PMO_SCHEMES, SINGLE_PMO_SCHEMES
 
 
 def test_multi_pmo_schemes_match_the_paper():
-    # Figure 6 / Tables VI-VII population, in evaluation order.
+    # Figure 6 / Tables VI-VII population, in evaluation order, followed
+    # by the four literature competitors in their fixed registry ranks.
     assert MULTI_PMO_SCHEMES == (
-        "lowerbound", "libmpk", "mpk_virt", "domain_virt")
+        "lowerbound", "libmpk", "mpk_virt", "domain_virt",
+        "erim", "pks_seal", "dpti", "poe2")
 
 
 def test_single_pmo_schemes_match_the_paper():

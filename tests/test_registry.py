@@ -85,7 +85,8 @@ class TestPaperSchemeSets:
 
     def test_multi_pmo_set_matches_the_paper(self):
         assert MULTI_PMO_SCHEMES == (
-            "lowerbound", "libmpk", "mpk_virt", "domain_virt")
+            "lowerbound", "libmpk", "mpk_virt", "domain_virt",
+            "erim", "pks_seal", "dpti", "poe2")
 
     def test_single_pmo_set_matches_the_paper(self):
         assert SINGLE_PMO_SCHEMES == ("mpk", "mpk_virt", "domain_virt")
